@@ -1,0 +1,159 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (Sec. 5) on the synthetic chemotherapy workload:
+
+     - Experiment 1 / Figure 11: max simultaneous instances, SES vs brute
+       force, for P1 (mutually exclusive) and P2 (overlapping), |V1| = 2..6
+     - Experiment 1 / Table 1: the BF/SES instance ratio vs (|V1|-1)!
+     - Experiment 2 / Figure 12: max simultaneous instances vs window size
+       W for P3 (case 3) and P4 (case 2) over D1..D5
+     - Experiment 3 / Figure 13: execution time with and without the
+       Sec. 4.5 event filter for P5 and P6 over D1..D5
+     - this repository's ablations (filter variants, constant pre-check,
+       partitioned evaluation) and beyond-paper sweeps (set size vs the
+       Theorem 2/3 bounds, event selectivity)
+
+   Part 2 runs bechamel micro-benchmarks of the core operations (one
+   Test.make per paper table/figure, exercising the code path that
+   dominates it).
+
+   Usage: dune exec bench/main.exe [-- --quick] [-- --exp N] [-- --no-micro] *)
+
+open Bechamel
+open Toolkit
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+let no_micro = Array.exists (( = ) "--no-micro") Sys.argv
+
+let only_exp =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = "--exp" then int_of_string_opt Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let cfg =
+  if quick then Ses_harness.Experiments.quick_config
+  else Ses_harness.Experiments.default_config
+
+let show table = Format.printf "%a@.@." Ses_harness.Report.pp table
+
+let run_tables () =
+  let module E = Ses_harness.Experiments in
+  let wanted n = match only_exp with None -> true | Some k -> k = n in
+  show (E.datasets_table cfg);
+  if wanted 1 then begin
+    let fig11, table1 = E.exp1 cfg in
+    show fig11;
+    show table1
+  end;
+  if wanted 2 then show (E.exp2 cfg);
+  if wanted 3 then show (E.exp3 cfg);
+  if wanted 4 then begin
+    show (E.ablation_filter cfg);
+    show (E.ablation_precheck cfg);
+    show (E.ablation_partition cfg)
+  end;
+  if wanted 5 then begin
+    show (E.sweep_set_size cfg);
+    show (E.sweep_selectivity cfg)
+  end
+
+(* Micro-benchmarks: one Test.make per paper artifact, on the D1 dataset. *)
+
+let micro_tests () =
+  let module E = Ses_harness.Experiments in
+  let module Q = Ses_harness.Queries in
+  let d1 = E.dataset cfg in
+  let raw_options =
+    { Ses_core.Engine.default_options with Ses_core.Engine.finalize = false }
+  in
+  let ses pattern () =
+    ignore
+      (Ses_core.Engine.run_relation ~options:raw_options
+         (Ses_core.Automaton.of_pattern pattern)
+         d1)
+  in
+  let bf pattern () =
+    ignore (Ses_baseline.Brute_force.run_relation ~options:raw_options pattern d1)
+  in
+  let filtered pattern () =
+    let options =
+      {
+        raw_options with
+        Ses_core.Engine.filter = Ses_core.Event_filter.Paper;
+      }
+    in
+    ignore
+      (Ses_core.Engine.run_relation ~options
+         (Ses_core.Automaton.of_pattern pattern)
+         d1)
+  in
+  Test.make_grouped ~name:"ses" ~fmt:"%s %s"
+    [
+      (* Figure 11 / Table 1: SES vs BF on the exclusive pattern. *)
+      Test.make ~name:"fig11/ses-p1"
+        (Staged.stage (ses (Q.exp1_exclusive 4)));
+      Test.make ~name:"fig11/bf-p1" (Staged.stage (bf (Q.exp1_exclusive 4)));
+      (* Figure 12: case 2 vs case 3 instance growth. *)
+      Test.make ~name:"fig12/ses-p4-case2" (Staged.stage (ses Q.p4));
+      Test.make ~name:"fig12/ses-p3-case3" (Staged.stage (ses Q.p3));
+      (* Figure 13: the filter's effect on the exclusive pattern. *)
+      Test.make ~name:"fig13/p5-nofilter" (Staged.stage (ses Q.p5));
+      Test.make ~name:"fig13/p5-filter" (Staged.stage (filtered Q.p5));
+      (* Construction costs. *)
+      Test.make ~name:"build/automaton-q1"
+        (Staged.stage (fun () ->
+             ignore (Ses_core.Automaton.of_pattern Q.q1)));
+      Test.make ~name:"build/automaton-6vars"
+        (Staged.stage (fun () ->
+             ignore (Ses_core.Automaton.of_pattern (Q.exp1_exclusive 6))));
+      (* End-to-end throughput of the planned execution path on Q1. *)
+      Test.make ~name:"stream/q1-planned"
+        (Staged.stage (fun () ->
+             ignore
+               (Ses_core.Planner.run_relation
+                  (Ses_core.Automaton.of_pattern Q.q1)
+                  d1)));
+    ]
+
+let run_micro () =
+  let benchmark test =
+    let bench_cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:None ()
+    in
+    Benchmark.all bench_cfg Instance.[ monotonic_clock ] test
+  in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  let results = analyze (benchmark (micro_tests ())) in
+  Format.printf "Micro-benchmarks (monotonic clock per run)@.";
+  Format.printf "-------------------------------------------@.";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> est
+        | Some _ | None -> Float.nan
+      in
+      rows := (name, estimate) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Format.printf "  %-28s (no estimate)@." name
+      else if ns > 1e6 then Format.printf "  %-28s %10.3f ms@." name (ns /. 1e6)
+      else Format.printf "  %-28s %10.3f us@." name (ns /. 1e3))
+    (List.sort compare !rows);
+  Format.printf "@."
+
+let () =
+  run_tables ();
+  if not no_micro then run_micro ()

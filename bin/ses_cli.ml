@@ -1,0 +1,389 @@
+(* ses — command-line front end for the SES pattern-matching library.
+
+   Subcommands:
+     generate     synthesize a workload and store it as CSV
+     match        run a pattern (textual language) over a CSV relation
+     dot          export the SES automaton of a pattern as Graphviz
+     window       report the window size W (Definition 5) of a relation
+     analyze      classify a pattern and print the Theorem 1-3 bounds
+     experiments  regenerate the paper's tables and figures *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+
+let load_relation path = or_die (Ses_store.Csv.load path)
+
+let load_pattern schema query query_file =
+  let text =
+    match query, query_file with
+    | Some q, None -> q
+    | None, Some f -> read_file f
+    | Some _, Some _ ->
+        prerr_endline "error: pass either --query or --query-file, not both";
+        exit 1
+    | None, None ->
+        prerr_endline "error: a query is required (--query or --query-file)";
+        exit 1
+  in
+  or_die (Ses_lang.Lang.parse_pattern schema text)
+
+(* generate *)
+
+let generate kind out seed patients duplicate =
+  let seed64 = Int64.of_int seed in
+  let relation =
+    match kind with
+    | "chemo" ->
+        Ses_gen.Chemo.generate
+          { Ses_gen.Chemo.default with Ses_gen.Chemo.seed = seed64; patients }
+    | "finance" ->
+        Ses_gen.Finance.generate
+          { Ses_gen.Finance.default with Ses_gen.Finance.seed = seed64 }
+    | "rfid" ->
+        Ses_gen.Rfid.generate
+          { Ses_gen.Rfid.default with Ses_gen.Rfid.seed = seed64 }
+    | other ->
+        prerr_endline ("error: unknown workload kind " ^ other);
+        exit 1
+  in
+  let relation =
+    if duplicate > 1 then Ses_gen.Dataset.duplicate duplicate relation
+    else relation
+  in
+  or_die (Ses_store.Csv.save out relation);
+  Printf.printf "wrote %d events to %s\n"
+    (Ses_event.Relation.cardinality relation)
+    out
+
+let kind_arg =
+  Arg.(
+    value
+    & opt string "chemo"
+    & info [ "kind" ] ~docv:"KIND" ~doc:"Workload: chemo, finance or rfid.")
+
+let out_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output CSV file.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let patients_arg =
+  Arg.(
+    value
+    & opt int Ses_gen.Chemo.default.Ses_gen.Chemo.patients
+    & info [ "patients" ] ~docv:"N" ~doc:"Number of patients (chemo only).")
+
+let duplicate_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "duplicate" ] ~docv:"K"
+        ~doc:"Replicate every event K times (the paper's D-series scaling).")
+
+let generate_cmd =
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize a workload and store it as CSV")
+    Term.(const generate $ kind_arg $ out_arg $ seed_arg $ patients_arg
+          $ duplicate_arg)
+
+(* shared match/dot/analyze options *)
+
+let data_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "d"; "data" ] ~docv:"FILE" ~doc:"Input relation (CSV).")
+
+let query_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"Pattern in the query language.")
+
+let query_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "query-file" ] ~docv:"FILE" ~doc:"File containing the pattern.")
+
+let filter_conv =
+  Arg.enum
+    [
+      ("none", Ses_core.Event_filter.No_filter);
+      ("paper", Ses_core.Event_filter.Paper);
+      ("strong", Ses_core.Event_filter.Strong);
+    ]
+
+let filter_arg =
+  Arg.(
+    value
+    & opt filter_conv Ses_core.Event_filter.No_filter
+    & info [ "filter" ] ~docv:"MODE"
+        ~doc:"Event filter (Sec. 4.5): none, paper or strong.")
+
+let policy_conv =
+  Arg.enum
+    [
+      ("operational", Ses_core.Substitution.Operational);
+      ("literal", Ses_core.Substitution.Literal);
+    ]
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Ses_core.Substitution.Operational
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Finalization policy for Definition 2's conditions 4-5.")
+
+let show_metrics_arg =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Print runtime metrics.")
+
+let show_raw_arg =
+  Arg.(
+    value & flag
+    & info [ "raw" ] ~doc:"Also print raw candidates before finalization.")
+
+let table_arg =
+  Arg.(
+    value & flag
+    & info [ "table" ] ~doc:"Render matches as a table (one column per variable).")
+
+let run_match data query query_file filter policy show_metrics show_raw table =
+  let relation = load_relation data in
+  let schema = Ses_event.Relation.schema relation in
+  let pattern = load_pattern schema query query_file in
+  let automaton = Ses_core.Automaton.of_pattern pattern in
+  let options =
+    { Ses_core.Engine.default_options with Ses_core.Engine.filter; policy }
+  in
+  let outcome = Ses_core.Engine.run_relation ~options automaton relation in
+  Format.printf "pattern: %a@." Ses_pattern.Pattern.pp pattern;
+  if show_raw then begin
+    Format.printf "raw candidates: %d@." (List.length outcome.Ses_core.Engine.raw);
+    List.iter
+      (fun s ->
+        Format.printf "  %a@." (Ses_core.Substitution.pp pattern) s)
+      outcome.Ses_core.Engine.raw
+  end;
+  if table then
+    Format.printf "%a@." Ses_harness.Report.pp
+      (Ses_harness.Match_table.of_matches pattern outcome.Ses_core.Engine.matches)
+  else begin
+    Format.printf "matches: %d@." (List.length outcome.Ses_core.Engine.matches);
+    List.iter
+      (fun s -> Format.printf "  %a@." (Ses_core.Substitution.pp pattern) s)
+      outcome.Ses_core.Engine.matches
+  end;
+  if show_metrics then
+    Format.printf "%a@." Ses_core.Metrics.pp outcome.Ses_core.Engine.metrics
+
+let match_cmd =
+  Cmd.v
+    (Cmd.info "match" ~doc:"Run a SES pattern over a stored relation")
+    Term.(
+      const run_match $ data_arg $ query_arg $ query_file_arg $ filter_arg
+      $ policy_arg $ show_metrics_arg $ show_raw_arg $ table_arg)
+
+(* dot *)
+
+let run_dot data query query_file no_conditions =
+  let relation = load_relation data in
+  let schema = Ses_event.Relation.schema relation in
+  let pattern = load_pattern schema query query_file in
+  let automaton = Ses_core.Automaton.of_pattern pattern in
+  print_string (Ses_core.Dot.of_automaton ~conditions:(not no_conditions) automaton)
+
+let no_conditions_arg =
+  Arg.(
+    value & flag
+    & info [ "no-conditions" ] ~doc:"Label edges with variables only.")
+
+let dot_cmd =
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export the SES automaton as Graphviz DOT")
+    Term.(const run_dot $ data_arg $ query_arg $ query_file_arg $ no_conditions_arg)
+
+(* window *)
+
+let run_window data tau =
+  let relation = load_relation data in
+  Printf.printf "%s\n" (Ses_gen.Dataset.describe relation tau)
+
+let tau_arg =
+  Arg.(
+    value & opt int 264
+    & info [ "tau" ] ~docv:"N" ~doc:"Window duration in time units.")
+
+let window_cmd =
+  Cmd.v
+    (Cmd.info "window" ~doc:"Report the window size W (Definition 5)")
+    Term.(const run_window $ data_arg $ tau_arg)
+
+(* analyze *)
+
+let run_analyze data query query_file =
+  let relation = load_relation data in
+  let schema = Ses_event.Relation.schema relation in
+  let pattern = load_pattern schema query query_file in
+  let tau = Ses_pattern.Pattern.tau pattern in
+  let w = Ses_event.Relation.window_size relation tau in
+  let automaton = Ses_core.Automaton.of_pattern pattern in
+  Format.printf "pattern: %a@." Ses_pattern.Pattern.pp pattern;
+  Format.printf "automaton: %d states, %d transitions, %d orderings@."
+    (Ses_core.Automaton.n_states automaton)
+    (Ses_core.Automaton.n_transitions automaton)
+    (Ses_core.Automaton.n_paths automaton);
+  Format.printf "window size W = %d@." w;
+  print_endline (Ses_harness.Bounds.describe pattern ~w);
+  Format.printf "execution plan:@.%s" (Ses_core.Planner.describe (Ses_core.Planner.plan automaton))
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Classify a pattern (Theorems 1-3) and print instance bounds")
+    Term.(const run_analyze $ data_arg $ query_arg $ query_file_arg)
+
+(* explain *)
+
+let run_explain data query query_file =
+  let relation = load_relation data in
+  let schema = Ses_event.Relation.schema relation in
+  let pattern = load_pattern schema query query_file in
+  let automaton = Ses_core.Automaton.of_pattern pattern in
+  Format.printf "%a@." Ses_core.Explain.pp
+    (Ses_core.Explain.explain automaton relation)
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Diagnose where the search effort went (why did nothing match?)")
+    Term.(const run_explain $ data_arg $ query_arg $ query_file_arg)
+
+(* trace *)
+
+let run_trace data query query_file only_matching limit =
+  let relation = load_relation data in
+  let schema = Ses_event.Relation.schema relation in
+  let pattern = load_pattern schema query query_file in
+  let automaton = Ses_core.Automaton.of_pattern pattern in
+  let steps, outcome = Ses_core.Trace.run automaton relation in
+  let steps =
+    if only_matching then
+      List.concat_map
+        (fun m -> Ses_core.Trace.for_buffer m steps)
+        outcome.Ses_core.Engine.matches
+    else steps
+  in
+  let steps =
+    match limit with
+    | None -> steps
+    | Some n -> List.filteri (fun i _ -> i < n) steps
+  in
+  List.iter
+    (fun obs ->
+      Format.printf "%a@." (Ses_core.Trace.pp_observation pattern) obs)
+    steps;
+  Format.printf "matches: %d@." (List.length outcome.Ses_core.Engine.matches)
+
+let only_matching_arg =
+  Arg.(
+    value & flag
+    & info [ "only-matching" ]
+        ~doc:"Show only the steps of instances that produced a match.")
+
+let limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "limit" ] ~docv:"N" ~doc:"Print at most N steps.")
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the execution narrative (the paper's Figure 6)")
+    Term.(
+      const run_trace $ data_arg $ query_arg $ query_file_arg
+      $ only_matching_arg $ limit_arg)
+
+(* experiments *)
+
+let run_experiments quick csv_dir patients datasets =
+  let base =
+    if quick then Ses_harness.Experiments.quick_config
+    else Ses_harness.Experiments.default_config
+  in
+  let cfg =
+    {
+      base with
+      Ses_harness.Experiments.chemo =
+        (match patients with
+        | None -> base.Ses_harness.Experiments.chemo
+        | Some p ->
+            { base.Ses_harness.Experiments.chemo with Ses_gen.Chemo.patients = p });
+      n_datasets =
+        Option.value ~default:base.Ses_harness.Experiments.n_datasets datasets;
+    }
+  in
+  Ses_harness.Experiments.run_all ?csv_dir cfg
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use the small test workload.")
+
+let csv_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv-dir" ] ~docv:"DIR" ~doc:"Also save one CSV per table.")
+
+let exp_patients_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "patients" ] ~docv:"N" ~doc:"Override the D1 patient count.")
+
+let exp_datasets_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "datasets" ] ~docv:"N" ~doc:"Number of D-series datasets.")
+
+let experiments_cmd =
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's evaluation tables and figures")
+    Term.(
+      const run_experiments $ quick_arg $ csv_dir_arg $ exp_patients_arg
+      $ exp_datasets_arg)
+
+let () =
+  let info =
+    Cmd.info "ses" ~version:"1.0.0"
+      ~doc:"Sequenced event set pattern matching (EDBT 2011 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd;
+            match_cmd;
+            dot_cmd;
+            window_cmd;
+            analyze_cmd;
+            explain_cmd;
+            trace_cmd;
+            experiments_cmd;
+          ]))

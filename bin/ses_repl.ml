@@ -1,0 +1,238 @@
+(* ses_repl — an interactive shell over the SES library.
+
+   Load a CSV relation, define named patterns in the query language, and
+   inspect / run / trace them. Reads commands from stdin (one per line; a
+   trailing backslash continues on the next line), so it works both
+   interactively and piped:
+
+     $ dune exec bin/ses_repl.exe
+     ses> load chemo.csv
+     ses> let q1 = PATTERN (c, p+, d) -> (b) WHERE ... WITHIN 11 DAYS
+     ses> run q1
+
+   Commands: help, load, schema, count, window, let, list, show, plan,
+   run, trace, dot, quit. *)
+
+type state = {
+  mutable relation : Ses_event.Relation.t option;
+  mutable patterns : (string * Ses_pattern.Pattern.t) list;
+}
+
+let help_text =
+  "commands:\n\
+  \  load <file.csv>          load an event relation\n\
+  \  schema                   show the loaded relation's schema\n\
+  \  count                    number of events\n\
+  \  window <tau>             window size W (Definition 5)\n\
+  \  let <name> = <query>     define a pattern (query language;\n\
+  \                           end a line with \\ to continue)\n\
+  \  list                     defined patterns\n\
+  \  show <name>              pattern, automaton size, complexity cases\n\
+  \  plan <name>              execution plan the library would pick\n\
+  \  run <name>               match the pattern against the relation\n\
+  \  trace <name> [n]         execution narrative (first n steps)\n\
+  \  dot <name>               Graphviz source of the automaton\n\
+  \  quit                     leave"
+
+let fail fmt = Printf.ksprintf (fun msg -> Error msg) fmt
+
+let relation_of st =
+  match st.relation with
+  | Some r -> Ok r
+  | None -> fail "no relation loaded (use: load <file.csv>)"
+
+let pattern_of st name =
+  match List.assoc_opt name st.patterns with
+  | Some p -> Ok p
+  | None -> fail "no pattern named %S (use: let %s = PATTERN ...)" name name
+
+let cmd_load st path =
+  match Ses_store.Csv.load path with
+  | Error e -> Error e
+  | Ok r ->
+      st.relation <- Some r;
+      Ok
+        (Printf.sprintf "loaded %d events from %s"
+           (Ses_event.Relation.cardinality r)
+           path)
+
+let cmd_schema st =
+  Result.map
+    (fun r ->
+      Format.asprintf "%a" Ses_event.Schema.pp (Ses_event.Relation.schema r))
+    (relation_of st)
+
+let cmd_count st =
+  Result.map
+    (fun r -> string_of_int (Ses_event.Relation.cardinality r))
+    (relation_of st)
+
+let cmd_window st arg =
+  match relation_of st, int_of_string_opt arg with
+  | Error e, _ -> Error e
+  | Ok _, None -> fail "window expects an integer duration"
+  | Ok r, Some tau ->
+      Ok (Printf.sprintf "W(tau=%d) = %d" tau (Ses_event.Relation.window_size r tau))
+
+let cmd_let st rest =
+  match String.index_opt rest '=' with
+  | None -> fail "usage: let <name> = <query>"
+  | Some i -> (
+      let name = String.trim (String.sub rest 0 i) in
+      let query = String.sub rest (i + 1) (String.length rest - i - 1) in
+      if name = "" then fail "usage: let <name> = <query>"
+      else
+        match relation_of st with
+        | Error e -> Error e
+        | Ok r -> (
+            match
+              Ses_lang.Lang.parse_pattern (Ses_event.Relation.schema r) query
+            with
+            | Error e -> Error e
+            | Ok p ->
+                st.patterns <- (name, p) :: List.remove_assoc name st.patterns;
+                Ok (Format.asprintf "%s = %a" name Ses_pattern.Pattern.pp p)))
+
+let cmd_list st =
+  match st.patterns with
+  | [] -> Ok "(no patterns defined)"
+  | ps -> Ok (String.concat "\n" (List.rev_map fst ps))
+
+let cmd_show st name =
+  Result.map
+    (fun p ->
+      let a = Ses_core.Automaton.of_pattern p in
+      let cases =
+        String.concat "; "
+          (List.mapi
+             (fun i c ->
+               Format.asprintf "V%d %a" (i + 1) Ses_pattern.Exclusivity.pp_case c)
+             (Ses_pattern.Exclusivity.classify p))
+      in
+      Format.asprintf "%a@.automaton: %d states, %d transitions, %d orderings@.%s"
+        Ses_pattern.Pattern.pp p
+        (Ses_core.Automaton.n_states a)
+        (Ses_core.Automaton.n_transitions a)
+        (Ses_core.Automaton.n_paths a)
+        cases)
+    (pattern_of st name)
+
+let cmd_plan st name =
+  Result.map
+    (fun p ->
+      let a = Ses_core.Automaton.of_pattern p in
+      String.trim (Ses_core.Planner.describe (Ses_core.Planner.plan a)))
+    (pattern_of st name)
+
+let cmd_run st name =
+  match relation_of st, pattern_of st name with
+  | Error e, _ | _, Error e -> Error e
+  | Ok r, Ok p ->
+      let a = Ses_core.Automaton.of_pattern p in
+      let outcome = Ses_core.Planner.run_relation a r in
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        (Printf.sprintf "matches: %d\n"
+           (List.length outcome.Ses_core.Engine.matches));
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Format.asprintf "  %a\n" (Ses_core.Substitution.pp p) s))
+        outcome.Ses_core.Engine.matches;
+      Buffer.add_string buf
+        (Printf.sprintf "peak instances: %d"
+           outcome.Ses_core.Engine.metrics
+             .Ses_core.Metrics.max_simultaneous_instances);
+      Ok (Buffer.contents buf)
+
+let cmd_trace st name limit =
+  match relation_of st, pattern_of st name with
+  | Error e, _ | _, Error e -> Error e
+  | Ok r, Ok p ->
+      let a = Ses_core.Automaton.of_pattern p in
+      let steps, _ = Ses_core.Trace.run a r in
+      let steps =
+        match limit with
+        | None -> steps
+        | Some n -> List.filteri (fun i _ -> i < n) steps
+      in
+      Ok
+        (String.concat "\n"
+           (List.map
+              (fun obs ->
+                Format.asprintf "%a" (Ses_core.Trace.pp_observation p) obs)
+              steps))
+
+let cmd_dot st name =
+  Result.map
+    (fun p ->
+      String.trim
+        (Ses_core.Dot.of_automaton (Ses_core.Automaton.of_pattern p)))
+    (pattern_of st name)
+
+let split_command line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let execute st line =
+  let cmd, rest = split_command (String.trim line) in
+  match String.lowercase_ascii cmd, rest with
+  | "", _ -> Ok ""
+  | "help", _ -> Ok help_text
+  | "load", path when path <> "" -> cmd_load st path
+  | "load", _ -> fail "usage: load <file.csv>"
+  | "schema", _ -> cmd_schema st
+  | "count", _ -> cmd_count st
+  | "window", arg -> cmd_window st arg
+  | "let", rest -> cmd_let st rest
+  | "list", _ -> cmd_list st
+  | "show", name when name <> "" -> cmd_show st name
+  | "plan", name when name <> "" -> cmd_plan st name
+  | "run", name when name <> "" -> cmd_run st name
+  | "trace", rest when rest <> "" -> (
+      match String.split_on_char ' ' rest with
+      | [ name ] -> cmd_trace st name None
+      | [ name; n ] -> (
+          match int_of_string_opt n with
+          | Some n -> cmd_trace st name (Some n)
+          | None -> fail "usage: trace <name> [steps]")
+      | _ -> fail "usage: trace <name> [steps]")
+  | "dot", name when name <> "" -> cmd_dot st name
+  | ("show" | "plan" | "run" | "trace" | "dot"), _ ->
+      fail "this command expects a pattern name"
+  | other, _ -> fail "unknown command %S (try: help)" other
+
+let read_logical_line interactive =
+  let rec collect acc =
+    if interactive then (print_string (if acc = [] then "ses> " else "...> "); flush stdout);
+    match In_channel.input_line stdin with
+    | None -> if acc = [] then None else Some (String.concat " " (List.rev acc))
+    | Some line ->
+        let trimmed = String.trim line in
+        if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = '\\'
+        then collect (String.sub trimmed 0 (String.length trimmed - 1) :: acc)
+        else Some (String.concat " " (List.rev (trimmed :: acc)))
+  in
+  collect []
+
+let () =
+  let interactive = Unix.isatty Unix.stdin in
+  if interactive then print_endline "ses repl — type 'help' for commands";
+  let st = { relation = None; patterns = [] } in
+  let rec loop () =
+    match read_logical_line interactive with
+    | None -> ()
+    | Some line when String.trim (String.lowercase_ascii line) = "quit"
+                     || String.trim (String.lowercase_ascii line) = "exit" ->
+        ()
+    | Some line ->
+        (match execute st line with
+        | Ok "" -> ()
+        | Ok out -> print_endline out
+        | Error msg -> print_endline ("error: " ^ msg));
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,78 @@
+(* Quickstart: define a schema, load a few events, express a sequenced
+   event set pattern, and match.
+
+   Scenario: a monitoring feed of service events. An incident is "handled"
+   when an alert (A) and its acknowledgement (K) occur — in either order,
+   because the pager and the dashboard race — followed by a resolution (R),
+   all within 60 minutes.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Ses_event
+open Ses_pattern
+open Ses_core
+
+let () =
+  (* 1. Schema: one entity attribute and an event kind, plus the implicit
+     timestamp T (minutes here; the library does not care about units). *)
+  let schema =
+    Schema.make_exn [ ("SVC", Value.Tstr); ("KIND", Value.Tstr) ]
+  in
+
+  (* 2. Events: (payload, timestamp) rows; the relation sorts them. *)
+  let row svc kind ts = ([| Value.Str svc; Value.Str kind |], ts) in
+  let feed =
+    Relation.of_rows_exn schema
+      [
+        row "api" "A" 0;      (* alert *)
+        row "db" "K" 2;       (* ack for another service *)
+        row "api" "K" 5;      (* ack *)
+        row "api" "R" 12;     (* resolution -> match for api *)
+        row "db" "A" 15;      (* late alert: its ack came before, no match *)
+        row "web" "K" 20;
+        row "web" "A" 21;     (* K before A is fine: same set *)
+        row "web" "R" 95;     (* too late: outside the 60-minute window *)
+      ]
+  in
+
+  (* 3. Pattern: (<{a, k}, {r}>, Θ, 60) — a and k in any order, then r. *)
+  let p =
+    Pattern.make_exn ~schema
+      ~sets:
+        [
+          [ Variable.singleton "a"; Variable.singleton "k" ];
+          [ Variable.singleton "r" ];
+        ]
+      ~where:
+        Pattern.Spec.
+          [
+            const "a" "KIND" Predicate.Eq (Value.Str "A");
+            const "k" "KIND" Predicate.Eq (Value.Str "K");
+            const "r" "KIND" Predicate.Eq (Value.Str "R");
+            fields "a" "SVC" Predicate.Eq "k" "SVC";
+            fields "a" "SVC" Predicate.Eq "r" "SVC";
+          ]
+      ~within:60
+  in
+
+  (* 4. Compile to a SES automaton and run. *)
+  let automaton = Automaton.of_pattern p in
+  let outcome = Engine.run_relation automaton feed in
+
+  Format.printf "Pattern: %a@." Pattern.pp p;
+  Format.printf "Matches: %d@." (List.length outcome.Engine.matches);
+  List.iter
+    (fun s -> Format.printf "  %a@." (Substitution.pp p) s)
+    outcome.Engine.matches;
+
+  (* 5. The same pattern in the textual language. *)
+  let parsed =
+    Ses_lang.Lang.parse_pattern_exn schema
+      "PATTERN (a, k) -> (r)\n\
+       WHERE a.KIND = 'A' AND k.KIND = 'K' AND r.KIND = 'R'\n\
+      \  AND a.SVC = k.SVC AND a.SVC = r.SVC\n\
+       WITHIN 60"
+  in
+  let again = Engine.run_relation (Automaton.of_pattern parsed) feed in
+  Format.printf "Same result via the query language: %b@."
+    (List.length again.Engine.matches = List.length outcome.Engine.matches)

@@ -1,0 +1,60 @@
+(* RFID order tracking, one of the paper's motivating application domains.
+
+   An order ships correctly when every expected item class was scanned at
+   the packing station — in any order, because packers grab whatever is on
+   top — followed by the pallet scan at the shipping gate, within a
+   30-minute window. Items of an order are joined on the ORDER attribute.
+
+   The example also demonstrates the textual query language and the
+   per-partition evaluation strategy built on the store substrate.
+
+   Run with: dune exec examples/rfid.exe *)
+
+open Ses_event
+open Ses_core
+open Ses_gen
+
+let query =
+  "PATTERN (box, manual, cable) -> (gate)\n\
+   WHERE box.READER = 'PACK' AND box.ITEM = 'BOX'\n\
+  \  AND manual.READER = 'PACK' AND manual.ITEM = 'MANUAL'\n\
+  \  AND cable.READER = 'PACK' AND cable.ITEM = 'CABLE'\n\
+  \  AND gate.READER = 'GATE'\n\
+  \  AND box.ORDER = manual.ORDER AND box.ORDER = cable.ORDER\n\
+  \  AND box.ORDER = gate.ORDER\n\
+   WITHIN 1800"
+
+let () =
+  let feed =
+    Rfid.generate { Rfid.default with Rfid.orders = 25; items_per_order = 3 }
+  in
+  Format.printf "Generated %d RFID reads@." (Relation.cardinality feed);
+
+  let p = Ses_lang.Lang.parse_pattern_exn Rfid.schema query in
+  Format.printf "Pattern: %a@." Ses_pattern.Pattern.pp p;
+  let automaton = Automaton.of_pattern p in
+
+  (* Direct evaluation over the full feed. *)
+  let direct = Engine.run_relation automaton feed in
+  Format.printf "Complete shipments (direct): %d@."
+    (List.length direct.Engine.matches);
+
+  (* Per-order partitioned evaluation: the ORDER joins make partitions
+     independent, and each partition's instance pool stays tiny. *)
+  let order_attr = Option.get (Schema.index_of Rfid.schema "ORDER") in
+  let partitions = Ses_store.Partition.by_attribute feed order_attr in
+  let per_partition =
+    List.concat_map
+      (fun (_, part) -> (Engine.run_relation automaton part).Engine.raw)
+      partitions
+  in
+  let finalized = Substitution.finalize p per_partition in
+  Format.printf "Complete shipments (per-order partitions): %d@."
+    (List.length finalized);
+  Format.printf "Strategies agree: %b@."
+    (List.length finalized = List.length direct.Engine.matches);
+
+  List.iteri
+    (fun i s ->
+      if i < 5 then Format.printf "  %a@." (Substitution.pp p) s)
+    direct.Engine.matches

@@ -1,0 +1,120 @@
+open Ses_event
+open Ses_pattern
+open Ses_core
+
+let orderings p =
+  let per_set =
+    List.init (Pattern.n_sets p) (fun i ->
+        Permutation.permutations (Pattern.set_vars p i))
+  in
+  List.map List.concat (Permutation.cartesian per_set)
+
+let spec_of_condition p (c : Condition.t) =
+  let schema = Pattern.schema p in
+  let bare v = (Pattern.variable p v).Variable.name in
+  let field_name f = Schema.Field.name schema f in
+  let right =
+    match c.rhs with
+    | Condition.Const v -> Pattern.Spec.Const v
+    | Condition.Var (v', f') -> Pattern.Spec.Field (bare v', field_name f')
+  in
+  { Pattern.Spec.left = (bare c.var, field_name c.field); op = c.op; right }
+
+let sequence_pattern p ordering =
+  let sets = List.map (fun v -> [ Pattern.variable p v ]) ordering in
+  let where = List.map (spec_of_condition p) (Pattern.conditions p) in
+  (* A negation after original set i guards the chain position after the
+     last variable of that set: cumulative set sizes are ordering-
+     independent because orderings permute within sets only. *)
+  let negations =
+    List.map
+      (fun (b, nv) ->
+        let position =
+          List.fold_left
+            (fun acc i -> acc + List.length (Pattern.set_vars p i))
+            0
+            (List.init (b + 1) Fun.id)
+        in
+        (position - 1, Pattern.variable p nv))
+      (Pattern.negations p)
+  in
+  Pattern.make_full_exn ~schema:(Pattern.schema p) ~sets ~negations ~where
+    ~within:(Pattern.tau p)
+
+let n_automata p =
+  Permutation.n_sequences
+    (List.init (Pattern.n_sets p) (Pattern.set_vars p))
+
+type outcome = {
+  matches : Substitution.t list;
+  raw : Substitution.t list;
+  metrics : Metrics.snapshot;
+  n_automata : int;
+}
+
+(* Translate a substitution of a derived chain pattern back to the variable
+   ids of the original pattern (ids differ because the derived pattern
+   declares variables in ordering order). *)
+let retarget ~original ~derived subst =
+  List.map
+    (fun (v, e) ->
+      let name = (Pattern.variable derived v).Variable.name in
+      match Pattern.var_id original name with
+      | Some v' -> (v', e)
+      | None -> assert false)
+    subst
+
+let run ?(options = Engine.default_options) p events =
+  let derived = List.map (sequence_pattern p) (orderings p) in
+  let streams =
+    List.map
+      (fun dp -> (dp, Engine.create ~options (Automaton.of_pattern dp)))
+      derived
+  in
+  let max_total = ref 0 in
+  Seq.iter
+    (fun e ->
+      List.iter (fun (_, st) -> ignore (Engine.feed st e)) streams;
+      let total =
+        List.fold_left (fun acc (_, st) -> acc + Engine.population st) 0 streams
+      in
+      if total > !max_total then max_total := total)
+    events;
+  List.iter (fun (_, st) -> ignore (Engine.close st)) streams;
+  let raw_all =
+    List.concat_map
+      (fun (dp, st) ->
+        List.map (retarget ~original:p ~derived:dp) (Engine.emitted st))
+      streams
+  in
+  (* Deduplicate across automata: distinct orderings find the same
+     substitution. *)
+  let seen = Hashtbl.create 256 in
+  let raw =
+    List.filter
+      (fun s ->
+        let key = Substitution.canonical s in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      raw_all
+  in
+  let matches =
+    if options.Engine.finalize then
+      Substitution.finalize ~policy:options.Engine.policy p raw
+    else raw
+  in
+  let metrics =
+    List.fold_left
+      (fun acc (_, st) -> Metrics.merge acc (Engine.metrics st))
+      Metrics.zero streams
+  in
+  let metrics =
+    { metrics with Metrics.max_simultaneous_instances = !max_total }
+  in
+  { matches; raw; metrics; n_automata = List.length streams }
+
+let run_relation ?options p relation =
+  run ?options p (Relation.to_seq relation)

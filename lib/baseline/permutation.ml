@@ -1,0 +1,23 @@
+let factorial n =
+  if n < 0 || n > 20 then invalid_arg "Permutation.factorial";
+  let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 1) in
+  go 1 n
+
+let rec insert_everywhere x = function
+  | [] -> [ [ x ] ]
+  | y :: rest as l ->
+      (x :: l) :: List.map (fun r -> y :: r) (insert_everywhere x rest)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | x :: rest -> List.concat_map (insert_everywhere x) (permutations rest)
+
+let rec cartesian = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+      let tails = cartesian rest in
+      List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
+
+let n_permutations l = factorial (List.length l)
+
+let n_sequences ls = List.fold_left (fun acc l -> acc * n_permutations l) 1 ls

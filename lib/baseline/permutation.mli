@@ -1,0 +1,19 @@
+(** Enumeration helpers for the brute-force baseline (Sec. 5.2). *)
+
+val factorial : int -> int
+(** [factorial n] for n ≤ 20; raises [Invalid_argument] beyond (overflow). *)
+
+val permutations : 'a list -> 'a list list
+(** All permutations, in lexicographic order of input positions. The empty
+    list has one permutation. *)
+
+val cartesian : 'a list list -> 'a list list
+(** Cartesian product of choice lists, each result in input order:
+    [cartesian [[1;2];[3]]] is [[[1;3];[2;3]]]. The product of zero lists
+    is [[[]]]. *)
+
+val n_permutations : 'a list -> int
+
+val n_sequences : 'a list list -> int
+(** ∏ |l_i|! — the number of variable orderings of a SES pattern, i.e. the
+    number of automata the brute force builds. *)

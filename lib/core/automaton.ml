@@ -1,0 +1,186 @@
+open Ses_event
+open Ses_pattern
+
+type transition = {
+  src : Varset.t;
+  var : int;
+  tgt : Varset.t;
+  conds : Condition.t list;
+}
+
+type t = {
+  pattern : Pattern.t;
+  segment : Varset.t;  (* variables covered by this (partial) automaton *)
+  start_state : Varset.t;
+  accept_state : Varset.t;
+  state_list : Varset.t list;
+  out : (Varset.t, transition list) Hashtbl.t;
+}
+
+let is_loop tr = Varset.equal tr.src tr.tgt
+
+(* Θδ for a transition binding [v] in a state whose bound variables
+   (including the preceding sets' variables) are [ctx]: all conditions that
+   mention v and whose other side is a constant, v itself, or a variable in
+   ctx (Sec. 4.2.1). *)
+let conds_for p v ctx =
+  List.filter
+    (fun c ->
+      Condition.mentions c v
+      &&
+      match Condition.other_var c v with
+      | None -> true
+      | Some v' -> Varset.mem v' ctx)
+    (Pattern.positive_conditions p)
+
+let index_transitions transitions =
+  let out = Hashtbl.create 64 in
+  List.iter
+    (fun tr ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt out tr.src) in
+      Hashtbl.replace out tr.src (existing @ [ tr ]))
+    transitions;
+  out
+
+let of_set_pattern p i =
+  let set_vars = Pattern.set_vars p i in
+  let prefix =
+    Varset.of_list
+      (List.concat_map (Pattern.set_vars p)
+         (List.init i Fun.id))
+  in
+  let full = Varset.of_list set_vars in
+  let states = Varset.subsets full in
+  let transitions =
+    List.concat_map
+      (fun q ->
+        let advancing =
+          List.filter_map
+            (fun v ->
+              if Varset.mem v q then None
+              else
+                let tgt = Varset.add v q in
+                let ctx = Varset.union prefix tgt in
+                Some { src = q; var = v; tgt; conds = conds_for p v ctx })
+            set_vars
+        in
+        let loops =
+          List.filter_map
+            (fun v ->
+              if Varset.mem v q && Pattern.is_group p v then
+                let ctx = Varset.union prefix q in
+                Some { src = q; var = v; tgt = q; conds = conds_for p v ctx }
+              else None)
+            set_vars
+        in
+        advancing @ loops)
+      states
+  in
+  {
+    pattern = p;
+    segment = full;
+    start_state = Varset.empty;
+    accept_state = full;
+    state_list = List.sort Varset.compare states;
+    out = index_transitions transitions;
+  }
+
+let transitions a =
+  List.concat_map
+    (fun q -> Option.value ~default:[] (Hashtbl.find_opt a.out q))
+    a.state_list
+
+let time_constraints ~var ~preceding =
+  List.map
+    (fun v' ->
+      Condition.make_var ~var ~field:Schema.Field.Timestamp Predicate.Gt
+        ~var':v' ~field':Schema.Field.Timestamp)
+    (Varset.to_list preceding)
+
+let concat n1 n2 =
+  if not (n1.pattern == n2.pattern) then
+    invalid_arg "Automaton.concat: automata of different patterns";
+  if not (Varset.is_empty (Varset.inter n1.segment n2.segment)) then
+    invalid_arg "Automaton.concat: overlapping variable segments";
+  let rename q = Varset.union q n1.segment in
+  let renamed_states =
+    List.filter_map
+      (fun q ->
+        let q' = rename q in
+        (* The renamed start state of n2 coincides with n1's accepting
+           state; keep a single copy. *)
+        if Varset.equal q' n1.accept_state then None else Some q')
+      n2.state_list
+  in
+  let renamed_transitions =
+    List.map
+      (fun tr ->
+        let entering = Varset.equal tr.src n2.start_state in
+        let conds =
+          if entering then
+            tr.conds @ time_constraints ~var:tr.var ~preceding:n1.segment
+          else tr.conds
+        in
+        { src = rename tr.src; var = tr.var; tgt = rename tr.tgt; conds })
+      (transitions n2)
+  in
+  {
+    pattern = n1.pattern;
+    segment = Varset.union n1.segment n2.segment;
+    start_state = n1.start_state;
+    accept_state = rename n2.accept_state;
+    state_list = List.sort Varset.compare (n1.state_list @ renamed_states);
+    out = index_transitions (transitions n1 @ renamed_transitions);
+  }
+
+let of_pattern p =
+  let segments = List.init (Pattern.n_sets p) (of_set_pattern p) in
+  match segments with
+  | [] -> invalid_arg "Automaton.of_pattern: pattern without sets"
+  | first :: rest -> List.fold_left concat first rest
+
+let pattern a = a.pattern
+
+let tau a = Pattern.tau a.pattern
+
+let states a = a.state_list
+
+let n_states a = List.length a.state_list
+
+let start a = a.start_state
+
+let accept a = a.accept_state
+
+let n_transitions a = List.length (transitions a)
+
+let outgoing a q = Option.value ~default:[] (Hashtbl.find_opt a.out q)
+
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+let n_paths a =
+  let p = a.pattern in
+  List.fold_left
+    (fun acc i -> acc * factorial (List.length (Pattern.set_vars p i)))
+    1
+    (List.init (Pattern.n_sets p) Fun.id)
+
+let pp ppf a =
+  let p = a.pattern in
+  let name_of = Pattern.var_name p in
+  let pp_state = Varset.pp ~name_of in
+  Format.fprintf ppf "@[<v>states: %d, transitions: %d@,start: %a, accept: %a@,"
+    (n_states a) (n_transitions a) pp_state a.start_state pp_state
+    a.accept_state;
+  List.iter
+    (fun q ->
+      List.iter
+        (fun tr ->
+          Format.fprintf ppf "  %a --%s{%a}--> %a@," pp_state tr.src
+            (name_of tr.var)
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+               (Condition.pp (Pattern.schema p) ~name_of))
+            tr.conds pp_state tr.tgt)
+        (outgoing a q))
+    a.state_list;
+  Format.fprintf ppf "@]"

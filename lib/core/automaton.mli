@@ -1,0 +1,71 @@
+(** SES automata (Definition 3) and their construction (Sec. 4.2).
+
+    An automaton is built from a pattern in two steps: each event set
+    pattern is translated into an automaton whose states are the subsets of
+    that set ({!of_set_pattern}), and the per-set automata are concatenated
+    in pattern order ({!concat}); {!of_pattern} composes the two steps.
+    Concatenation renames the second automaton's states by the first's
+    variable set and extends the conditions of transitions leaving the
+    merged state with the time constraints v'.T < v.T that enforce the
+    inter-set order (condition 2 of Definition 2). *)
+
+open Ses_event
+open Ses_pattern
+
+type transition = {
+  src : Varset.t;
+  var : int;  (** the variable bound when the transition is taken *)
+  tgt : Varset.t;  (** src ∪ {var}; equals [src] for a group-variable loop *)
+  conds : Condition.t list;  (** Θδ *)
+}
+
+type t
+
+val of_set_pattern : Pattern.t -> int -> t
+(** [of_set_pattern p i] is the automaton N_{i+1} of the i-th event set
+    pattern considered in isolation (Sec. 4.2.1): states are all subsets of
+    Vi, the start state is ∅ and the accepting state is Vi. Transition
+    conditions contain every θ ∈ Θ that constrains the bound variable
+    against a constant or against variables of preceding sets, the source
+    state, or itself. *)
+
+val concat : t -> t -> t
+(** [concat n1 n2] per Sec. 4.2.2. Both automata must stem from the same
+    pattern and cover adjacent variable ranges ([n2]'s start state renames
+    to [n1]'s accepting state); raises [Invalid_argument] otherwise. *)
+
+val of_pattern : Pattern.t -> t
+(** Left fold of {!concat} over the per-set automata, i.e.
+    ((N1 N2) N3) … Nm. *)
+
+(** {1 Accessors} *)
+
+val pattern : t -> Pattern.t
+
+val tau : t -> Time.duration
+
+val states : t -> Varset.t list
+(** All states, ascending by bitmask. *)
+
+val n_states : t -> int
+
+val start : t -> Varset.t
+
+val accept : t -> Varset.t
+
+val transitions : t -> transition list
+
+val n_transitions : t -> int
+
+val outgoing : t -> Varset.t -> transition list
+(** Transitions with the given source state (loops included). *)
+
+val is_loop : transition -> bool
+
+val n_paths : t -> int
+(** Number of distinct simple paths from start to accept —
+    |V1|! · … · |Vm|! (loops excluded); this is also the number of automata
+    the brute-force baseline builds (Sec. 5.2). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable listing of states and transitions with conditions. *)

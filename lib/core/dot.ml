@@ -1,0 +1,65 @@
+open Ses_pattern
+
+let escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let of_automaton ?(conditions = true) a =
+  let p = Automaton.pattern a in
+  let name_of = Pattern.var_name p in
+  let state_name q = Format.asprintf "%a" (Varset.pp ~name_of) q in
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph ses {\n  rankdir=LR;\n  node [shape=circle];\n";
+  out "  __start [shape=point, style=invis];\n";
+  List.iter
+    (fun q ->
+      let shape =
+        if Varset.equal q (Automaton.accept a) then "doublecircle" else "circle"
+      in
+      out "  \"%s\" [shape=%s];\n" (escape (state_name q)) shape)
+    (Automaton.states a);
+  out "  __start -> \"%s\";\n" (escape (state_name (Automaton.start a)));
+  (* Negation guards: a dashed octagon attached to the boundary state an
+     instance sits in while the guard is armed. *)
+  List.iter
+    (fun (b, nv) ->
+      let prefix =
+        Varset.of_list
+          (List.concat_map (Pattern.set_vars p) (List.init (b + 1) Fun.id))
+      in
+      let label =
+        if conditions then
+          Format.asprintf "%s, {%a}" (name_of nv)
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+               (Condition.pp (Pattern.schema p) ~name_of))
+            (Pattern.conditions_on p nv)
+        else name_of nv
+      in
+      out "  \"guard_%d\" [shape=octagon, style=dashed, label=\"%s\"];\n" b
+        (escape label);
+      out "  \"%s\" -> \"guard_%d\" [style=dashed, arrowhead=none];\n"
+        (escape (state_name prefix))
+        b)
+    (Pattern.negations p);
+  List.iter
+    (fun (tr : Automaton.transition) ->
+      let label =
+        if conditions then
+          Format.asprintf "%s, {%a}" (name_of tr.var)
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+               (Condition.pp (Pattern.schema p) ~name_of))
+            tr.conds
+        else name_of tr.var
+      in
+      out "  \"%s\" -> \"%s\" [label=\"%s\"];\n"
+        (escape (state_name tr.src))
+        (escape (state_name tr.tgt))
+        (escape label))
+    (Automaton.transitions a);
+  out "}\n";
+  Buffer.contents buf

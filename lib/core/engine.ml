@@ -1,0 +1,363 @@
+open Ses_event
+open Ses_pattern
+
+type options = {
+  filter : Event_filter.mode;
+  policy : Substitution.policy;
+  finalize : bool;
+  precheck_constants : bool;
+}
+
+let default_options =
+  {
+    filter = Event_filter.No_filter;
+    policy = Substitution.Operational;
+    finalize = true;
+    precheck_constants = true;
+  }
+
+(* A transition with its condition set split into the constant atoms
+   (v.A phi C, instance-independent) and the rest. With
+   [precheck_constants] the constant atoms are evaluated once per input
+   event instead of once per instance. *)
+type prepared_transition = {
+  transition : Automaton.transition;
+  const_conds : Condition.t list;
+  var_conds : Condition.t list;
+}
+
+(* An automaton instance (Definition 4): current state plus match buffer.
+   Bindings are kept newest-first; [first_ts] is the timestamp of the
+   earliest bound event (the first one, since events arrive in order). *)
+type instance = {
+  state : Varset.t;
+  bindings : Substitution.binding list;
+  first_ts : Time.t;
+}
+
+
+type observation =
+  | Created of Event.t
+  | Took of {
+      event : Event.t;
+      transition : Automaton.transition;
+      buffer : Substitution.t;
+    }
+  | Ignored of {
+      event : Event.t;
+      state : Varset.t;
+      buffer : Substitution.t;
+    }
+  | Expired of {
+      event : Event.t;
+      accepting : bool;
+      buffer : Substitution.t;
+    }
+  | Killed of {
+      event : Event.t;
+      state : Varset.t;
+      buffer : Substitution.t;
+    }
+  | Emitted of Substitution.t
+
+type stream = {
+  automaton : Automaton.t;
+  options : options;
+  filter : Event_filter.t;
+  max_counts : int option array;  (** per-variable quantifier maxima *)
+  strict_minima : (int * int) list;
+      (** (variable, min) for variables whose quantifier requires more than
+          one binding; checked at acceptance *)
+  negation_guards : (Varset.t * (int * Condition.t list) list) list;
+      (** per boundary: the exact state an instance sits in between the
+          two sets, and for each negated variable guarding that boundary
+          its (id, conditions) — an instance in that state is killed when
+          an event satisfies all conditions of some guard *)
+  prepared : (Varset.t, prepared_transition list) Hashtbl.t;
+  active : (Varset.t, prepared_transition list) Hashtbl.t;
+      (** per-event cache: transitions whose constant atoms the current
+          event satisfies; cleared at the start of every [feed] *)
+  mutable omega : instance list;
+  mutable emissions : Substitution.t list;  (** newest first *)
+  mutable last_ts : Time.t option;
+  mutable observer : (observation -> unit) option;
+  m : Metrics.t;
+}
+
+type outcome = {
+  matches : Substitution.t list;
+  raw : Substitution.t list;
+  metrics : Metrics.snapshot;
+}
+
+let prepare automaton =
+  let prepared = Hashtbl.create 32 in
+  List.iter
+    (fun q ->
+      let trs =
+        List.map
+          (fun (tr : Automaton.transition) ->
+            let const_conds, var_conds =
+              List.partition Condition.is_constant tr.conds
+            in
+            { transition = tr; const_conds; var_conds })
+          (Automaton.outgoing automaton q)
+      in
+      Hashtbl.replace prepared q trs)
+    (Automaton.states automaton);
+  prepared
+
+let create ?(options = default_options) automaton =
+  let p = Automaton.pattern automaton in
+  {
+    automaton;
+    options;
+    filter = Event_filter.make p options.filter;
+    max_counts =
+      Array.init (Pattern.n_vars p) (fun v -> Pattern.max_count p v);
+    strict_minima =
+      List.filter_map
+        (fun v ->
+          let m = Pattern.min_count p v in
+          if m > 1 then Some (v, m) else None)
+        (List.init (Pattern.n_vars p) Fun.id);
+    negation_guards =
+      (let prefix b =
+         Varset.of_list
+           (List.concat_map (Pattern.set_vars p) (List.init (b + 1) Fun.id))
+       in
+       let boundaries =
+         List.sort_uniq compare (List.map fst (Pattern.negations p))
+       in
+       List.map
+         (fun b ->
+           ( prefix b,
+             List.filter_map
+               (fun (b', nv) ->
+                 if b' = b then Some (nv, Pattern.conditions_on p nv) else None)
+               (Pattern.negations p) ))
+         boundaries);
+    prepared = prepare automaton;
+    active = Hashtbl.create 32;
+    omega = [];
+    emissions = [];
+    last_ts = None;
+    observer = None;
+    m = Metrics.create ();
+  }
+
+let set_observer st observer = st.observer <- observer
+
+let observe st obs =
+  match st.observer with None -> () | Some f -> f obs
+
+let substitution_of inst = List.rev inst.bindings
+
+let is_fresh inst = inst.bindings = []
+
+let expired tau inst e =
+  (not (is_fresh inst)) && Time.span (Event.ts e) inst.first_ts > tau
+
+let const_holds c e =
+  (* Constant conditions mention exactly one variable; binding it to [e]
+     needs no buffer lookup. *)
+  Condition.holds_binding c ~var:c.Condition.var ~event:e (fun _ -> [])
+
+(* Transitions of state [q] worth trying on event [e]. Without the
+   constant pre-check this is every outgoing transition; with it,
+   transitions whose constant atoms [e] fails are pruned once per event
+   and shared by all instances in [q]. *)
+let candidate_transitions st q e =
+  if not st.options.precheck_constants then
+    Option.value ~default:[] (Hashtbl.find_opt st.prepared q)
+  else
+    match Hashtbl.find_opt st.active q with
+    | Some trs -> trs
+    | None ->
+        let trs =
+          List.filter
+            (fun pt -> List.for_all (fun c -> const_holds c e) pt.const_conds)
+            (Option.value ~default:[] (Hashtbl.find_opt st.prepared q))
+        in
+        Hashtbl.replace st.active q trs;
+        trs
+
+(* ConsumeEvent (Algorithm 2): successors of [inst] on event [e]. *)
+let consume st inst e =
+  let lookup v =
+    List.rev
+      (List.filter_map
+         (fun (v', ev) -> if v' = v then Some ev else None)
+         inst.bindings)
+  in
+  let precheck = st.options.precheck_constants in
+  let fired =
+    List.filter_map
+      (fun pt ->
+        let tr = pt.transition in
+        (* Quantifier maximum: a loop must not bind beyond max. *)
+        let below_max =
+          match st.max_counts.(tr.var) with
+          | None -> true
+          | Some m ->
+              (not (Varset.mem tr.var tr.src)) || List.length (lookup tr.var) < m
+        in
+        let remaining = if precheck then pt.var_conds else tr.conds in
+        let ok =
+          below_max
+          && List.for_all
+               (fun c -> Condition.holds_binding c ~var:tr.var ~event:e lookup)
+               remaining
+        in
+        if not ok then None
+        else begin
+          Metrics.on_transition st.m;
+          Metrics.on_instance_created st.m;
+          let successor =
+            {
+              state = tr.tgt;
+              bindings = (tr.var, e) :: inst.bindings;
+              first_ts = (if is_fresh inst then Event.ts e else inst.first_ts);
+            }
+          in
+          observe st
+            (Took { event = e; transition = tr; buffer = substitution_of successor });
+          Some successor
+        end)
+      (candidate_transitions st inst.state e)
+  in
+  match fired with
+  | [] ->
+      if is_fresh inst then []
+      else begin
+        let killed =
+          List.exists
+            (fun (prefix, guards) ->
+              Varset.equal inst.state prefix
+              && List.exists
+                   (fun (nv, conds) ->
+                     List.for_all
+                       (fun c ->
+                         Condition.holds_binding c ~var:nv ~event:e lookup)
+                       conds)
+                   guards)
+            st.negation_guards
+        in
+        if killed then begin
+          Metrics.on_killed st.m;
+          observe st
+            (Killed { event = e; state = inst.state; buffer = substitution_of inst });
+          []
+        end
+        else begin
+          observe st
+            (Ignored
+               { event = e; state = inst.state; buffer = substitution_of inst });
+          [ inst ]
+        end
+      end
+  | _ :: _ -> fired
+
+let minima_satisfied st inst =
+  List.for_all
+    (fun (v, m) ->
+      let count =
+        List.fold_left
+          (fun acc (v', _) -> if v' = v then acc + 1 else acc)
+          0 inst.bindings
+      in
+      count >= m)
+    st.strict_minima
+
+let emit st inst =
+  let subst = substitution_of inst in
+  st.emissions <- subst :: st.emissions;
+  Metrics.on_match st.m;
+  observe st (Emitted subst);
+  subst
+
+let feed st e =
+  (match st.last_ts with
+  | Some t when Time.( <. ) (Event.ts e) t ->
+      invalid_arg "Engine.feed: events out of chronological order"
+  | Some _ | None -> ());
+  st.last_ts <- Some (Event.ts e);
+  Metrics.on_event st.m;
+  if not (Event_filter.keep st.filter e) then begin
+    Metrics.on_filtered st.m;
+    []
+  end
+  else begin
+    Hashtbl.reset st.active;
+    let tau = Automaton.tau st.automaton in
+    let accept = Automaton.accept st.automaton in
+    let fresh =
+      { state = Automaton.start st.automaton; bindings = []; first_ts = 0 }
+    in
+    Metrics.on_instance_created st.m;
+    observe st (Created e);
+    let completed = ref [] in
+    let survivors = ref [] in
+    List.iter
+      (fun inst ->
+        if expired tau inst e then begin
+          Metrics.on_expired st.m;
+          let accepting =
+            Varset.equal inst.state accept && minima_satisfied st inst
+          in
+          observe st
+            (Expired { event = e; accepting; buffer = substitution_of inst });
+          if accepting then completed := emit st inst :: !completed
+        end
+        else survivors := List.rev_append (consume st inst e) !survivors)
+      (fresh :: st.omega);
+    st.omega <- List.rev !survivors;
+    Metrics.sample_population st.m (List.length st.omega);
+    List.rev !completed
+  end
+
+let close st =
+  let accept = Automaton.accept st.automaton in
+  let flushed =
+    List.filter_map
+      (fun inst ->
+        if Varset.equal inst.state accept && minima_satisfied st inst then
+          Some (emit st inst)
+        else None)
+      (List.rev st.omega)
+  in
+  st.omega <- [];
+  flushed
+
+let population st = List.length st.omega
+
+let population_by_state st =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun inst ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt counts inst.state) in
+      Hashtbl.replace counts inst.state (n + 1))
+    st.omega;
+  List.sort
+    (fun (_, a) (_, b) -> compare b a)
+    (Hashtbl.fold (fun q n acc -> (q, n) :: acc) counts [])
+
+let metrics st = Metrics.snapshot st.m
+
+let emitted st = List.rev st.emissions
+
+let run ?(options = default_options) automaton events =
+  let st = create ~options automaton in
+  Seq.iter (fun e -> ignore (feed st e)) events;
+  ignore (close st);
+  let raw = emitted st in
+  let matches =
+    if options.finalize then
+      Substitution.finalize ~policy:options.policy
+        (Automaton.pattern automaton) raw
+    else raw
+  in
+  { matches; raw; metrics = Metrics.snapshot st.m }
+
+let run_relation ?options automaton relation =
+  run ?options automaton (Relation.to_seq relation)

@@ -1,0 +1,110 @@
+(** Execution of SES automata: [SESExec] (Algorithm 1) and [ConsumeEvent]
+    (Algorithm 2).
+
+    The engine keeps a pool Ω of automaton instances (Definition 4). For
+    every input event a fresh instance is opened in the start state; each
+    instance either expires (the time window τ would be violated — emitting
+    its match buffer when it is in the accepting state), or consumes the
+    event: every outgoing transition whose condition set Θδ is satisfied
+    spawns a successor instance (nondeterministic branching); when no
+    transition fires the instance survives unchanged unless it is still in
+    the start state (skip-till-next-match) — or, when the pattern carries
+    negation guards and the instance sits exactly between two event set
+    patterns, the event may kill it instead. At end of input, instances
+    sitting in the accepting state (with all quantifier minima met) flush
+    their buffers.
+
+    Raw emissions are post-processed by {!Substitution.finalize}
+    (deduplication, Definition 2 conditions 4 and 5) unless disabled. *)
+
+open Ses_event
+
+type options = {
+  filter : Event_filter.mode;  (** Sec. 4.5 optimization; default [No_filter] *)
+  policy : Substitution.policy;
+      (** conditions 4–5 post-filter (default [Operational]) *)
+  finalize : bool;
+      (** run {!Substitution.finalize} at all; [false] returns raw
+          emissions as [matches] (default [true]) *)
+  precheck_constants : bool;
+      (** evaluate each transition's constant conditions once per input
+          event, shared across all instances, instead of once per
+          instance (default [true]; disable to time the paper's verbatim
+          loop — the optimization never changes the result, only work) *)
+}
+
+val default_options : options
+
+type outcome = {
+  matches : Substitution.t list;  (** finalized matching substitutions *)
+  raw : Substitution.t list;  (** candidate emissions before finalize *)
+  metrics : Metrics.snapshot;
+}
+
+(** Execution events, for tracing and debugging (the paper's Figure 6
+    illustrates an execution as a sequence of exactly these): a fresh
+    instance opened for an input event, a transition taken (with the
+    buffer {e after} binding), an event ignored by an instance (no
+    transition fired), an instance expired (emitting when it was
+    accepting), a substitution emitted. *)
+type observation =
+  | Created of Event.t
+  | Took of {
+      event : Event.t;
+      transition : Automaton.transition;
+      buffer : Substitution.t;
+    }
+  | Ignored of {
+      event : Event.t;
+      state : Varset.t;
+      buffer : Substitution.t;
+    }
+  | Expired of {
+      event : Event.t;
+      accepting : bool;
+      buffer : Substitution.t;
+    }
+  | Killed of {
+      event : Event.t;
+      state : Varset.t;
+      buffer : Substitution.t;
+    }  (** removed by a negation guard *)
+  | Emitted of Substitution.t
+
+val run : ?options:options -> Automaton.t -> Event.t Seq.t -> outcome
+(** Events must arrive in chronological order (enforced by
+    {!Ses_event.Relation}; raises [Invalid_argument] on out-of-order
+    input). *)
+
+val run_relation : ?options:options -> Automaton.t -> Relation.t -> outcome
+
+(** {1 Incremental interface}
+
+    The push-based view of the same loop, for callers that receive events
+    one at a time. [feed] returns the substitutions whose instances expired
+    on this event (raw, not finalized — finalization needs the whole
+    candidate set); [close] flushes accepting instances. *)
+
+type stream
+
+val create : ?options:options -> Automaton.t -> stream
+
+val feed : stream -> Event.t -> Substitution.t list
+
+val close : stream -> Substitution.t list
+
+val population : stream -> int
+(** Current |Ω|. *)
+
+val population_by_state : stream -> (Varset.t * int) list
+(** Live instances grouped by their current state, descending by count. *)
+
+val metrics : stream -> Metrics.snapshot
+
+val emitted : stream -> Substitution.t list
+(** All raw emissions so far, oldest first. *)
+
+val set_observer : stream -> (observation -> unit) option -> unit
+(** Installs (or removes) a callback invoked synchronously on every
+    execution event of this stream. See {!Trace} for a convenient
+    recorder. *)

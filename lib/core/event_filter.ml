@@ -1,0 +1,54 @@
+open Ses_event
+open Ses_pattern
+
+type mode =
+  | No_filter
+  | Paper
+  | Strong
+
+type t = {
+  mode : mode;
+  predicate : (Event.t -> bool) option;  (** [None] keeps everything *)
+}
+
+let satisfies e (field, op, c) = Predicate.eval op (Event.get e field) c
+
+let make p mode =
+  (* Negated variables are included: an event that can only trigger a
+     negation guard still affects execution (it kills instances), so
+     filtering it out would change results. *)
+  let all_vars =
+    List.init (Pattern.n_vars p) Fun.id
+    @ List.map snd (Pattern.negations p)
+  in
+  let per_var = List.map (Pattern.constant_conditions_on p) all_vars in
+  let all_constrained = List.for_all (fun cs -> cs <> []) per_var in
+  let predicate =
+    match mode with
+    | No_filter -> None
+    | Paper ->
+        if not all_constrained then None
+        else
+          let atoms = List.concat per_var in
+          Some (fun e -> List.exists (satisfies e) atoms)
+    | Strong ->
+        if not all_constrained then None
+        else
+          Some
+            (fun e ->
+              List.exists (fun cs -> List.for_all (satisfies e) cs) per_var)
+  in
+  { mode; predicate }
+
+let mode t = t.mode
+
+let effective t = Option.is_some t.predicate
+
+let keep t e = match t.predicate with None -> true | Some f -> f e
+
+let pp_mode ppf m =
+  Format.pp_print_string ppf
+    (match m with
+    | No_filter -> "no filter"
+    | Paper -> "paper filter"
+    | Strong -> "strong filter")

@@ -1,0 +1,38 @@
+(** Event filtering (Sec. 4.5).
+
+    Events that cannot satisfy any constant condition of the pattern are
+    dropped before the automaton instances iterate over them. The paper's
+    filter keeps an event iff it satisfies {e at least one} condition of
+    the form [v.A φ C] in Θ; that is only sound when every variable carries
+    at least one constant condition (an unconstrained variable matches any
+    event), so both filters degrade as follows when some variable has no
+    constant condition: [Paper] keeps everything, [Strong] ignores the
+    unconstrained variables (they accept any event anyway, so its
+    per-variable test is vacuously true — it also keeps everything).
+
+    [Strong] is this repository's sound refinement: keep an event iff there
+    is a variable whose {e whole} set of constant conditions the event
+    satisfies. Every event a sound run can bind is kept by both filters,
+    and everything [Strong] keeps, [Paper] keeps too. *)
+
+open Ses_event
+open Ses_pattern
+
+type mode =
+  | No_filter
+  | Paper  (** satisfies ≥ 1 constant condition *)
+  | Strong  (** satisfies all constant conditions of some variable *)
+
+type t
+
+val make : Pattern.t -> mode -> t
+
+val mode : t -> mode
+
+val effective : t -> bool
+(** Whether the filter can ever drop an event ([No_filter] and the
+    degenerate cases are ineffective). *)
+
+val keep : t -> Event.t -> bool
+
+val pp_mode : Format.formatter -> mode -> unit

@@ -1,0 +1,94 @@
+type t = {
+  mutable events_seen : int;
+  mutable events_filtered : int;
+  mutable instances_created : int;
+  mutable max_simultaneous_instances : int;
+  mutable transitions_fired : int;
+  mutable instances_expired : int;
+  mutable instances_killed : int;
+  mutable matches_emitted : int;
+}
+
+type snapshot = {
+  events_seen : int;
+  events_filtered : int;
+  instances_created : int;
+  max_simultaneous_instances : int;
+  transitions_fired : int;
+  instances_expired : int;
+  instances_killed : int;
+  matches_emitted : int;
+}
+
+let create () : t =
+  {
+    events_seen = 0;
+    events_filtered = 0;
+    instances_created = 0;
+    max_simultaneous_instances = 0;
+    transitions_fired = 0;
+    instances_expired = 0;
+    instances_killed = 0;
+    matches_emitted = 0;
+  }
+
+let on_event (m : t) = m.events_seen <- m.events_seen + 1
+
+let on_filtered (m : t) = m.events_filtered <- m.events_filtered + 1
+
+let on_instance_created (m : t) = m.instances_created <- m.instances_created + 1
+
+let on_transition (m : t) = m.transitions_fired <- m.transitions_fired + 1
+
+let on_expired (m : t) = m.instances_expired <- m.instances_expired + 1
+
+let on_killed (m : t) = m.instances_killed <- m.instances_killed + 1
+
+let on_match (m : t) = m.matches_emitted <- m.matches_emitted + 1
+
+let sample_population (m : t) n =
+  if n > m.max_simultaneous_instances then m.max_simultaneous_instances <- n
+
+let snapshot (m : t) : snapshot =
+  {
+    events_seen = m.events_seen;
+    events_filtered = m.events_filtered;
+    instances_created = m.instances_created;
+    max_simultaneous_instances = m.max_simultaneous_instances;
+    transitions_fired = m.transitions_fired;
+    instances_expired = m.instances_expired;
+    instances_killed = m.instances_killed;
+    matches_emitted = m.matches_emitted;
+  }
+
+let merge a b =
+  {
+    events_seen = max a.events_seen b.events_seen;
+    events_filtered = max a.events_filtered b.events_filtered;
+    instances_created = a.instances_created + b.instances_created;
+    max_simultaneous_instances =
+      a.max_simultaneous_instances + b.max_simultaneous_instances;
+    transitions_fired = a.transitions_fired + b.transitions_fired;
+    instances_expired = a.instances_expired + b.instances_expired;
+    instances_killed = a.instances_killed + b.instances_killed;
+    matches_emitted = a.matches_emitted + b.matches_emitted;
+  }
+
+let zero =
+  {
+    events_seen = 0;
+    events_filtered = 0;
+    instances_created = 0;
+    max_simultaneous_instances = 0;
+    transitions_fired = 0;
+    instances_expired = 0;
+    instances_killed = 0;
+    matches_emitted = 0;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>events seen:        %d@,events filtered:    %d@,instances created:  %d@,max simultaneous:   %d@,transitions fired:  %d@,instances expired:  %d@,instances killed:   %d@,matches emitted:    %d@]"
+    s.events_seen s.events_filtered s.instances_created
+    s.max_simultaneous_instances s.transitions_fired s.instances_expired
+    s.instances_killed s.matches_emitted

@@ -1,0 +1,48 @@
+(** Runtime counters collected during the execution of a SES automaton.
+
+    [max_simultaneous_instances] is the |Ω| quantity measured throughout
+    Sec. 5 (sampled after each input event has been fully consumed);
+    the other counters support the ablation benchmarks. *)
+
+type t
+
+type snapshot = {
+  events_seen : int;  (** events read from the input *)
+  events_filtered : int;  (** dropped by the Sec. 4.5 filter *)
+  instances_created : int;  (** fresh start instances + branches *)
+  max_simultaneous_instances : int;  (** max |Ω| *)
+  transitions_fired : int;
+  instances_expired : int;  (** removed on τ violation *)
+  instances_killed : int;  (** removed by a negation guard *)
+  matches_emitted : int;  (** raw candidate substitutions *)
+}
+
+val create : unit -> t
+
+val on_event : t -> unit
+
+val on_filtered : t -> unit
+
+val on_instance_created : t -> unit
+
+val on_transition : t -> unit
+
+val on_expired : t -> unit
+
+val on_killed : t -> unit
+
+val on_match : t -> unit
+
+val sample_population : t -> int -> unit
+(** Record the current |Ω|. *)
+
+val snapshot : t -> snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Pointwise sum; maxima are added, which is the paper's accounting for
+    the brute-force baseline (total simultaneous instances across the
+    parallel automata). *)
+
+val zero : snapshot
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,67 @@
+
+type entry = {
+  name : string;
+  automaton : Automaton.t;
+  stream : Engine.stream;
+}
+
+type t = {
+  entries : entry list;
+  options : Engine.options;
+}
+
+let create ?(options = Engine.default_options) queries =
+  let names = List.map fst queries in
+  if List.exists (fun n -> n = "") names then
+    invalid_arg "Multi.create: empty query name";
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Multi.create: duplicate query name";
+  let stream_options = { options with Engine.finalize = false } in
+  {
+    entries =
+      List.map
+        (fun (name, automaton) ->
+          { name; automaton; stream = Engine.create ~options:stream_options automaton })
+        queries;
+    options;
+  }
+
+let names t = List.map (fun e -> e.name) t.entries
+
+let feed t event =
+  List.filter_map
+    (fun e ->
+      match Engine.feed e.stream event with
+      | [] -> None
+      | completed -> Some (e.name, completed))
+    t.entries
+
+let close t =
+  List.filter_map
+    (fun e ->
+      match Engine.close e.stream with
+      | [] -> None
+      | flushed -> Some (e.name, flushed))
+    t.entries
+
+let population t =
+  List.fold_left (fun acc e -> acc + Engine.population e.stream) 0 t.entries
+
+let outcomes t =
+  List.map
+    (fun e ->
+      let raw = Engine.emitted e.stream in
+      let matches =
+        if t.options.Engine.finalize then
+          Substitution.finalize ~policy:t.options.Engine.policy
+            (Automaton.pattern e.automaton) raw
+        else raw
+      in
+      (e.name, { Engine.matches; raw; metrics = Engine.metrics e.stream }))
+    t.entries
+
+let run ?options queries events =
+  let t = create ?options queries in
+  Seq.iter (fun e -> ignore (feed t e)) events;
+  ignore (close t);
+  outcomes t

@@ -1,0 +1,39 @@
+(** Multi-query execution: several SES automata over one event feed.
+
+    Event-processing deployments register many patterns against the same
+    stream (the publish/subscribe setting of Cayuga, which the paper cites
+    as the home of instance-indexing techniques). [Multi] fans a single
+    chronological feed out to one engine stream per registered query and
+    collects completions per query name. Results are identical to running
+    each automaton separately over the same feed. *)
+
+open Ses_event
+
+type t
+
+val create : ?options:Engine.options -> (string * Automaton.t) list -> t
+(** Registers named queries. Names must be distinct and non-empty; raises
+    [Invalid_argument] otherwise. The options apply to every query. *)
+
+val names : t -> string list
+
+val feed : t -> Event.t -> (string * Substitution.t list) list
+(** Pushes one event to every query; returns the raw substitutions whose
+    instances completed on this event, grouped by query name (queries with
+    no completions are omitted). *)
+
+val close : t -> (string * Substitution.t list) list
+(** Flushes accepting instances of every query. *)
+
+val population : t -> int
+(** Total live instances across all queries. *)
+
+val outcomes : t -> (string * Engine.outcome) list
+(** Per-query finalized outcomes (callable after [close]). *)
+
+val run :
+  ?options:Engine.options ->
+  (string * Automaton.t) list ->
+  Event.t Seq.t ->
+  (string * Engine.outcome) list
+(** Feed-all + close + outcomes in one call. *)

@@ -1,0 +1,74 @@
+open Ses_event
+open Ses_pattern
+
+exception Too_large of int
+
+let subsets_within ~min_count ~max_count events =
+  (* All sublists whose size lies within the quantifier bounds, preserving
+     chronological order. *)
+  let rec go = function
+    | [] -> [ [] ]
+    | e :: rest ->
+        let tails = go rest in
+        List.map (fun t -> e :: t) tails @ tails
+  in
+  List.filter
+    (fun l ->
+      let n = List.length l in
+      n >= min_count
+      && match max_count with Some m -> n <= m | None -> true)
+    (go events)
+
+let candidates p relation v =
+  let consts = Pattern.constant_conditions_on p v in
+  List.filter
+    (fun e ->
+      List.for_all
+        (fun (field, op, c) -> Predicate.eval op (Event.get e field) c)
+        consts)
+    (Array.to_list (Relation.events relation))
+
+let all_satisfying_1_3 ?(limit = 1_000_000) p relation =
+  let all_events = Relation.events relation in
+  let per_var =
+    List.init (Pattern.n_vars p) (fun v ->
+        let events = candidates p relation v in
+        if Pattern.is_group p v then
+          List.map
+            (fun es -> (v, es))
+            (subsets_within ~min_count:(Pattern.min_count p v)
+               ~max_count:(Pattern.max_count p v) events)
+        else List.map (fun e -> (v, [ e ])) events)
+  in
+  (* Upfront size estimate to fail fast instead of looping forever. *)
+  let estimate =
+    List.fold_left
+      (fun acc choices ->
+        if acc > limit then acc else acc * max 1 (List.length choices))
+      1 per_var
+  in
+  if estimate > limit then raise (Too_large limit);
+  let checked = ref 0 in
+  let results = ref [] in
+  let rec assign acc = function
+    | [] ->
+        incr checked;
+        if !checked > limit then raise (Too_large limit);
+        let subst =
+          List.concat_map (fun (v, es) -> List.map (fun e -> (v, e)) es)
+            (List.rev acc)
+        in
+        if
+          Substitution.satisfies_1_3 p subst
+          && Substitution.satisfies_negations p all_events subst
+        then results := subst :: !results
+    | choices :: rest ->
+        List.iter (fun choice -> assign (choice :: acc) rest) choices
+  in
+  assign [] per_var;
+  List.sort
+    (fun a b -> compare (Substitution.canonical a) (Substitution.canonical b))
+    !results
+
+let matches ?limit ?policy p relation =
+  Substitution.finalize ?policy p (all_satisfying_1_3 ?limit p relation)

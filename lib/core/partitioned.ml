@@ -1,0 +1,125 @@
+open Ses_event
+open Ses_pattern
+
+(* A transition is key-pinned when its condition set forces the bound
+   event's key field to equal the key of an event already in the buffer:
+   an equality on (key, key) between the transition's variable and a
+   variable of the source state. Reflexive conditions do not pin (they
+   compare the new event with itself), and neither does anything
+   involving an unbound variable — condition attachment already excludes
+   those. *)
+let pinned key (tr : Automaton.transition) =
+  List.exists
+    (fun (c : Condition.t) ->
+      c.op = Predicate.Eq
+      && Schema.Field.equal c.field key
+      && (match c.rhs with
+         | Condition.Var (_, f') -> Schema.Field.equal f' key
+         | Condition.Const _ -> false)
+      &&
+      match Condition.other_var c tr.var with
+      | Some v' -> Varset.mem v' tr.src
+      | None -> false)
+    tr.conds
+
+let candidate_fields p =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (c : Condition.t) ->
+         match c.rhs with
+         | Condition.Var (_, f')
+           when c.op = Predicate.Eq && Schema.Field.equal c.field f'
+                && c.field <> Schema.Field.Timestamp ->
+             Some c.field
+         | Condition.Var _ | Condition.Const _ -> None)
+       (Pattern.conditions p))
+
+(* A negation guard is key-pinned when it equates the forbidden event's
+   key with an earlier positive variable's key: only same-key events can
+   then kill, so per-key pools stay equivalent. *)
+let negation_pinned p key =
+  List.for_all
+    (fun (_, nv) ->
+      List.exists
+        (fun (c : Condition.t) ->
+          c.op = Predicate.Eq
+          && Schema.Field.equal c.field key
+          && (match c.rhs with
+             | Condition.Var (_, f') -> Schema.Field.equal f' key
+             | Condition.Const _ -> false)
+          && Condition.other_var c nv <> None)
+        (Pattern.conditions_on p nv))
+    (Pattern.negations p)
+
+let partition_key automaton =
+  let p = Automaton.pattern automaton in
+  let non_start =
+    List.filter
+      (fun (tr : Automaton.transition) ->
+        not (Varset.is_empty tr.src))
+      (Automaton.transitions automaton)
+  in
+  List.find_opt
+    (fun field ->
+      List.for_all (pinned field) non_start && negation_pinned p field)
+    (candidate_fields p)
+
+let sum_metrics ~max_total streams =
+  let add acc st =
+    let m = Engine.metrics st in
+    {
+      Metrics.events_seen = acc.Metrics.events_seen + m.Metrics.events_seen;
+      events_filtered = acc.Metrics.events_filtered + m.Metrics.events_filtered;
+      instances_created =
+        acc.Metrics.instances_created + m.Metrics.instances_created;
+      max_simultaneous_instances = 0;
+      transitions_fired = acc.Metrics.transitions_fired + m.Metrics.transitions_fired;
+      instances_expired = acc.Metrics.instances_expired + m.Metrics.instances_expired;
+      instances_killed = acc.Metrics.instances_killed + m.Metrics.instances_killed;
+      matches_emitted = acc.Metrics.matches_emitted + m.Metrics.matches_emitted;
+    }
+  in
+  let summed = List.fold_left add Metrics.zero streams in
+  { summed with Metrics.max_simultaneous_instances = max_total }
+
+let run ?(options = Engine.default_options) automaton events =
+  let p = Automaton.pattern automaton in
+  match partition_key automaton with
+  | None -> Engine.run ~options automaton events
+  | Some field ->
+      let pools : (Value.t, Engine.stream) Hashtbl.t = Hashtbl.create 32 in
+      let stream_options = { options with Engine.finalize = false } in
+      let total = ref 0 in
+      let max_total = ref 0 in
+      Seq.iter
+        (fun e ->
+          let key = Event.get e field in
+          let st =
+            match Hashtbl.find_opt pools key with
+            | Some st -> st
+            | None ->
+                let st = Engine.create ~options:stream_options automaton in
+                Hashtbl.add pools key st;
+                st
+          in
+          let before = Engine.population st in
+          ignore (Engine.feed st e);
+          total := !total - before + Engine.population st;
+          if !total > !max_total then max_total := !total)
+        events;
+      let streams = Hashtbl.fold (fun _ st acc -> st :: acc) pools [] in
+      List.iter (fun st -> ignore (Engine.close st)) streams;
+      let raw = List.concat_map Engine.emitted streams in
+      let matches =
+        if options.Engine.finalize then
+          Substitution.finalize ~policy:options.Engine.policy p raw
+        else raw
+      in
+      {
+        Engine.matches;
+        raw;
+        metrics = sum_metrics ~max_total:!max_total streams;
+      }
+
+let run_relation ?options automaton relation =
+  run ?options automaton (Relation.to_seq relation)

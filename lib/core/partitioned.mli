@@ -1,0 +1,56 @@
+(** Hash-partitioned execution of a SES automaton.
+
+    The paper's conclusion points to "indexing techniques for automaton
+    instances" (Cayuga) as future work. When every transition of the
+    automaton that extends a non-empty match buffer carries an equality
+    pinning the new event's key attribute to an already-bound variable's
+    key, two events with different key values can never occur in the same
+    match {e and} an event of a foreign key can never fire a transition of
+    an instance holding bindings. The instance pool then splits into
+    independent pools, one per key value, and each input event touches
+    only its key's pool instead of all of Ω — O(|Ω_key|) per event instead
+    of O(|Ω|).
+
+    The pinning requirement is stronger than "all variables are joined on
+    the key" for two reasons, both consequences of skip-till-next-match
+    and both demonstrated in [test/test_partitioned.ml]:
+
+    - {b Syntactic completeness.} Condition attachment is syntactic, so
+      with Q1's star-shaped joins (c–p, c–d, d–b) a D administration of
+      {e another} patient fires the d transition of an instance that has
+      only bound p — that transition carries no join yet — and kills the
+      instance's chance to bind its own patient's later D event.
+      Partitioning would shield the instance from the foreign event and
+      find {e more} matches than the paper's algorithm.
+    - {b Group-variable loops.} The paper's decomposition semantics
+      evaluate conditions per binding, so Θ can never relate two bindings
+      of the {e same} group variable: a loop at a state where no join
+      partner is bound (e.g. {p+} alone) accepts events of any key, and
+      the same divergence arises. Patterns whose group variable can be
+      bound first are therefore never partitionable.
+
+    [partition_key] decides the criterion on the constructed automaton;
+    [run] falls back to the plain engine when it does not hold, so it is
+    always safe to call. When it holds the result is identical to
+    {!Engine.run} up to ordering (both finalize deterministically): raw
+    emissions are pooled and finalized globally. *)
+
+open Ses_event
+
+val partition_key : Automaton.t -> Schema.Field.t option
+(** The field [A] (never the timestamp) such that every transition with a
+    non-empty source state carries a condition [v.A = v'.A] with [v'] in
+    the source state, if any. *)
+
+val run :
+  ?options:Engine.options -> Automaton.t -> Event.t Seq.t -> Engine.outcome
+(** Runs one engine stream per distinct key value when {!partition_key}
+    applies, otherwise delegates to {!Engine.run}. Metrics are summed
+    across partitions; [max_simultaneous_instances] is the maximum over
+    time of the total population. Expiry is lazy — a pool only discards
+    expired instances when one of its own events arrives — so that peak
+    may exceed the plain engine's even though the per-event work is
+    smaller. *)
+
+val run_relation :
+  ?options:Engine.options -> Automaton.t -> Relation.t -> Engine.outcome

@@ -1,0 +1,54 @@
+open Ses_pattern
+
+type t = {
+  filter : Event_filter.mode;
+  partition : Ses_event.Schema.Field.t option;
+  precheck_constants : bool;
+  cases : Exclusivity.case list;
+}
+
+let plan automaton =
+  let p = Automaton.pattern automaton in
+  let strong = Event_filter.make p Event_filter.Strong in
+  {
+    filter =
+      (if Event_filter.effective strong then Event_filter.Strong
+       else Event_filter.No_filter);
+    partition = Partitioned.partition_key automaton;
+    precheck_constants = true;
+    cases = Exclusivity.classify p;
+  }
+
+let execute ?(options = Engine.default_options) plan automaton events =
+  let options =
+    {
+      options with
+      Engine.filter = plan.filter;
+      precheck_constants = plan.precheck_constants;
+    }
+  in
+  match plan.partition with
+  | Some _ -> Partitioned.run ~options automaton events
+  | None -> Engine.run ~options automaton events
+
+let run ?options automaton events =
+  execute ?options (plan automaton) automaton events
+
+let run_relation ?options automaton relation =
+  run ?options automaton (Ses_event.Relation.to_seq relation)
+
+let describe plan =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Format.asprintf "event filter: %a\n" Event_filter.pp_mode plan.filter);
+  (match plan.partition with
+  | Some _ -> Buffer.add_string buf "partitioning: per key value\n"
+  | None -> Buffer.add_string buf "partitioning: not applicable\n");
+  Buffer.add_string buf
+    (Printf.sprintf "constant pre-check: %b\n" plan.precheck_constants);
+  List.iteri
+    (fun i case ->
+      Buffer.add_string buf
+        (Format.asprintf "V%d: %a\n" (i + 1) Exclusivity.pp_case case))
+    plan.cases;
+  Buffer.contents buf

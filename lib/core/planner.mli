@@ -1,0 +1,46 @@
+(** Strategy selection for executing a SES automaton.
+
+    The library exposes several result-transparent execution levers: the
+    Sec. 4.5 event filter (and its strong variant), the per-event
+    constant-condition pre-check, and hash-partitioned instance pools.
+    [plan] inspects a pattern's automaton and picks the strongest
+    applicable combination; [execute] runs it. The choice never changes
+    the matches — only the work — and is explained by [describe] together
+    with the complexity-case classification of Sec. 4.4 that predicts the
+    instance-pool growth. *)
+
+open Ses_pattern
+
+type t = {
+  filter : Event_filter.mode;
+      (** [Strong] when the pattern's constant conditions make any filter
+          effective, [No_filter] otherwise *)
+  partition : Ses_event.Schema.Field.t option;
+      (** the {!Partitioned} key, when its criterion holds *)
+  precheck_constants : bool;  (** always [true]; listed for transparency *)
+  cases : Exclusivity.case list;
+      (** per event set pattern, Sec. 4.4 — [Exclusive] predicts a
+          constant pool, [Overlapping] factorial branching,
+          [Overlapping_with_groups] window-dependent growth *)
+}
+
+val plan : Automaton.t -> t
+
+val execute :
+  ?options:Engine.options ->
+  t ->
+  Automaton.t ->
+  Ses_event.Event.t Seq.t ->
+  Engine.outcome
+(** Runs with the planned levers layered onto [options] (which supplies
+    the finalize policy; its [filter]/[precheck_constants] fields are
+    overridden by the plan). *)
+
+val run : ?options:Engine.options -> Automaton.t -> Ses_event.Event.t Seq.t -> Engine.outcome
+(** [execute (plan a) a] — the "just make it fast" entry point. *)
+
+val run_relation :
+  ?options:Engine.options -> Automaton.t -> Ses_event.Relation.t -> Engine.outcome
+
+val describe : t -> string
+(** Multi-line human-readable summary. *)

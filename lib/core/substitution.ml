@@ -1,0 +1,180 @@
+open Ses_event
+open Ses_pattern
+
+type binding = int * Event.t
+
+type t = binding list
+
+let canonical subst =
+  List.sort_uniq compare
+    (List.map (fun (v, e) -> (v, Event.seq e)) subst)
+
+let equal a b = canonical a = canonical b
+
+let subset a b =
+  let cb = canonical b in
+  List.for_all (fun p -> List.mem p cb) (canonical a)
+
+let proper_subset a b = subset a b && not (subset b a)
+
+let bindings_of subst v =
+  List.filter_map (fun (v', e) -> if v' = v then Some e else None) subst
+
+let events subst = List.map snd subst
+
+let min_binding subst =
+  let earlier (_, e) (_, e') = Event.compare_chrono e e' < 0 in
+  match subst with
+  | [] -> None
+  | b :: rest ->
+      Some (List.fold_left (fun best b' -> if earlier b' best then b' else best) b rest)
+
+let min_ts subst = Option.map (fun (_, e) -> Event.ts e) (min_binding subst)
+
+let span subst =
+  match subst with
+  | [] -> 0
+  | (_, e0) :: _ ->
+      let lo, hi =
+        List.fold_left
+          (fun (lo, hi) (_, e) ->
+            (Time.min lo (Event.ts e), Time.max hi (Event.ts e)))
+          (Event.ts e0, Event.ts e0) subst
+      in
+      Time.span lo hi
+
+let well_formed p subst =
+  let seqs = List.map (fun (_, e) -> Event.seq e) subst in
+  List.length (List.sort_uniq Int.compare seqs) = List.length seqs
+  && List.for_all
+       (fun v ->
+         let n = List.length (bindings_of subst v) in
+         n >= Pattern.min_count p v
+         &&
+         match Pattern.max_count p v with
+         | Some m -> n <= m
+         | None -> true)
+       (List.init (Pattern.n_vars p) Fun.id)
+
+let satisfies_theta p subst =
+  let bindings = bindings_of subst in
+  List.for_all (fun c -> Condition.holds c bindings) (Pattern.conditions p)
+
+let satisfies_order p subst =
+  List.for_all
+    (fun (v, e) ->
+      List.for_all
+        (fun (v', e') ->
+          if Pattern.set_of_var p v < Pattern.set_of_var p v' then
+            Time.( <. ) (Event.ts e) (Event.ts e')
+          else true)
+        subst)
+    subst
+
+let satisfies_window p subst = span subst <= Pattern.tau p
+
+let satisfies_negations p events subst =
+  let bindings = bindings_of subst in
+  let start_ts = Option.value ~default:0 (min_ts subst) in
+  List.for_all
+    (fun (boundary, nv) ->
+      let before, after =
+        List.partition
+          (fun (v, _) -> Pattern.set_of_var p v <= boundary)
+          subst
+      in
+      let last_before =
+        List.fold_left (fun acc (_, e) -> max acc (Event.seq e)) min_int before
+      in
+      (* A trailing guard (after the last set) stays armed until the match
+         window closes; the engine's expiry check runs before the guard,
+         so an event outside τ can no longer kill. *)
+      let first_after =
+        List.fold_left (fun acc (_, e) -> min acc (Event.seq e)) max_int after
+      in
+      let conds = Pattern.conditions_on p nv in
+      Array.for_all
+        (fun e ->
+          let seq = Event.seq e in
+          seq <= last_before || seq >= first_after
+          || Time.span (Event.ts e) start_ts > Pattern.tau p
+          || not
+               (List.for_all
+                  (fun c -> Condition.holds_binding c ~var:nv ~event:e bindings)
+                  conds))
+        events)
+    (Pattern.negations p)
+
+let satisfies_1_3 p subst =
+  well_formed p subst && satisfies_theta p subst && satisfies_order p subst
+  && satisfies_window p subst
+
+let same_min_binding a b =
+  match min_binding a, min_binding b with
+  | Some (v, e), Some (v', e') -> v = v' && Event.equal e e'
+  | None, None -> true
+  | None, Some _ | Some _, None -> false
+
+let maximal_within ~candidates subst =
+  not
+    (List.exists
+       (fun cand -> same_min_binding subst cand && proper_subset subst cand)
+       candidates)
+
+let skip_till_next_within ~candidates subst =
+  let cs = canonical subst in
+  let in_subst v seq = List.mem (v, seq) cs in
+  (* A pair v/e, v'/e' of γ is violated when some candidate binds v' to an
+     event strictly between e and e' that γ itself does not use. *)
+  let pair_ok (_, e) (v', e') =
+    not
+      (List.exists
+         (fun cand ->
+           List.exists
+             (fun (v'', e'') ->
+               v'' = v'
+               && Time.( <. ) (Event.ts e) (Event.ts e'')
+               && Time.( <. ) (Event.ts e'') (Event.ts e')
+               && not (in_subst v' (Event.seq e'')))
+             cand)
+         candidates)
+  in
+  List.for_all (fun b -> List.for_all (fun b' -> pair_ok b b') subst) subst
+
+let dedup substs =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun s ->
+      let key = canonical s in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    substs
+
+type policy =
+  | Operational
+  | Literal
+
+let finalize ?(policy = Operational) p substs =
+  ignore p;
+  let candidates = dedup substs in
+  let keep =
+    match policy with
+    | Operational ->
+        fun s ->
+          not (List.exists (fun cand -> proper_subset s cand) candidates)
+    | Literal ->
+        fun s ->
+          maximal_within ~candidates s && skip_till_next_within ~candidates s
+  in
+  let survivors = List.filter keep candidates in
+  let key s = (min_ts s, canonical s) in
+  List.sort (fun a b -> compare (key a) (key b)) survivors
+
+let pp p ppf subst =
+  let items =
+    List.map (fun (v, e) -> Pattern.var_name p v ^ "/" ^ Event.name e) subst
+  in
+  Format.fprintf ppf "{%s}" (String.concat ", " items)

@@ -1,0 +1,58 @@
+type t = int
+
+let empty = 0
+
+let is_empty s = s = 0
+
+let singleton v = 1 lsl v
+
+let add v s = s lor (1 lsl v)
+
+let remove v s = s land lnot (1 lsl v)
+
+let mem v s = s land (1 lsl v) <> 0
+
+let union = ( lor )
+
+let inter = ( land )
+
+let diff a b = a land lnot b
+
+let subset a b = a land b = a
+
+let cardinal s =
+  let rec count acc s = if s = 0 then acc else count (acc + (s land 1)) (s lsr 1) in
+  count 0 s
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let hash s = Hashtbl.hash s
+
+let of_list vs = List.fold_left (fun s v -> add v s) empty vs
+
+let to_list s =
+  let rec collect acc v s =
+    if s = 0 then List.rev acc
+    else collect (if s land 1 <> 0 then v :: acc else acc) (v + 1) (s lsr 1)
+  in
+  collect [] 0 s
+
+let fold f s init = List.fold_left (fun acc v -> f v acc) init (to_list s)
+
+let subsets s =
+  (* Enumerates submasks in ascending order by walking the dense rank of
+     each member bit. *)
+  let members = Array.of_list (to_list s) in
+  let n = Array.length members in
+  List.init (1 lsl n) (fun mask ->
+      let rec build acc i =
+        if i >= n then acc
+        else build (if mask land (1 lsl i) <> 0 then add members.(i) acc else acc) (i + 1)
+      in
+      build empty 0)
+
+let pp ~name_of ppf s =
+  if is_empty s then Format.pp_print_string ppf "\xe2\x88\x85"
+  else List.iter (fun v -> Format.pp_print_string ppf (name_of v)) (to_list s)

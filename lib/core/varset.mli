@@ -1,0 +1,51 @@
+(** Sets of event variables, the states of a SES automaton (Definition 3).
+
+    Variables are identified by their id in the owning pattern (0 ≤ id <
+    {!Ses_pattern.Pattern.max_vars}); a set is an [int] bitmask, so all
+    operations are constant time and sets are directly comparable. *)
+
+type t = private int
+
+val empty : t
+
+val is_empty : t -> bool
+
+val singleton : int -> t
+
+val add : int -> t -> t
+
+val remove : int -> t -> t
+
+val mem : int -> t -> bool
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+(** [subset a b] is a ⊆ b. *)
+
+val cardinal : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val of_list : int list -> t
+
+val to_list : t -> int list
+(** Ascending variable ids. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val subsets : t -> t list
+(** All 2^|s| subsets of [s], the state set of a single event set pattern's
+    automaton (Sec. 4.2.1). Ordered by ascending bitmask. *)
+
+val pp : name_of:(int -> string) -> Format.formatter -> t -> unit
+(** Prints like the paper's node labels, e.g. [cdp+]; the empty set prints
+    as [∅]. *)

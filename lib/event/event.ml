@@ -1,0 +1,41 @@
+type t = {
+  seq : int;
+  payload : Value.t array;
+  ts : Time.t;
+}
+
+let make ~seq ~ts payload = { seq; payload; ts }
+
+let seq e = e.seq
+
+let ts e = e.ts
+
+let get e = function
+  | Schema.Field.Attr i -> e.payload.(i)
+  | Schema.Field.Timestamp -> Value.Int e.ts
+
+let attr e i = e.payload.(i)
+
+let typed_ok schema e =
+  Array.length e.payload = Schema.arity schema
+  && Array.for_all (fun b -> b)
+       (Array.mapi
+          (fun i v -> Value.ty_equal (Value.type_of v) (Schema.type_of schema i))
+          e.payload)
+
+let compare_chrono a b =
+  let c = Time.compare a.ts b.ts in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let equal a b = a.seq = b.seq
+
+let name e = Printf.sprintf "e%d" (e.seq + 1)
+
+let pp schema ppf e =
+  Format.fprintf ppf "%s{@[" (name e);
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf ",@ ";
+      Format.fprintf ppf "%s=%a" (Schema.name_of schema i) Value.pp v)
+    e.payload;
+  Format.fprintf ppf ",@ T=%a@]}" Time.pp_raw e.ts

@@ -1,0 +1,38 @@
+(** Events: tuples over a schema plus an occurrence timestamp (Sec. 3.1).
+
+    Every event additionally carries a unique sequence number [seq] assigned
+    by the relation that owns it; it identifies the event within a run (the
+    [e1 … e14] names of the paper's Figure 1) and breaks timestamp ties
+    deterministically. *)
+
+type t = private {
+  seq : int;  (** Position of the event in its relation, starting at 0. *)
+  payload : Value.t array;  (** Attribute values, in schema order. *)
+  ts : Time.t;  (** Occurrence time T. *)
+}
+
+val make : seq:int -> ts:Time.t -> Value.t array -> t
+
+val seq : t -> int
+
+val ts : t -> Time.t
+
+val get : t -> Schema.Field.t -> Value.t
+(** Field access; [Timestamp] is returned as an [Int]. *)
+
+val attr : t -> int -> Value.t
+
+val typed_ok : Schema.t -> t -> bool
+(** Whether the payload arity and value types agree with the schema. *)
+
+val compare_chrono : t -> t -> int
+(** Chronological order: by timestamp, then by sequence number. *)
+
+val equal : t -> t -> bool
+(** Identity within a relation: equal sequence numbers. *)
+
+val pp : Schema.t -> Format.formatter -> t -> unit
+(** Renders as [e<seq+1>{A=v, …, T=t}], mirroring the paper's e1, e2, … *)
+
+val name : t -> string
+(** ["e<seq+1>"]. *)

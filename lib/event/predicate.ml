@@ -1,0 +1,125 @@
+type op =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+let all_ops = [ Eq; Neq; Lt; Le; Gt; Ge ]
+
+let eval op a b =
+  let compatible = Value.ty_compatible (Value.type_of a) (Value.type_of b) in
+  if not compatible then op = Neq
+  else
+    let c = Value.compare a b in
+    match op with
+    | Eq -> c = 0
+    | Neq -> c <> 0
+    | Lt -> c < 0
+    | Le -> c <= 0
+    | Gt -> c > 0
+    | Ge -> c >= 0
+
+let negate = function
+  | Eq -> Neq
+  | Neq -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+let flip = function
+  | Eq -> Eq
+  | Neq -> Neq
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+
+(* Intervals over a dense totally ordered domain, used to decide
+   satisfiability of conjunctions of atomic comparisons. A bound of [None]
+   is infinite; [Some (v, incl)] is a finite bound that is inclusive iff
+   [incl]. The string domain is bounded below by [""], which is the one
+   non-dense corner that matters in practice (x < "" is unsatisfiable). *)
+type bound = (Value.t * bool) option
+
+let interval_of op c : bound * bound =
+  match op with
+  | Eq -> (Some (c, true), Some (c, true))
+  | Lt -> (None, Some (c, false))
+  | Le -> (None, Some (c, true))
+  | Gt -> (Some (c, false), None)
+  | Ge -> (Some (c, true), None)
+  | Neq -> invalid_arg "interval_of: Neq is not an interval"
+
+let tighten_lower a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some (va, ia), Some (vb, ib) ->
+      let c = Value.compare va vb in
+      if c > 0 then a
+      else if c < 0 then b
+      else Some (va, ia && ib)
+
+let tighten_upper a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some (va, ia), Some (vb, ib) ->
+      let c = Value.compare va vb in
+      if c < 0 then a
+      else if c > 0 then b
+      else Some (va, ia && ib)
+
+let nonempty ~strings (lo, hi) =
+  let lo = if strings && lo = None then Some (Value.Str "", true) else lo in
+  match lo, hi with
+  | None, _ | _, None -> true
+  | Some (vl, il), Some (vh, ih) ->
+      let c = Value.compare vl vh in
+      c < 0 || (c = 0 && il && ih)
+
+let satisfiable_alone (op, c) =
+  match op with
+  | Neq -> true
+  | Eq | Lt | Le | Gt | Ge ->
+      let strings = Value.type_of c = Value.Tstr in
+      nonempty ~strings (interval_of op c)
+
+let conjunction_satisfiable (op1, c1) (op2, c2) =
+  let t1 = Value.type_of c1 and t2 = Value.type_of c2 in
+  if not (Value.ty_compatible t1 t2) then
+    (* A witness must live in one constant's domain; against the other
+       constant only Neq can hold. *)
+    (op1 = Neq && satisfiable_alone (op2, c2))
+    || (op2 = Neq && satisfiable_alone (op1, c1))
+  else
+    let strings = t1 = Value.Tstr in
+    match op1, op2 with
+    | Neq, Neq -> true
+    | Neq, _ ->
+        satisfiable_alone (op2, c2) && not (op2 = Eq && Value.equal c1 c2)
+    | _, Neq ->
+        satisfiable_alone (op1, c1) && not (op1 = Eq && Value.equal c1 c2)
+    | (Eq | Lt | Le | Gt | Ge), (Eq | Lt | Le | Gt | Ge) ->
+        let lo1, hi1 = interval_of op1 c1 and lo2, hi2 = interval_of op2 c2 in
+        nonempty ~strings (tighten_lower lo1 lo2, tighten_upper hi1 hi2)
+
+let to_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp ppf op = Format.pp_print_string ppf (to_string op)
+
+let of_string = function
+  | "=" | "==" -> Some Eq
+  | "<>" | "!=" -> Some Neq
+  | "<" -> Some Lt
+  | "<=" -> Some Le
+  | ">" -> Some Gt
+  | ">=" -> Some Ge
+  | _ -> None

@@ -1,0 +1,43 @@
+(** Comparison operators φ ∈ {=, ≠, <, ≤, >, ≥} and atomic predicates.
+
+    Besides evaluation, this module decides satisfiability of conjunctions
+    of two atomic comparisons over the same attribute, which is what the
+    paper's mutual-exclusivity notion (Definition 6) reduces to. *)
+
+type op =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+val all_ops : op list
+
+val eval : op -> Value.t -> Value.t -> bool
+(** [eval op a b] is [a op b]. Values of incompatible types compare as
+    unequal: [Eq] is [false], [Neq] is [true], and the order operators are
+    all [false]. *)
+
+val negate : op -> op
+(** Logical complement: [negate Lt = Ge], etc. *)
+
+val flip : op -> op
+(** Operand swap: [a op b] iff [b (flip op) a]. *)
+
+val conjunction_satisfiable : op * Value.t -> op * Value.t -> bool
+(** [conjunction_satisfiable (op1, c1) (op2, c2)] decides whether some value
+    [x] satisfies both [x op1 c1] and [x op2 c2]. The order is treated as
+    dense, which makes the answer exact for floats and strings and
+    conservative (never wrongly unsatisfiable) for integers. Predicates over
+    incompatible constant types are each individually satisfiable by values
+    of the matching type, hence the conjunction is satisfiable only if both
+    admit values of one common type; with incompatible types the result is
+    [false]. *)
+
+val pp : Format.formatter -> op -> unit
+
+val to_string : op -> string
+
+val of_string : string -> op option
+(** Recognizes [=], [<>], [!=], [<], [<=], [>], [>=]. *)

@@ -1,0 +1,92 @@
+type t = {
+  schema : Schema.t;
+  events : Event.t array;
+}
+
+let renumber schema rows =
+  (* Stable sort keeps insertion order among equal timestamps, then the
+     definitive sequence numbers are assigned. *)
+  let tmp =
+    List.mapi (fun i (payload, ts) -> Event.make ~seq:i ~ts payload) rows
+  in
+  let arr = Array.of_list tmp in
+  Array.stable_sort Event.compare_chrono arr;
+  let events =
+    Array.mapi (fun i e -> Event.make ~seq:i ~ts:e.Event.ts e.Event.payload) arr
+  in
+  { schema; events }
+
+let of_rows schema rows =
+  let rec check i = function
+    | [] -> Ok ()
+    | (payload, ts) :: rest ->
+        if Event.typed_ok schema (Event.make ~seq:i ~ts payload) then
+          check (i + 1) rest
+        else Error (Printf.sprintf "relation: row %d does not match schema" i)
+  in
+  match check 0 rows with
+  | Error _ as e -> e
+  | Ok () -> Ok (renumber schema rows)
+
+let of_rows_exn schema rows =
+  match of_rows schema rows with Ok r -> r | Error msg -> invalid_arg msg
+
+let schema r = r.schema
+
+let cardinality r = Array.length r.events
+
+let is_empty r = Array.length r.events = 0
+
+let get r i = r.events.(i)
+
+let events r = Array.copy r.events
+
+let to_seq r = Array.to_seq r.events
+
+let iter f r = Array.iter f r.events
+
+let fold f init r = Array.fold_left f init r.events
+
+let rows_of r =
+  Array.to_list (Array.map (fun e -> (e.Event.payload, e.Event.ts)) r.events)
+
+let filter p r =
+  renumber r.schema
+    (List.filter_map
+       (fun e ->
+         if p e then Some (e.Event.payload, e.Event.ts) else None)
+       (Array.to_list r.events))
+
+let append a b =
+  if not (Schema.equal a.schema b.schema) then
+    invalid_arg "Relation.append: schema mismatch";
+  renumber a.schema (rows_of a @ rows_of b)
+
+let first_ts r = if is_empty r then None else Some (Event.ts r.events.(0))
+
+let last_ts r =
+  if is_empty r then None
+  else Some (Event.ts r.events.(Array.length r.events - 1))
+
+let duration r =
+  match first_ts r, last_ts r with
+  | Some a, Some b -> Time.span a b
+  | None, _ | _, None -> 0
+
+let window_size r tau =
+  let n = Array.length r.events in
+  let ts i = Event.ts r.events.(i) in
+  let best = ref 0 in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    if !j < i then j := i;
+    while !j + 1 < n && Time.span (ts (!j + 1)) (ts i) <= tau do incr j done;
+    let width = !j - i + 1 in
+    if width > !best then best := width
+  done;
+  !best
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>";
+  Array.iter (fun e -> Format.fprintf ppf "%a@," (Event.pp r.schema) e) r.events;
+  Format.fprintf ppf "@]"

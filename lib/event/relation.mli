@@ -1,0 +1,53 @@
+(** Event relations: finite, chronologically ordered sets of events over a
+    common schema (Sec. 3.1). The timestamp defines the order; ties are
+    broken by insertion order, which keeps the order total as the paper
+    assumes. *)
+
+type t
+
+val of_rows : Schema.t -> (Value.t array * Time.t) list -> (t, string) result
+(** Builds a relation from payload/timestamp rows. Rows are sorted
+    chronologically (stably) and assigned sequence numbers in that order.
+    Fails if a payload does not match the schema. *)
+
+val of_rows_exn : Schema.t -> (Value.t array * Time.t) list -> t
+
+val schema : t -> Schema.t
+
+val cardinality : t -> int
+
+val is_empty : t -> bool
+
+val get : t -> int -> Event.t
+(** [get r i] is the event with sequence number [i]. *)
+
+val events : t -> Event.t array
+(** The events in chronological order. The array is fresh. *)
+
+val to_seq : t -> Event.t Seq.t
+(** Chronological scan — the engine's input interface. *)
+
+val iter : (Event.t -> unit) -> t -> unit
+
+val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+
+val filter : (Event.t -> bool) -> t -> t
+(** Keeps matching events; sequence numbers are reassigned densely. *)
+
+val append : t -> t -> t
+(** Concatenates and re-sorts two relations over equal schemas; raises
+    [Invalid_argument] on schema mismatch. *)
+
+val first_ts : t -> Time.t option
+
+val last_ts : t -> Time.t option
+
+val duration : t -> Time.duration
+(** Span between the first and last event; 0 for empty relations. *)
+
+val window_size : t -> Time.duration -> int
+(** [window_size r tau] is the window size W of Definition 5: the maximal
+    number of events inside a time window of width [tau] sliding over the
+    relation event by event (window membership uses |e.T - e'.T| <= tau). *)
+
+val pp : Format.formatter -> t -> unit

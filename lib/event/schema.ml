@@ -1,0 +1,84 @@
+type t = {
+  names : string array;
+  types : Value.ty array;
+}
+
+let make attrs =
+  let rec check_dups seen = function
+    | [] -> Ok ()
+    | (name, _) :: rest ->
+        if name = "" then Error "schema: empty attribute name"
+        else if name = "T" then
+          Error "schema: attribute name \"T\" is reserved for the timestamp"
+        else if List.mem name seen then
+          Error (Printf.sprintf "schema: duplicate attribute %S" name)
+        else check_dups (name :: seen) rest
+  in
+  match check_dups [] attrs with
+  | Error _ as e -> e
+  | Ok () ->
+      Ok
+        {
+          names = Array.of_list (List.map fst attrs);
+          types = Array.of_list (List.map snd attrs);
+        }
+
+let make_exn attrs =
+  match make attrs with Ok s -> s | Error msg -> invalid_arg msg
+
+let arity s = Array.length s.names
+
+let attributes s =
+  Array.to_list (Array.map2 (fun n ty -> (n, ty)) s.names s.types)
+
+let index_of s name =
+  let rec find i =
+    if i >= Array.length s.names then None
+    else if s.names.(i) = name then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let name_of s i = s.names.(i)
+
+let type_of s i = s.types.(i)
+
+let equal a b = a.names = b.names && a.types = b.types
+
+let pp ppf s =
+  Format.fprintf ppf "(@[%a,@ T@])"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (n, ty) -> Format.fprintf ppf "%s:%a" n Value.pp_ty ty))
+    (attributes s)
+
+module Field = struct
+  type nonrec schema = t
+
+  type t =
+    | Attr of int
+    | Timestamp
+
+  let equal a b =
+    match a, b with
+    | Attr i, Attr j -> i = j
+    | Timestamp, Timestamp -> true
+    | (Attr _ | Timestamp), _ -> false
+
+  let type_of (s : schema) = function
+    | Attr i -> s.types.(i)
+    | Timestamp -> Value.Tint
+
+  let resolve (s : schema) name =
+    if name = "T" then Ok Timestamp
+    else
+      match index_of s name with
+      | Some i -> Ok (Attr i)
+      | None -> Error (Printf.sprintf "unknown attribute %S" name)
+
+  let name (s : schema) = function
+    | Attr i -> s.names.(i)
+    | Timestamp -> "T"
+
+  let pp s ppf f = Format.pp_print_string ppf (name s f)
+end

@@ -1,0 +1,52 @@
+(** Event schemas.
+
+    A schema E = (A1, …, Al, T) names the non-temporal attributes of an
+    event and fixes their types (Sec. 3.1). The temporal attribute [T] is
+    implicit: every event carries a timestamp, and conditions may refer to
+    it through {!Field.Timestamp}. *)
+
+type t
+
+val make : (string * Value.ty) list -> (t, string) result
+(** Builds a schema; fails on duplicate or empty attribute names, or an
+    attribute explicitly named "T" (reserved for the timestamp). *)
+
+val make_exn : (string * Value.ty) list -> t
+
+val arity : t -> int
+(** Number of non-temporal attributes. *)
+
+val attributes : t -> (string * Value.ty) list
+
+val index_of : t -> string -> int option
+(** Position of a named attribute. *)
+
+val name_of : t -> int -> string
+
+val type_of : t -> int -> Value.ty
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Reference to a field of an event: a named attribute or the implicit
+    timestamp attribute T. *)
+module Field : sig
+  type schema := t
+
+  type t =
+    | Attr of int  (** index into the schema's attributes *)
+    | Timestamp
+
+  val equal : t -> t -> bool
+
+  val type_of : schema -> t -> Value.ty
+  (** Timestamps are typed as integers. *)
+
+  val resolve : schema -> string -> (t, string) result
+  (** Resolves an attribute name; ["T"] resolves to [Timestamp]. *)
+
+  val name : schema -> t -> string
+
+  val pp : schema -> Format.formatter -> t -> unit
+end

@@ -1,0 +1,30 @@
+type t = int
+
+type duration = int
+
+let compare = Int.compare
+
+let equal = Int.equal
+
+let ( <. ) a b = a < b
+
+let ( <=. ) a b = a <= b
+
+let span a b = abs (a - b)
+
+let add t d = t + d
+
+let min = Stdlib.min
+
+let max = Stdlib.max
+
+let hours n = n
+
+let days n = 24 * n
+
+let pp_raw = Format.pp_print_int
+
+let pp ppf t =
+  let day = if t >= 0 then t / 24 else (t - 23) / 24 in
+  let hour = t - (day * 24) in
+  Format.fprintf ppf "day %d %02d:00 (t=%d)" day hour t

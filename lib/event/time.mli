@@ -1,0 +1,43 @@
+(** Discrete, totally ordered time domain (Sec. 3.1 of the paper).
+
+    Timestamps are plain integers counting time units since an arbitrary
+    epoch. The running example of the paper uses hours; nothing in the
+    library depends on the unit. Durations are differences of timestamps. *)
+
+type t = int
+(** A point on the discrete time axis. *)
+
+type duration = int
+(** A non-negative span between two timestamps, in the same unit. *)
+
+val compare : t -> t -> int
+(** Total order on timestamps. *)
+
+val equal : t -> t -> bool
+
+val ( <. ) : t -> t -> bool
+(** Strict chronological precedence. *)
+
+val ( <=. ) : t -> t -> bool
+
+val span : t -> t -> duration
+(** [span a b] is the absolute distance |a - b|. *)
+
+val add : t -> duration -> t
+
+val min : t -> t -> t
+
+val max : t -> t -> t
+
+val hours : int -> duration
+(** Identity; documents intent when the unit is hours. *)
+
+val days : int -> duration
+(** [days n] is [24 * n]; the paper's τ = 264 is [days 11]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [day d, h:00] assuming an hour granularity — matches how the
+    paper presents the chemotherapy data — plus the raw value. *)
+
+val pp_raw : Format.formatter -> t -> unit
+(** Prints the bare integer. *)

@@ -1,0 +1,89 @@
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tstr
+
+let type_of = function
+  | Int _ -> Tint
+  | Float _ -> Tfloat
+  | Str _ -> Tstr
+
+let ty_equal a b =
+  match a, b with
+  | Tint, Tint | Tfloat, Tfloat | Tstr, Tstr -> true
+  | (Tint | Tfloat | Tstr), _ -> false
+
+let ty_compatible a b =
+  match a, b with
+  | Tint, (Tint | Tfloat) -> true
+  | Tfloat, (Tint | Tfloat) -> true
+  | Tstr, Tstr -> true
+  | (Tint | Tfloat), Tstr | Tstr, (Tint | Tfloat) -> false
+
+let tag_rank = function
+  | Int _ | Float _ -> 0
+  | Str _ -> 1
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | (Int _ | Float _ | Str _), _ -> Int.compare (tag_rank a) (tag_rank b)
+
+let equal a b = compare a b = 0
+
+let numeric = function
+  | Int x -> Some (float_of_int x)
+  | Float x -> Some x
+  | Str _ -> None
+
+let pp ppf = function
+  | Int x -> Format.pp_print_int ppf x
+  | Float x -> Format.fprintf ppf "%g" x
+  | Str s -> Format.fprintf ppf "'%s'" s
+
+let pp_ty ppf ty =
+  Format.pp_print_string ppf
+    (match ty with Tint -> "int" | Tfloat -> "float" | Tstr -> "string")
+
+let escape_quotes s =
+  if not (String.contains s '\'') then s
+  else begin
+    let buf = Buffer.create (String.length s + 4) in
+    String.iter
+      (fun c ->
+        Buffer.add_char buf c;
+        if c = '\'' then Buffer.add_char buf '\'')
+      s;
+    Buffer.contents buf
+  end
+
+let float_repr x =
+  let s = Printf.sprintf "%.12g" x in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s then s
+  else s ^ "."
+
+let to_string = function
+  | Int x -> string_of_int x
+  | Float x -> float_repr x
+  | Str s -> "'" ^ escape_quotes s ^ "'"
+
+let of_string ty raw =
+  match ty with
+  | Tint -> (
+      match int_of_string_opt (String.trim raw) with
+      | Some x -> Ok (Int x)
+      | None -> Error (Printf.sprintf "%S is not an integer" raw))
+  | Tfloat -> (
+      match float_of_string_opt (String.trim raw) with
+      | Some x -> Ok (Float x)
+      | None -> Error (Printf.sprintf "%S is not a float" raw))
+  | Tstr -> Ok (Str raw)

@@ -1,0 +1,45 @@
+(** Attribute values and their types.
+
+    Events carry non-temporal attributes (Sec. 3.1). Values are integers,
+    floats or strings; comparisons between [Int] and [Float] coerce the
+    integer, all other cross-type comparisons are type errors surfaced
+    during pattern validation and treated as [false] at runtime. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tstr
+
+val type_of : t -> ty
+
+val ty_equal : ty -> ty -> bool
+
+val ty_compatible : ty -> ty -> bool
+(** [ty_compatible a b] holds when values of types [a] and [b] may be
+    compared: equal types, or one numeric type against the other. *)
+
+val compare : t -> t -> int
+(** Total order within a compatible pair; values of incompatible types are
+    ordered by type tag so the function stays a total order (needed for
+    indexing), but patterns never rely on cross-type order. *)
+
+val equal : t -> t -> bool
+
+val numeric : t -> float option
+(** The numeric view of a value, if any. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_ty : Format.formatter -> ty -> unit
+
+val to_string : t -> string
+(** Round-trippable rendering: strings are single-quoted with quote
+    doubling, floats always contain a ['.'] or exponent. *)
+
+val of_string : ty -> string -> (t, string) result
+(** Parse a raw (unquoted) textual field as a value of type [ty]. *)

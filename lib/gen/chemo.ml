@@ -1,0 +1,94 @@
+open Ses_event
+
+type config = {
+  seed : int64;
+  patients : int;
+  horizon_days : int;
+  cycle_days : int;
+  prednisone_days : int;
+  noise_per_day : float;
+}
+
+let default =
+  {
+    seed = 0xC4D0_11AL;
+    patients = 30;
+    horizon_days = 84;
+    cycle_days = 21;
+    prednisone_days = 5;
+    noise_per_day = 1.0;
+  }
+
+let schema =
+  Schema.make_exn
+    [
+      ("ID", Value.Tint);
+      ("L", Value.Tstr);
+      ("V", Value.Tfloat);
+      ("U", Value.Tstr);
+    ]
+
+let labels = [ "C"; "D"; "V"; "R"; "L"; "P"; "B" ]
+
+(* Typical dose ranges per medication; the absolute values only matter for
+   conditions on V, which the paper's experiment patterns do not use, but a
+   realistic relation should still carry them. *)
+let dose rng = function
+  | "C" -> (1500.0 +. Prng.float rng 400.0, "mg")
+  | "D" -> (80.0 +. Prng.float rng 10.0, "mgl")
+  | "V" -> (1.4 +. Prng.float rng 0.6, "mg")
+  | "R" -> (375.0, "mg")
+  | "L" -> (6000.0 +. Prng.float rng 4000.0, "IU")
+  | "P" -> (80.0 +. Prng.float rng 40.0, "mg")
+  | "B" -> (float_of_int (Prng.int rng 5), "WHO-Tox")
+  | "N1" | "N2" | "N3" | "N4" | "N5" -> (Prng.float rng 100.0, "misc")
+  | l -> invalid_arg ("Chemo.dose: unknown label " ^ l)
+
+let generate cfg =
+  let rng = Prng.create cfg.seed in
+  let rows = ref [] in
+  let emit pid label day hour =
+    let v, u = dose rng label in
+    let payload =
+      [| Value.Int pid; Value.Str label; Value.Float v; Value.Str u |]
+    in
+    rows := (payload, Time.add (Time.days day) (Time.hours hour)) :: !rows
+  in
+  for pid = 1 to cfg.patients do
+    (* Non-treatment noise: vitals, lab intake, administrative scans. *)
+    for day = 0 to cfg.horizon_days - 1 do
+      let n =
+        let base = int_of_float cfg.noise_per_day in
+        base
+        + (if Prng.chance rng (cfg.noise_per_day -. float_of_int base) then 1
+           else 0)
+      in
+      for _ = 1 to n do
+        emit pid
+          (Printf.sprintf "N%d" (1 + Prng.int rng 5))
+          day (7 + Prng.int rng 12)
+      done
+    done;
+    let start_day = (pid * 3) mod cfg.cycle_days in
+    let rec cycles cycle_start =
+      if cycle_start + cfg.prednisone_days + 3 <= cfg.horizon_days then begin
+        (* Pre-treatment blood count. *)
+        emit pid "B" cycle_start 8;
+        (* The administration block, in randomized within-day order: this
+           is the natural order variation that SES patterns are meant to
+           ignore (Sec. 1). *)
+        List.iteri
+          (fun i label -> emit pid label cycle_start (9 + i))
+          (Prng.shuffle rng [ "C"; "D"; "V"; "R"; "L" ]);
+        (* Daily Prednisone. *)
+        for d = 0 to cfg.prednisone_days - 1 do
+          emit pid "P" (cycle_start + d) (14 + Prng.int rng 2)
+        done;
+        (* Post-treatment blood count, after the last P administration. *)
+        emit pid "B" (cycle_start + cfg.prednisone_days + 2) 9;
+        cycles (cycle_start + cfg.cycle_days)
+      end
+    in
+    cycles start_day
+  done;
+  Relation.of_rows_exn schema (List.rev !rows)

@@ -1,0 +1,42 @@
+(** Synthetic chemotherapy event generator.
+
+    The paper evaluates on a proprietary event relation from the Department
+    of Haematology at the Hospital Meran-Merano (schema ID, L, V, U, T as
+    in its Figure 1). This generator produces a relation with the same
+    schema and the same observable structure: per-patient treatment cycles
+    in which a block of medication administrations — Ciclofosfamide (C),
+    Doxorubicina (D), Vincristine (V), Rituximab (R), L-asparaginase (L) —
+    is given in randomized within-day order, Prednisone (P) is administered
+    daily over several days, and blood-count measurements (B, WHO-Tox) are
+    interleaved. Patients are staggered so that events of different
+    patients overlap in time, which is what drives the window size W
+    (Definition 5). *)
+
+open Ses_event
+
+type config = {
+  seed : int64;
+  patients : int;
+  horizon_days : int;  (** length of the generated period *)
+  cycle_days : int;  (** days between treatment cycles of one patient *)
+  prednisone_days : int;  (** consecutive days with a P administration *)
+  noise_per_day : float;
+      (** expected number of non-treatment events (vitals, lab intake,
+          administrative scans — labels "N1" … "N5") per patient per day;
+          these are the events the Sec. 4.5 filter removes *)
+}
+
+val default : config
+(** 30 patients, 84 days, 21-day cycles, 5 days of Prednisone, one noise
+    event per patient-day — a few thousand events, a laptop-scale analogue
+    of the paper's D1; scale [patients] up for denser relations. *)
+
+val schema : Schema.t
+(** (ID : int, L : string, V : float, U : string) plus the timestamp. *)
+
+val labels : string list
+(** ["C"; "D"; "V"; "R"; "L"; "P"; "B"] — medication labels in the order
+    used by the growing patterns of Experiment 1, then Prednisone and the
+    blood count (noise labels "N1" … "N5" not included). *)
+
+val generate : config -> Relation.t

@@ -1,0 +1,49 @@
+open Ses_event
+
+type config = {
+  seed : int64;
+  shoppers : int;
+  window_clicks : int;
+}
+
+let default = { seed = 0xC11C5L; shoppers = 18; window_clicks = 8 }
+
+let schema =
+  Schema.make_exn
+    [ ("USER", Value.Tint); ("PAGE", Value.Tstr); ("REF", Value.Tstr) ]
+
+let noise_pages = [ "home"; "search"; "blog" ]
+
+let referrers = [ "direct"; "search"; "ad"; "mail" ]
+
+let generate cfg =
+  let rng = Prng.create cfg.seed in
+  let rows = ref [] in
+  let ts = ref 0 in
+  let emit user page =
+    rows :=
+      ( [| Value.Int user; Value.Str page; Value.Str (Prng.pick rng referrers) |],
+        !ts )
+      :: !rows
+  in
+  for shopper = 1 to cfg.shoppers do
+    let user = shopper in
+    (* The research phase: the three decision pages in any order,
+       interleaved with other users' noise clicks. *)
+    List.iter
+      (fun page ->
+        ts := !ts + 5 + Prng.int rng 60;
+        emit user page;
+        for _ = 1 to Prng.int rng (cfg.window_clicks / 3 + 1) do
+          ts := !ts + 1 + Prng.int rng 10;
+          emit (cfg.shoppers + 1 + Prng.int rng 20) (Prng.pick rng noise_pages)
+        done)
+      (Prng.shuffle rng [ "product"; "reviews"; "pricing" ]);
+    (* Roughly two thirds convert; the rest wander off. *)
+    if Prng.chance rng 0.66 then begin
+      ts := !ts + 10 + Prng.int rng 120;
+      emit user "checkout"
+    end;
+    ts := !ts + 120 + Prng.int rng 240
+  done;
+  Relation.of_rows_exn schema (List.rev !rows)

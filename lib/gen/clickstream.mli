@@ -1,0 +1,25 @@
+(** Synthetic click-stream feed for the e-commerce example.
+
+    Click-stream analysis is one of the paper's motivating domains. The
+    embedded behaviour: a purchase is preceded by a research phase in
+    which the shopper compares the product, its reviews and its pricing
+    page — in any order, because tabs — before checking out, all within a
+    session window. *)
+
+open Ses_event
+
+type config = {
+  seed : int64;
+  shoppers : int;  (** converting sessions to embed *)
+  window_clicks : int;  (** unrelated page views interleaved per session *)
+}
+
+val default : config
+
+val schema : Schema.t
+(** (USER : int, PAGE : string, REF : string — referrer kind) plus the
+    timestamp (seconds). Research pages are "product", "reviews",
+    "pricing"; the conversion is "checkout"; noise pages are "home",
+    "search", "blog". *)
+
+val generate : config -> Relation.t

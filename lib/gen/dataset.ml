@@ -1,0 +1,22 @@
+open Ses_event
+
+let duplicate k r =
+  if k < 1 then invalid_arg "Dataset.duplicate: k must be >= 1";
+  let rows = ref [] in
+  Relation.iter
+    (fun e ->
+      for _ = 1 to k do
+        rows := (e.Event.payload, Event.ts e) :: !rows
+      done)
+    r;
+  Relation.of_rows_exn (Relation.schema r) (List.rev !rows)
+
+let d_series r n =
+  List.init n (fun i ->
+      let k = i + 1 in
+      (Printf.sprintf "D%d" k, if k = 1 then r else duplicate k r))
+
+let describe r tau =
+  Printf.sprintf "%d events over %d time units, W(tau=%d) = %d"
+    (Relation.cardinality r) (Relation.duration r) tau
+    (Relation.window_size r tau)

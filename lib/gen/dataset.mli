@@ -1,0 +1,18 @@
+(** Dataset scaling as in Sec. 5.1.
+
+    The paper derives D2–D5 from the original relation D1 by replicating
+    every event 2–5 times, which multiplies the window size W accordingly
+    while keeping the time distribution fixed. *)
+
+open Ses_event
+
+val duplicate : int -> Relation.t -> Relation.t
+(** [duplicate k r] contains every event of [r] exactly [k] times (equal
+    payloads and timestamps, distinct sequence numbers). [k] ≥ 1. *)
+
+val d_series : Relation.t -> int -> (string * Relation.t) list
+(** [d_series r n] is [("D1", D1); …; ("Dn", Dn)] with D1 = [r] and
+    Dk = [duplicate k r]. *)
+
+val describe : Relation.t -> Time.duration -> string
+(** One-line summary: cardinality, span, window size at the given τ. *)

@@ -1,0 +1,67 @@
+open Ses_event
+
+type config = {
+  seed : int64;
+  baskets : int;
+  noise_per_basket : int;
+  symbols : string list;
+}
+
+let default =
+  {
+    seed = 0xF1AA5CE5L;
+    baskets = 20;
+    noise_per_basket = 12;
+    symbols = [ "ACME"; "GLOBO"; "INITECH" ];
+  }
+
+let schema =
+  Schema.make_exn
+    [
+      ("ACC", Value.Tint);
+      ("KIND", Value.Tstr);
+      ("SYM", Value.Tstr);
+      ("PRICE", Value.Tfloat);
+      ("QTY", Value.Tint);
+    ]
+
+let generate cfg =
+  let rng = Prng.create cfg.seed in
+  let rows = ref [] in
+  let ts = ref 0 in
+  let emit acc kind sym price qty =
+    rows :=
+      ( [|
+          Value.Int acc;
+          Value.Str kind;
+          Value.Str sym;
+          Value.Float price;
+          Value.Int qty;
+        |],
+        !ts )
+      :: !rows
+  in
+  let noise_symbols = [ "NOISE1"; "NOISE2"; "NOISE3" ] in
+  for basket = 1 to cfg.baskets do
+    let acc = 1 + ((basket - 1) mod 4) in
+    (* Fills arrive in market order — any permutation of the basket. *)
+    List.iter
+      (fun sym ->
+        ts := !ts + 1 + Prng.int rng 30;
+        emit acc "BUY" sym (50.0 +. Prng.float rng 100.0) (100 * (1 + Prng.int rng 9));
+        for _ = 1 to Prng.int rng (cfg.noise_per_basket / 3 + 1) do
+          ts := !ts + 1 + Prng.int rng 5;
+          emit
+            (1 + Prng.int rng 4)
+            "TICK" (Prng.pick rng noise_symbols)
+            (10.0 +. Prng.float rng 20.0)
+            0
+        done)
+      (Prng.shuffle rng cfg.symbols);
+    ts := !ts + 1 + Prng.int rng 60;
+    emit acc "HEDGE" "FUT" (980.0 +. Prng.float rng 40.0) 1;
+    (* Keep executions of one account farther apart than the example
+       pattern's 10-minute window, so baskets do not recombine. *)
+    ts := !ts + 200 + Prng.int rng 100
+  done;
+  Relation.of_rows_exn schema (List.rev !rows)

@@ -1,0 +1,25 @@
+(** Synthetic trade-execution feed for the finance example.
+
+    The SQL change proposal that introduces PERMUTE motivates it with
+    financial use cases; the example scenario here is basket trading: a
+    basket order is filled by buying its constituent symbols in whatever
+    order the market allows, and the position is hedged afterwards. An SES
+    pattern recognizes completed baskets — the buy fills in any order,
+    followed by the hedge, all within a time window. *)
+
+open Ses_event
+
+type config = {
+  seed : int64;
+  baskets : int;  (** number of basket executions to embed *)
+  noise_per_basket : int;  (** unrelated ticks interleaved per basket *)
+  symbols : string list;  (** basket constituents *)
+}
+
+val default : config
+
+val schema : Schema.t
+(** (ACC : int — account, KIND : string — "BUY" | "HEDGE" | "TICK",
+    SYM : string, PRICE : float, QTY : int) plus the timestamp (seconds). *)
+
+val generate : config -> Relation.t

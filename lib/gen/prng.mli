@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Self-contained so that generated datasets are reproducible across OCaml
+    versions (the stdlib [Random] algorithm changed in 5.x) — every
+    experiment in the repository is seeded. *)
+
+type t
+
+val create : int64 -> t
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** The raw splitmix64 stream. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates. *)

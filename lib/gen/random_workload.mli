@@ -1,0 +1,45 @@
+(** Random relations and random SES patterns for property-based testing.
+
+    The generators are deliberately small-domain (few labels, few entity
+    ids, short gaps) so that random patterns actually match, exercise
+    nondeterministic branching and group-variable loops, and keep
+    brute-force cross-checks affordable. *)
+
+open Ses_event
+open Ses_pattern
+
+val schema : Schema.t
+(** (ID : int, L : string, V : int) plus the timestamp. *)
+
+type relation_spec = {
+  n_events : int;
+  n_labels : int;  (** labels "a", "b", … *)
+  n_ids : int;  (** entity ids 1 … n *)
+  min_gap : int;
+      (** minimal time-unit gap between consecutive events; 0 allows
+          simultaneous events, 1 yields the strictly increasing timestamps
+          the paper assumes (its Sec. 3.1 total order) *)
+  max_gap : int;  (** maximal time-unit gap between consecutive events *)
+  max_value : int;  (** V is uniform in [0, max_value] *)
+}
+
+val default_relation : relation_spec
+
+val relation : Prng.t -> relation_spec -> Relation.t
+
+type pattern_spec = {
+  max_sets : int;  (** ≥ 1 *)
+  max_vars_per_set : int;  (** ≥ 1 *)
+  allow_groups : bool;  (** at most one group variable is generated *)
+  p_label_cond : float;  (** probability a variable gets an L = 'x' condition *)
+  p_id_join : float;  (** probability of an ID-equality chain across variables *)
+  p_value_cond : float;  (** probability of a V φ k condition *)
+  n_labels : int;
+  max_value : int;
+  tau_min : int;
+  tau_max : int;
+}
+
+val default_pattern : pattern_spec
+
+val pattern : Prng.t -> pattern_spec -> Pattern.t

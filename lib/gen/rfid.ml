@@ -1,0 +1,45 @@
+open Ses_event
+
+type config = {
+  seed : int64;
+  orders : int;
+  items_per_order : int;
+  stray_reads : int;
+}
+
+let default = { seed = 0x5F1DL; orders = 15; items_per_order = 3; stray_reads = 6 }
+
+let schema =
+  Schema.make_exn
+    [ ("ORDER", Value.Tint); ("READER", Value.Tstr); ("ITEM", Value.Tstr) ]
+
+let item_classes = [ "BOX"; "MANUAL"; "CABLE"; "PSU"; "TOOL" ]
+
+let generate cfg =
+  let rng = Prng.create cfg.seed in
+  let rows = ref [] in
+  let ts = ref 0 in
+  let emit order reader item =
+    rows :=
+      ([| Value.Int order; Value.Str reader; Value.Str item |], !ts) :: !rows
+  in
+  for order = 1 to cfg.orders do
+    let items =
+      List.filteri (fun i _ -> i < cfg.items_per_order)
+        (Prng.shuffle rng item_classes)
+    in
+    (* Packing scans in arbitrary order, interleaved with dock reads of
+       other tags. *)
+    List.iter
+      (fun item ->
+        ts := !ts + 1 + Prng.int rng 40;
+        emit order "PACK" item;
+        for _ = 1 to Prng.int rng (cfg.stray_reads / 2 + 1) do
+          ts := !ts + 1 + Prng.int rng 10;
+          emit (cfg.orders + 1 + Prng.int rng 5) "DOCK" (Prng.pick rng item_classes)
+        done)
+      items;
+    ts := !ts + 30 + Prng.int rng 120;
+    emit order "GATE" "PALLET"
+  done;
+  Relation.of_rows_exn schema (List.rev !rows)

@@ -1,0 +1,26 @@
+(** Synthetic RFID tracking feed for the warehouse example.
+
+    RFID-based tracking is one of the application domains the paper cites.
+    The scenario: an order is complete when each of its items has been
+    scanned at the packing station — in any order, because packers grab
+    items as they come — followed by a pallet scan at the shipping gate,
+    all within a shift window. *)
+
+open Ses_event
+
+type config = {
+  seed : int64;
+  orders : int;
+  items_per_order : int;  (** distinct item classes per order *)
+  stray_reads : int;  (** unrelated reads interleaved per order *)
+}
+
+val default : config
+
+val schema : Schema.t
+(** (ORDER : int, READER : string — "PACK" | "GATE" | "DOCK",
+    ITEM : string) plus the timestamp (seconds). *)
+
+val item_classes : string list
+
+val generate : config -> Relation.t

@@ -1,0 +1,36 @@
+open Ses_pattern
+
+let float_factorial n =
+  let rec go acc k = if k <= 1 then acc else go (acc *. float_of_int k) (k - 1) in
+  go 1.0 n
+
+let per_set p i ~w =
+  let size = List.length (Pattern.set_vars p i) in
+  match Exclusivity.classify_set p i with
+  | Exclusivity.Exclusive -> 1.0
+  | Exclusivity.Overlapping -> float_factorial size
+  | Exclusivity.Overlapping_with_groups 1 ->
+      float_factorial (size - 1) *. (float_of_int w ** float_of_int size)
+  | Exclusivity.Overlapping_with_groups k ->
+      float_of_int k
+      *. float_factorial (size - 1)
+      *. (float_of_int k ** float_of_int (w * size))
+
+let overall p ~w =
+  let n = Pattern.n_sets p in
+  let worst =
+    List.fold_left
+      (fun acc i -> Float.max acc (per_set p i ~w))
+      0.0
+      (List.init n Fun.id)
+  in
+  float_of_int w *. (worst ** float_of_int n)
+
+let describe p ~w =
+  let lines =
+    List.init (Pattern.n_sets p) (fun i ->
+        Format.asprintf "V%d %a: bound %g" (i + 1) Exclusivity.pp_case
+          (Exclusivity.classify_set p i) (per_set p i ~w))
+  in
+  String.concat "\n"
+    (lines @ [ Printf.sprintf "overall: %g" (overall p ~w) ])

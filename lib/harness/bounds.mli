@@ -1,0 +1,29 @@
+(** Theoretical upper bounds on the number of simultaneous automaton
+    instances (Theorems 1–3, Sec. 4.4).
+
+    The theorems bound the instances branching from {e one} instance
+    started in the start state of an automaton for a single event set
+    pattern V1:
+
+    - case 1 (pairwise mutually exclusive): O(1);
+    - case 2 (overlapping, no groups): O(|V1|!);
+    - case 3 with k = 1 group variable: O((|V1|−1)! · W^|V1|);
+    - case 3 with k > 1: O(k · (|V1|−1)! · k^(W·|V1|)).
+
+    For a pattern with n event set patterns the overall bound is
+    O(W · (|Ω|max)^n), where |Ω|max is the worst per-set bound and the
+    leading W accounts for the one fresh instance opened per event of a
+    τ-window. Bounds are returned as floats because case 3 overflows any
+    integer type already for toy parameters; [infinity] signals overflow. *)
+
+open Ses_pattern
+
+val per_set : Pattern.t -> int -> w:int -> float
+(** Bound for one event set pattern per Theorems 1–3, given window size
+    [w]. *)
+
+val overall : Pattern.t -> w:int -> float
+(** W · (max per-set bound)^n. *)
+
+val describe : Pattern.t -> w:int -> string
+(** Case classification and bounds, one line per event set pattern. *)

@@ -1,0 +1,25 @@
+open Ses_event
+open Ses_pattern
+open Ses_core
+
+let cell_of_bindings events =
+  String.concat " "
+    (List.map (fun e -> Printf.sprintf "%s@%d" (Event.name e) (Event.ts e)) events)
+
+let of_matches p matches =
+  let vars = List.init (Pattern.n_vars p) Fun.id in
+  let headers = "#" :: List.map (Pattern.var_name p) vars @ [ "span" ] in
+  let rows =
+    List.mapi
+      (fun i subst ->
+        Report.int_cell (i + 1)
+        :: List.map
+             (fun v -> cell_of_bindings (Substitution.bindings_of subst v))
+             vars
+        @ [ Report.int_cell (Substitution.span subst) ])
+      matches
+  in
+  Report.make
+    ~title:(Printf.sprintf "%d match%s" (List.length matches)
+              (if List.length matches = 1 then "" else "es"))
+    ~headers rows

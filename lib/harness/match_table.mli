@@ -1,0 +1,9 @@
+(** Tabular rendering of match results: one row per matching substitution,
+    one column per pattern variable (group variables list all their
+    bindings), plus the match's time span. Used by the CLI's
+    [match --table]. *)
+
+open Ses_pattern
+open Ses_core
+
+val of_matches : Pattern.t -> Substitution.t list -> Report.t

@@ -1,0 +1,137 @@
+open Ses_event
+open Ses_pattern
+
+let tau = 264
+
+let schema = Ses_gen.Chemo.schema
+
+(* Variable names and the medication label each one matches under the
+   "distinct medications" condition sets (Θ1 of Experiment 1). *)
+let med_vars =
+  [ ("c", "C"); ("d", "D"); ("p", "P"); ("v", "V"); ("r", "R"); ("l", "L") ]
+
+let label_cond name label =
+  Pattern.Spec.const name "L" Predicate.Eq (Value.Str label)
+
+let q1 =
+  Pattern.make_exn ~schema
+    ~sets:
+      [
+        [ Variable.singleton "c"; Variable.group "p"; Variable.singleton "d" ];
+        [ Variable.singleton "b" ];
+      ]
+    ~where:
+      ([
+         label_cond "c" "C";
+         label_cond "p" "P";
+         label_cond "d" "D";
+         label_cond "b" "B";
+       ]
+      @ Pattern.Spec.
+          [
+            fields "c" "ID" Predicate.Eq "p" "ID";
+            fields "c" "ID" Predicate.Eq "d" "ID";
+            fields "d" "ID" Predicate.Eq "b" "ID";
+          ])
+    ~within:tau
+
+let q1_complete =
+  Pattern.make_exn ~schema
+    ~sets:
+      [
+        [ Variable.singleton "c"; Variable.singleton "p"; Variable.singleton "d" ];
+        [ Variable.singleton "b" ];
+      ]
+    ~where:
+      ([
+         label_cond "c" "C";
+         label_cond "p" "P";
+         label_cond "d" "D";
+         label_cond "b" "B";
+       ]
+      @ Pattern.Spec.
+          [
+            fields "c" "ID" Predicate.Eq "p" "ID";
+            fields "c" "ID" Predicate.Eq "d" "ID";
+            fields "c" "ID" Predicate.Eq "b" "ID";
+            fields "p" "ID" Predicate.Eq "d" "ID";
+            fields "p" "ID" Predicate.Eq "b" "ID";
+            fields "d" "ID" Predicate.Eq "b" "ID";
+          ])
+    ~within:tau
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let exp1_sets n =
+  [
+    List.map (fun (name, _) -> Variable.singleton name) (take n med_vars);
+    [ Variable.singleton "b" ];
+  ]
+
+let exp1_exclusive n =
+  if n < 2 || n > List.length med_vars then invalid_arg "Queries.exp1_exclusive";
+  Pattern.make_exn ~schema ~sets:(exp1_sets n)
+    ~where:
+      (List.map (fun (name, label) -> label_cond name label) (take n med_vars)
+      @ [ label_cond "b" "B" ])
+    ~within:tau
+
+let exp1_overlapping n =
+  if n < 2 || n > List.length med_vars then
+    invalid_arg "Queries.exp1_overlapping";
+  Pattern.make_exn ~schema ~sets:(exp1_sets n)
+    ~where:
+      (List.map (fun (name, _) -> label_cond name "P") (take n med_vars)
+      @ [ label_cond "b" "B" ])
+    ~within:tau
+
+let cdp_sets ~group =
+  [
+    [
+      Variable.singleton "c";
+      Variable.singleton "d";
+      (if group then Variable.group "p" else Variable.singleton "p");
+    ];
+    [ Variable.singleton "b" ];
+  ]
+
+let same_type_conds =
+  [
+    label_cond "c" "P";
+    label_cond "d" "P";
+    label_cond "p" "P";
+    label_cond "b" "B";
+  ]
+
+let distinct_conds =
+  [
+    label_cond "c" "C";
+    label_cond "d" "D";
+    label_cond "p" "P";
+    label_cond "b" "B";
+  ]
+
+let p3 =
+  Pattern.make_exn ~schema ~sets:(cdp_sets ~group:true) ~where:same_type_conds
+    ~within:tau
+
+let p4 =
+  Pattern.make_exn ~schema ~sets:(cdp_sets ~group:false) ~where:same_type_conds
+    ~within:tau
+
+let p5 =
+  Pattern.make_exn ~schema ~sets:(cdp_sets ~group:true) ~where:distinct_conds
+    ~within:tau
+
+let p6 = p3
+
+let p6_dose =
+  Pattern.make_exn ~schema ~sets:(cdp_sets ~group:true)
+    ~where:
+      (same_type_conds
+      @ [
+          Pattern.Spec.const "c" "V" Predicate.Ge (Value.Float 100.0);
+          Pattern.Spec.const "d" "V" Predicate.Ge (Value.Float 100.0);
+          Pattern.Spec.const "p" "V" Predicate.Ge (Value.Float 100.0);
+        ])
+    ~within:tau

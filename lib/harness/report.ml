@@ -1,0 +1,58 @@
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+}
+
+let make ~title ~headers rows = { title; headers; rows }
+
+let int_cell = string_of_int
+
+let float_cell ?(decimals = 3) f =
+  if Float.is_integer f && Float.abs f < 1e15 && decimals = 0 then
+    Printf.sprintf "%.0f" f
+  else if Float.abs f >= 1e9 then Printf.sprintf "%.3e" f
+  else Printf.sprintf "%.*f" decimals f
+
+let ratio_cell a b =
+  if b = 0 then "-" else Printf.sprintf "%.1f" (float_of_int a /. float_of_int b)
+
+let widths t =
+  let all = t.headers :: t.rows in
+  let n = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let w = Array.make n 0 in
+  List.iter
+    (List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)))
+    all;
+  w
+
+let pp ppf t =
+  let w = widths t in
+  let pad i cell = cell ^ String.make (w.(i) - String.length cell) ' ' in
+  let pp_row row =
+    Format.fprintf ppf "  %s@,"
+      (String.trim (String.concat "  " (List.mapi pad row)))
+  in
+  Format.fprintf ppf "@[<v>%s@," t.title;
+  Format.fprintf ppf "%s@," (String.make (String.length t.title) '-');
+  pp_row t.headers;
+  List.iter pp_row t.rows;
+  Format.fprintf ppf "@]"
+
+let csv_field s =
+  if String.exists (function ',' | '"' | '\n' -> true | _ -> false) s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_field row) in
+  String.concat "\n" (line t.headers :: List.map line t.rows) ^ "\n"
+
+let save_csv path t =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_csv t));
+    Ok ()
+  with Sys_error msg -> Error msg

@@ -1,0 +1,26 @@
+(** Result tables for the experiment harness: aligned text rendering for
+    the terminal and CSV export for plotting. *)
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+}
+
+val make : title:string -> headers:string list -> string list list -> t
+
+val int_cell : int -> string
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point with the given decimals (default 3); very large magnitudes
+    fall back to scientific notation. *)
+
+val ratio_cell : int -> int -> string
+(** [ratio_cell a b] renders a/b with one decimal; "-" when b = 0. *)
+
+val pp : Format.formatter -> t -> unit
+(** Title, rule, aligned columns. *)
+
+val to_csv : t -> string
+
+val save_csv : string -> t -> (unit, string) result

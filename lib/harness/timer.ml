@@ -1,0 +1,13 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let time_median ?(repeats = 3) f =
+  if repeats < 1 then invalid_arg "Timer.time_median";
+  let runs = List.init repeats (fun _ -> time f) in
+  let times = List.sort Float.compare (List.map snd runs) in
+  let median = List.nth times (repeats / 2) in
+  match List.rev runs with
+  | (last, _) :: _ -> (last, median)
+  | [] -> assert false

@@ -1,0 +1,8 @@
+(** Wall-clock timing for the experiment harness. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Result and elapsed seconds. *)
+
+val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
+(** Runs the thunk [repeats] times (default 3) and reports the median
+    elapsed time with the last result. *)

@@ -1,0 +1,69 @@
+open Ses_event
+open Ses_pattern
+
+type var_decl = {
+  name : string;
+  quantifier : Variable.quantifier;
+}
+
+type time_unit =
+  | Raw
+  | Hours
+  | Days
+
+type set_decl = {
+  negated : bool;
+  vars : var_decl list;
+}
+
+type t = {
+  sets : set_decl list;
+  where : Pattern.Spec.cond list;
+  within : int;
+  unit_ : time_unit;
+}
+
+let duration ast =
+  match ast.unit_ with
+  | Raw | Hours -> ast.within
+  | Days -> 24 * ast.within
+
+let pp_var ppf v =
+  Format.pp_print_string ppf
+    (Variable.to_string { Variable.name = v.name; quantifier = v.quantifier })
+
+let pp_operand ppf = function
+  | Pattern.Spec.Const v ->
+      (* [Value.to_string] doubles embedded quotes, so string constants
+         survive a print/parse roundtrip. *)
+      Format.pp_print_string ppf (Value.to_string v)
+  | Pattern.Spec.Field (var, attr) -> Format.fprintf ppf "%s.%s" var attr
+
+let pp_cond ppf (c : Pattern.Spec.cond) =
+  let var, attr = c.left in
+  Format.fprintf ppf "%s.%s %a %a" var attr Predicate.pp c.op pp_operand
+    c.right
+
+let pp ppf ast =
+  let pp_set ppf set =
+    Format.fprintf ppf "%s(%a)"
+      (if set.negated then "NOT " else "")
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_var)
+      set.vars
+  in
+  Format.fprintf ppf "@[<v>PATTERN %a@,"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+       pp_set)
+    ast.sets;
+  (match ast.where with
+  | [] -> ()
+  | conds ->
+      Format.fprintf ppf "WHERE %a@,"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " AND ")
+           pp_cond)
+        conds);
+  Format.fprintf ppf "WITHIN %d@]" (duration ast)

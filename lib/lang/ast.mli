@@ -1,0 +1,36 @@
+(** Abstract syntax of the pattern language, prior to schema resolution. *)
+
+open Ses_pattern
+
+type var_decl = {
+  name : string;
+  quantifier : Ses_pattern.Variable.quantifier;
+      (** \{1,1\} for a bare name, \{1,∞\} for a trailing [+], or explicit
+          [{m}], [{m,}], [{m,n}] bounds *)
+}
+
+type time_unit =
+  | Raw  (** plain number or UNITS *)
+  | Hours
+  | Days
+
+type set_decl = {
+  negated : bool;
+      (** a [NOT (…)] group: its variables are exclusion guards between
+          the surrounding positive sets, not matched events *)
+  vars : var_decl list;
+}
+
+type t = {
+  sets : set_decl list;  (** the PERMUTE chain, with interleaved NOT sets *)
+  where : Pattern.Spec.cond list;
+  within : int;
+  unit_ : time_unit;
+}
+
+val duration : t -> int
+(** τ in raw time units: [Hours] maps to ×1 and [Days] to ×24, matching
+    hour-granularity relations like the paper's. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-prints back to concrete syntax (always with a raw WITHIN). *)

@@ -1,0 +1,72 @@
+open Ses_pattern
+
+let compile schema (ast : Ast.t) =
+  let to_variable (v : Ast.var_decl) =
+    { Variable.name = v.name; quantifier = v.quantifier }
+  in
+  (* Positive sets index the boundaries; a NOT group guards the boundary
+     after the positive set preceding it. *)
+  let sets, negations, _ =
+    List.fold_left
+      (fun (sets, negations, pos_index) (decl : Ast.set_decl) ->
+        if decl.negated then
+          ( sets,
+            negations @ List.map (fun v -> (pos_index - 1, to_variable v)) decl.vars,
+            pos_index )
+        else (sets @ [ List.map to_variable decl.vars ], negations, pos_index + 1))
+      ([], [], 0) ast.sets
+  in
+  Pattern.make_full ~schema ~sets ~negations ~where:ast.where
+    ~within:(Ast.duration ast)
+
+let parse_pattern schema src =
+  match Parser.parse src with
+  | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Ok ast -> (
+      match compile schema ast with
+      | Ok p -> Ok p
+      | Error errs -> Error (String.concat "; " errs))
+
+let parse_pattern_exn schema src =
+  match parse_pattern schema src with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Lang.parse_pattern_exn: " ^ msg)
+
+let ast_of_pattern p =
+  let schema = Pattern.schema p in
+  let decl_of vid =
+    let var = Pattern.variable p vid in
+    { Ast.name = var.Variable.name; quantifier = var.Variable.quantifier }
+  in
+  let sets =
+    List.concat
+      (List.init (Pattern.n_sets p) (fun i ->
+           let positive =
+             { Ast.negated = false; vars = List.map decl_of (Pattern.set_vars p i) }
+           in
+           let guards =
+             List.filter_map
+               (fun (b, nv) ->
+                 if b = i then
+                   Some { Ast.negated = true; vars = [ decl_of nv ] }
+                 else None)
+               (Pattern.negations p)
+           in
+           positive :: guards))
+  in
+  let bare vid = (Pattern.variable p vid).Variable.name in
+  let field_name f = Ses_event.Schema.Field.name schema f in
+  let where =
+    List.map
+      (fun (c : Condition.t) ->
+        let right =
+          match c.rhs with
+          | Condition.Const v -> Pattern.Spec.Const v
+          | Condition.Var (v', f') -> Pattern.Spec.Field (bare v', field_name f')
+        in
+        { Pattern.Spec.left = (bare c.var, field_name c.field); op = c.op; right })
+      (Pattern.conditions p)
+  in
+  { Ast.sets; where; within = Pattern.tau p; unit_ = Ast.Raw }
+
+let to_query p = Format.asprintf "%a" Ast.pp (ast_of_pattern p)

@@ -1,0 +1,20 @@
+(** Front door of the pattern language: parse + resolve against a schema. *)
+
+
+open Ses_pattern
+
+val compile : Ses_event.Schema.t -> Ast.t -> (Pattern.t, string list) result
+(** Resolves variable declarations and conditions against the schema
+    (unknown attributes, duplicate variables and type mismatches are
+    reported by {!Ses_pattern.Pattern.make}). *)
+
+val parse_pattern : Ses_event.Schema.t -> string -> (Pattern.t, string) result
+(** [parse_pattern schema src] parses and compiles in one step; all lexer,
+    parser and resolution errors are rendered into the error string. *)
+
+val parse_pattern_exn : Ses_event.Schema.t -> string -> Pattern.t
+
+val to_query : Pattern.t -> string
+(** Renders a pattern back to concrete syntax (WITHIN in raw units). The
+    result reparses to an equivalent pattern against the same schema:
+    [parse_pattern schema (to_query p)] succeeds and matches like [p]. *)

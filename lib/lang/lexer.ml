@@ -1,0 +1,186 @@
+type error = {
+  message : string;
+  line : int;
+  col : int;
+}
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d, column %d: %s" e.line e.col e.message
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword_of = function
+  | "PATTERN" -> Some Token.PATTERN
+  | "WHERE" -> Some Token.WHERE
+  | "WITHIN" -> Some Token.WITHIN
+  | "AND" -> Some Token.AND
+  | "DAYS" | "DAY" -> Some Token.DAYS
+  | "HOURS" | "HOUR" -> Some Token.HOURS
+  | "UNITS" | "UNIT" -> Some Token.UNITS
+  | "NOT" -> Some Token.NOT
+  | _ -> None
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident c | None -> false) do
+    advance st
+  done;
+  let word = String.sub st.src start (st.pos - start) in
+  match keyword_of (String.uppercase_ascii word) with
+  | Some kw -> kw
+  | None -> Token.IDENT word
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float =
+    match peek st, peek2 st with
+    | Some '.', Some c when is_digit c -> true
+    | Some _, _ | None, _ -> false
+  in
+  if is_float then begin
+    advance st;
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    Token.FLOAT (float_of_string (String.sub st.src start (st.pos - start)))
+  end
+  else Token.INT (int_of_string (String.sub st.src start (st.pos - start)))
+
+exception Fail of error
+
+let fail st message = raise (Fail { message; line = st.line; col = st.col })
+
+let lex_string st =
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string literal"
+    | Some '\'' when peek2 st = Some '\'' ->
+        Buffer.add_char buf '\'';
+        advance st;
+        advance st;
+        go ()
+    | Some '\'' -> advance st
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Token.STRING (Buffer.contents buf)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let tokens = ref [] in
+  let emit tok line col = tokens := (tok, line, col) :: !tokens in
+  try
+    let rec loop () =
+      let line = st.line and col = st.col in
+      match peek st with
+      | None -> emit Token.EOF line col
+      | Some (' ' | '\t' | '\r' | '\n') ->
+          advance st;
+          loop ()
+      | Some '-' when peek2 st = Some '-' ->
+          while (match peek st with Some c -> c <> '\n' | None -> false) do
+            advance st
+          done;
+          loop ()
+      | Some '-' when (match peek2 st with Some c -> is_digit c | None -> false) ->
+          advance st;
+          let tok =
+            match lex_number st with
+            | Token.INT n -> Token.INT (-n)
+            | Token.FLOAT f -> Token.FLOAT (-.f)
+            | t -> t
+          in
+          emit tok line col;
+          loop ()
+      | Some '-' when peek2 st = Some '>' ->
+          advance st;
+          advance st;
+          emit Token.ARROW line col;
+          loop ()
+      | Some '(' -> advance st; emit Token.LPAREN line col; loop ()
+      | Some ')' -> advance st; emit Token.RPAREN line col; loop ()
+      | Some ',' -> advance st; emit Token.COMMA line col; loop ()
+      | Some '.' -> advance st; emit Token.DOT line col; loop ()
+      | Some '+' -> advance st; emit Token.PLUS line col; loop ()
+      | Some '{' -> advance st; emit Token.LBRACE line col; loop ()
+      | Some '}' -> advance st; emit Token.RBRACE line col; loop ()
+      | Some '=' ->
+          advance st;
+          if peek st = Some '=' then advance st;
+          emit (Token.OP Ses_event.Predicate.Eq) line col;
+          loop ()
+      | Some '!' when peek2 st = Some '=' ->
+          advance st;
+          advance st;
+          emit (Token.OP Ses_event.Predicate.Neq) line col;
+          loop ()
+      | Some '<' ->
+          advance st;
+          let op =
+            match peek st with
+            | Some '>' -> advance st; Ses_event.Predicate.Neq
+            | Some '=' -> advance st; Ses_event.Predicate.Le
+            | Some _ | None -> Ses_event.Predicate.Lt
+          in
+          emit (Token.OP op) line col;
+          loop ()
+      | Some '>' ->
+          advance st;
+          let op =
+            match peek st with
+            | Some '=' -> advance st; Ses_event.Predicate.Ge
+            | Some _ | None -> Ses_event.Predicate.Gt
+          in
+          emit (Token.OP op) line col;
+          loop ()
+      | Some '\'' ->
+          let tok = lex_string st in
+          emit tok line col;
+          loop ()
+      | Some c when is_ident_start c ->
+          let tok = lex_ident st in
+          emit tok line col;
+          loop ()
+      | Some c when is_digit c ->
+          let tok = lex_number st in
+          emit tok line col;
+          loop ()
+      | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+    in
+    loop ();
+    Ok (List.rev !tokens)
+  with Fail e -> Error e

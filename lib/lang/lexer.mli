@@ -1,0 +1,14 @@
+(** Hand-written lexer for the pattern language. *)
+
+type error = {
+  message : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val tokenize : string -> ((Token.t * int * int) list, error) result
+(** Token stream with (line, col) of each token start; the last entry is
+    always [EOF]. Comments run from [--] to end of line. String literals
+    are single-quoted with [''] escaping a quote. *)

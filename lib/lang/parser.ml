@@ -1,0 +1,225 @@
+open Ses_event
+open Ses_pattern
+
+type error = {
+  message : string;
+  line : int;
+  col : int;
+}
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d, column %d: %s" e.line e.col e.message
+
+type state = {
+  mutable tokens : (Token.t * int * int) list;
+}
+
+exception Fail of error
+
+let current st =
+  match st.tokens with
+  | tok :: _ -> tok
+  | [] -> (Token.EOF, 0, 0)
+
+let fail st message =
+  let _, line, col = current st in
+  raise (Fail { message; line; col })
+
+let advance st =
+  match st.tokens with
+  | _ :: rest -> st.tokens <- rest
+  | [] -> ()
+
+let expect st tok =
+  let got, _, _ = current st in
+  if Token.equal got tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Token.describe tok)
+         (Token.describe got))
+
+let parse_bounds st =
+  (* After '{': INT [ ',' [ INT ] ] '}'. *)
+  let min_count =
+    match current st with
+    | Token.INT n, _, _ ->
+        advance st;
+        n
+    | got, _, _ ->
+        fail st
+          (Printf.sprintf "expected a repetition count but found %s"
+             (Token.describe got))
+  in
+  let max_count =
+    match current st with
+    | Token.COMMA, _, _ -> (
+        advance st;
+        match current st with
+        | Token.INT n, _, _ ->
+            advance st;
+            Some n
+        | _ -> None)
+    | _ -> Some min_count
+  in
+  expect st Token.RBRACE;
+  if min_count < 1 then fail st "repetition minimum must be at least 1";
+  (match max_count with
+  | Some m when m < min_count ->
+      fail st "repetition maximum must not be below the minimum"
+  | Some _ | None -> ());
+  { Ses_pattern.Variable.min_count; max_count }
+
+let parse_var st =
+  match current st with
+  | Token.IDENT name, _, _ ->
+      advance st;
+      let quantifier =
+        match current st with
+        | Token.PLUS, _, _ ->
+            advance st;
+            { Ses_pattern.Variable.min_count = 1; max_count = None }
+        | Token.LBRACE, _, _ ->
+            advance st;
+            parse_bounds st
+        | _ -> { Ses_pattern.Variable.min_count = 1; max_count = Some 1 }
+      in
+      { Ast.name; quantifier }
+  | got, _, _ ->
+      fail st
+        (Printf.sprintf "expected a variable name but found %s"
+           (Token.describe got))
+
+let parse_set st =
+  match current st with
+  | Token.LPAREN, _, _ ->
+      advance st;
+      let rec more acc =
+        match current st with
+        | Token.COMMA, _, _ ->
+            advance st;
+            more (parse_var st :: acc)
+        | _ ->
+            expect st Token.RPAREN;
+            List.rev acc
+      in
+      more [ parse_var st ]
+  | _ -> [ parse_var st ]
+
+let parse_set_decl st =
+  match current st with
+  | Token.NOT, _, _ ->
+      advance st;
+      { Ast.negated = true; vars = parse_set st }
+  | _ -> { Ast.negated = false; vars = parse_set st }
+
+let parse_sets st =
+  let rec more acc =
+    match current st with
+    | Token.ARROW, _, _ ->
+        advance st;
+        more (parse_set_decl st :: acc)
+    | _ -> List.rev acc
+  in
+  more [ parse_set_decl st ]
+
+let parse_field st =
+  match current st with
+  | Token.IDENT var, _, _ ->
+      advance st;
+      expect st Token.DOT;
+      (match current st with
+      | Token.IDENT attr, _, _ ->
+          advance st;
+          (var, attr)
+      | got, _, _ ->
+          fail st
+            (Printf.sprintf "expected an attribute name but found %s"
+               (Token.describe got)))
+  | got, _, _ ->
+      fail st
+        (Printf.sprintf "expected a variable reference but found %s"
+           (Token.describe got))
+
+let parse_operand st =
+  match current st with
+  | Token.INT n, _, _ ->
+      advance st;
+      Pattern.Spec.Const (Value.Int n)
+  | Token.FLOAT f, _, _ ->
+      advance st;
+      Pattern.Spec.Const (Value.Float f)
+  | Token.STRING s, _, _ ->
+      advance st;
+      Pattern.Spec.Const (Value.Str s)
+  | Token.IDENT _, _, _ ->
+      let var, attr = parse_field st in
+      Pattern.Spec.Field (var, attr)
+  | got, _, _ ->
+      fail st
+        (Printf.sprintf "expected a constant or field reference but found %s"
+           (Token.describe got))
+
+let parse_cond st =
+  let left = parse_field st in
+  match current st with
+  | Token.OP op, _, _ ->
+      advance st;
+      { Pattern.Spec.left; op; right = parse_operand st }
+  | got, _, _ ->
+      fail st
+        (Printf.sprintf "expected a comparison operator but found %s"
+           (Token.describe got))
+
+let parse_conds st =
+  let rec more acc =
+    match current st with
+    | Token.AND, _, _ ->
+        advance st;
+        more (parse_cond st :: acc)
+    | _ -> List.rev acc
+  in
+  more [ parse_cond st ]
+
+let parse_query st =
+  expect st Token.PATTERN;
+  let sets = parse_sets st in
+  let where =
+    match current st with
+    | Token.WHERE, _, _ ->
+        advance st;
+        parse_conds st
+    | _ -> []
+  in
+  expect st Token.WITHIN;
+  let within =
+    match current st with
+    | Token.INT n, _, _ ->
+        advance st;
+        n
+    | got, _, _ ->
+        fail st
+          (Printf.sprintf "expected a duration but found %s"
+             (Token.describe got))
+  in
+  let unit_ =
+    match current st with
+    | Token.DAYS, _, _ ->
+        advance st;
+        Ast.Days
+    | Token.HOURS, _, _ ->
+        advance st;
+        Ast.Hours
+    | Token.UNITS, _, _ ->
+        advance st;
+        Ast.Raw
+    | _ -> Ast.Raw
+  in
+  expect st Token.EOF;
+  { Ast.sets; where; within; unit_ }
+
+let parse src =
+  match Lexer.tokenize src with
+  | Error { Lexer.message; line; col } -> Error { message; line; col }
+  | Ok tokens -> (
+      let st = { tokens } in
+      try Ok (parse_query st) with Fail e -> Error e)

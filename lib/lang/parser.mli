@@ -1,0 +1,26 @@
+(** Recursive-descent parser for the pattern language.
+
+    Grammar (keywords case-insensitive):
+    {v
+    query   ::= PATTERN sets [WHERE conds] WITHIN INT [unit] EOF
+    sets    ::= set ('->' set)*
+    set     ::= '(' var (',' var)* ')' | var
+    var     ::= IDENT ['+']
+    conds   ::= cond (AND cond)*
+    cond    ::= field op operand
+    field   ::= IDENT '.' IDENT
+    operand ::= field | INT | FLOAT | STRING
+    op      ::= '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+    unit    ::= DAYS | HOURS | UNITS
+    v} *)
+
+type error = {
+  message : string;
+  line : int;
+  col : int;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Ast.t, error) result
+(** Lexes and parses a query. *)

@@ -1,0 +1,51 @@
+type t =
+  | PATTERN
+  | WHERE
+  | WITHIN
+  | AND
+  | DAYS
+  | HOURS
+  | UNITS
+  | NOT
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | ARROW
+  | DOT
+  | PLUS
+  | LBRACE
+  | RBRACE
+  | OP of Ses_event.Predicate.op
+  | EOF
+
+let equal (a : t) (b : t) = a = b
+
+let describe = function
+  | PATTERN -> "PATTERN"
+  | WHERE -> "WHERE"
+  | WITHIN -> "WITHIN"
+  | AND -> "AND"
+  | DAYS -> "DAYS"
+  | HOURS -> "HOURS"
+  | UNITS -> "UNITS"
+  | NOT -> "NOT"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string '%s'" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | ARROW -> "'->'"
+  | DOT -> "'.'"
+  | PLUS -> "'+'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | OP op -> Printf.sprintf "'%s'" (Ses_event.Predicate.to_string op)
+  | EOF -> "end of input"
+
+let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -1,0 +1,48 @@
+(** Tokens of the SES pattern language.
+
+    The concrete syntax is a compact textual form of the SQL change
+    proposal's PERMUTE chains:
+
+    {v
+    PATTERN (c, p+, d) -> (b)
+    WHERE c.L = 'C' AND p.L = 'P' AND d.L = 'D' AND b.L = 'B'
+      AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+    WITHIN 11 DAYS
+    v}
+
+    Each parenthesized group is one event set pattern (a PERMUTE); [->]
+    sequences them; [+] marks group variables and [{m}], [{m,}], [{m,n}]
+    bounded quantifiers; [WITHIN] gives τ in raw time units, or with the
+    [DAYS]/[HOURS] suffixes for hour-granularity relations. Keywords are
+    case-insensitive. *)
+
+type t =
+  | PATTERN
+  | WHERE
+  | WITHIN
+  | AND
+  | DAYS
+  | HOURS
+  | UNITS
+  | NOT
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | ARROW
+  | DOT
+  | PLUS
+  | LBRACE
+  | RBRACE
+  | OP of Ses_event.Predicate.op
+  | EOF
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val describe : t -> string
+(** Human-readable name for error messages. *)

@@ -1,0 +1,77 @@
+open Ses_event
+
+type operand =
+  | Const of Value.t
+  | Var of int * Schema.Field.t
+
+type t = {
+  var : int;
+  field : Schema.Field.t;
+  op : Predicate.op;
+  rhs : operand;
+}
+
+let make_const ~var ~field op c = { var; field; op; rhs = Const c }
+
+let make_var ~var ~field op ~var' ~field' =
+  { var; field; op; rhs = Var (var', field') }
+
+let is_constant c = match c.rhs with Const _ -> true | Var _ -> false
+
+let vars c =
+  match c.rhs with
+  | Const _ -> [ c.var ]
+  | Var (v', _) -> if v' = c.var then [ c.var ] else [ c.var; v' ]
+
+let mentions c v = List.mem v (vars c)
+
+let other_var c v =
+  match c.rhs with
+  | Const _ -> None
+  | Var (v', _) ->
+      if v = c.var && v' <> v then Some v'
+      else if v = v' && c.var <> v then Some c.var
+      else None
+
+let typecheck schema c =
+  let lty = Schema.Field.type_of schema c.field in
+  let rty =
+    match c.rhs with
+    | Const v -> Value.type_of v
+    | Var (_, f) -> Schema.Field.type_of schema f
+  in
+  if Value.ty_compatible lty rty then Ok ()
+  else
+    Error
+      (Format.asprintf "condition compares incompatible types %a and %a"
+         Value.pp_ty lty Value.pp_ty rty)
+
+let eval_pair c left right = Predicate.eval c.op left right
+
+let holds c bindings =
+  let lefts = List.map (fun e -> Event.get e c.field) (bindings c.var) in
+  let rights =
+    match c.rhs with
+    | Const v -> [ v ]
+    | Var (v', f') -> List.map (fun e -> Event.get e f') (bindings v')
+  in
+  List.for_all (fun l -> List.for_all (fun r -> eval_pair c l r) rights) lefts
+
+let holds_binding c ~var ~event bindings =
+  let bindings_for v = if v = var then [ event ] else bindings v in
+  let lefts = List.map (fun e -> Event.get e c.field) (bindings_for c.var) in
+  let rights =
+    match c.rhs with
+    | Const v -> [ v ]
+    | Var (v', f') -> List.map (fun e -> Event.get e f') (bindings_for v')
+  in
+  List.for_all (fun l -> List.for_all (fun r -> eval_pair c l r) rights) lefts
+
+let pp schema ~name_of ppf c =
+  let pp_field ppf (v, f) =
+    Format.fprintf ppf "%s.%s" (name_of v) (Schema.Field.name schema f)
+  in
+  Format.fprintf ppf "%a %a " pp_field (c.var, c.field) Predicate.pp c.op;
+  match c.rhs with
+  | Const v -> Value.pp ppf v
+  | Var (v', f') -> pp_field ppf (v', f')

@@ -1,0 +1,46 @@
+open Ses_event
+
+type case =
+  | Exclusive
+  | Overlapping
+  | Overlapping_with_groups of int
+
+let mutually_exclusive p v v' =
+  v <> v'
+  && List.exists
+       (fun (field, op, c) ->
+         List.exists
+           (fun (field', op', c') ->
+             Schema.Field.equal field field'
+             && not (Predicate.conjunction_satisfiable (op, c) (op', c')))
+           (Pattern.constant_conditions_on p v'))
+       (Pattern.constant_conditions_on p v)
+
+let pairwise_exclusive p vars =
+  let rec check = function
+    | [] -> true
+    | v :: rest ->
+        List.for_all (mutually_exclusive p v) rest && check rest
+  in
+  check vars
+
+let all_pairwise_exclusive p =
+  pairwise_exclusive p (List.init (Pattern.n_vars p) Fun.id)
+
+let set_pairwise_exclusive p i = pairwise_exclusive p (Pattern.set_vars p i)
+
+let classify_set p i =
+  let vars = Pattern.set_vars p i in
+  if pairwise_exclusive p vars then Exclusive
+  else
+    let groups = List.length (List.filter (Pattern.is_group p) vars) in
+    if groups = 0 then Overlapping else Overlapping_with_groups groups
+
+let classify p = List.init (Pattern.n_sets p) (classify_set p)
+
+let pp_case ppf = function
+  | Exclusive -> Format.pp_print_string ppf "case 1 (pairwise mutually exclusive)"
+  | Overlapping -> Format.pp_print_string ppf "case 2 (overlapping, no groups)"
+  | Overlapping_with_groups k ->
+      Format.fprintf ppf "case 3 (overlapping, %d group variable%s)" k
+        (if k = 1 then "" else "s")

@@ -1,0 +1,37 @@
+(** Mutual exclusivity of event variables (Definition 6) and the
+    complexity-case classification of Sec. 4.4.
+
+    Two variables are mutually exclusive when Θ contains constant
+    conditions [v.A φ C] and [v'.A φ' C'] over the {e same} attribute A
+    such that no event satisfies both. Exclusivity rules out
+    nondeterminism during execution (Lemma 1); the classification below
+    predicts the instance-count bounds of Theorems 1–3. The analysis is
+    conservative: the underlying satisfiability check treats the value
+    order as dense, so it may fail to detect exclusivity in exotic integer
+    cases but never wrongly reports it. *)
+
+(** Shape of an event set pattern w.r.t. the complexity analysis. *)
+type case =
+  | Exclusive
+      (** Case 1: all variables pairwise mutually exclusive — |Ω| is O(1). *)
+  | Overlapping
+      (** Case 2: not pairwise exclusive, no group variable — |Ω| is
+          O(|Vi|!). *)
+  | Overlapping_with_groups of int
+      (** Case 3: not pairwise exclusive with k ≥ 1 group variables. *)
+
+val mutually_exclusive : Pattern.t -> int -> int -> bool
+(** Whether two variables of the pattern are mutually exclusive. *)
+
+val all_pairwise_exclusive : Pattern.t -> bool
+(** All variables of the whole pattern, as in Lemma 1. *)
+
+val set_pairwise_exclusive : Pattern.t -> int -> bool
+(** All variables of one event set pattern. *)
+
+val classify_set : Pattern.t -> int -> case
+
+val classify : Pattern.t -> case list
+(** One case per event set pattern, in order. *)
+
+val pp_case : Format.formatter -> case -> unit

@@ -1,0 +1,39 @@
+type quantifier = {
+  min_count : int;
+  max_count : int option;
+}
+
+type t = {
+  name : string;
+  quantifier : quantifier;
+}
+
+let singleton name = { name; quantifier = { min_count = 1; max_count = Some 1 } }
+
+let group name = { name; quantifier = { min_count = 1; max_count = None } }
+
+let repeat ?max ~min name =
+  if min < 1 then invalid_arg "Variable.repeat: min must be >= 1";
+  (match max with
+  | Some m when m < min -> invalid_arg "Variable.repeat: max must be >= min"
+  | Some _ | None -> ());
+  { name; quantifier = { min_count = min; max_count = max } }
+
+let is_group v = v.quantifier.max_count <> Some 1 || v.quantifier.min_count > 1
+
+let min_count v = v.quantifier.min_count
+
+let max_count v = v.quantifier.max_count
+
+let equal a b = a.name = b.name && a.quantifier = b.quantifier
+
+let to_string v =
+  match v.quantifier with
+  | { min_count = 1; max_count = Some 1 } -> v.name
+  | { min_count = 1; max_count = None } -> v.name ^ "+"
+  | { min_count = m; max_count = None } -> Printf.sprintf "%s{%d,}" v.name m
+  | { min_count = m; max_count = Some n } when m = n ->
+      Printf.sprintf "%s{%d}" v.name m
+  | { min_count = m; max_count = Some n } -> Printf.sprintf "%s{%d,%d}" v.name m n
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,48 @@
+(** Event variables (Sec. 3.2) with quantifiers.
+
+    The paper has two kinds of variables: singletons, which bind exactly
+    one input event, and group variables v+ (Kleene plus), which bind one
+    or more. Following the SQL change proposal's regular-expression
+    quantifiers — and the paper's "broader class of SES patterns" future
+    work — this implementation generalizes both to bounded repetition
+    v\{min,max\}: a variable binds at least [min] (≥ 1) and at most [max]
+    events ([None] = unbounded). [singleton] is \{1,1\} and [group] is
+    \{1,∞\}.
+
+    Variables are identified inside a pattern by their position in the
+    pattern's variable table; this module only carries the declaration. *)
+
+type quantifier = {
+  min_count : int;  (** ≥ 1 *)
+  max_count : int option;  (** [None] = unbounded; [Some m] requires m ≥ min *)
+}
+
+type t = {
+  name : string;
+  quantifier : quantifier;
+}
+
+val singleton : string -> t
+(** [singleton "c"] declares the variable c = c\{1,1\}. *)
+
+val group : string -> t
+(** [group "p"] declares the group variable p+ = p\{1,∞\}. *)
+
+val repeat : ?max:int -> min:int -> string -> t
+(** [repeat ~min ~max "v"] declares v\{min,max\}; omit [max] for
+    unbounded. Raises [Invalid_argument] unless 1 ≤ min (≤ max). *)
+
+val is_group : t -> bool
+(** Whether the variable may bind more than one event (max ≠ 1) — such
+    variables get looping transitions in the SES automaton. *)
+
+val min_count : t -> int
+
+val max_count : t -> int option
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints [name], [name+], [name{m}], [name{m,}] or [name{m,n}]. *)
+
+val to_string : t -> string

@@ -1,0 +1,50 @@
+type t = { dir : string }
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+         | _ -> false)
+       name
+
+let open_dir dir =
+  try
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+    else if not (Sys.is_directory dir) then failwith (dir ^ " is not a directory");
+    Ok { dir }
+  with
+  | Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  | Failure msg | Sys_error msg -> Error msg
+
+let path t = t.dir
+
+let file t name = Filename.concat t.dir (name ^ ".csv")
+
+let list t =
+  Sys.readdir t.dir |> Array.to_list
+  |> List.filter_map (fun f -> Filename.chop_suffix_opt ~suffix:".csv" f)
+  |> List.sort String.compare
+
+let exists t name = valid_name name && Sys.file_exists (file t name)
+
+let save t name r =
+  if not (valid_name name) then
+    Error (Printf.sprintf "catalog: invalid relation name %S" name)
+  else Csv.save (file t name) r
+
+let load t name =
+  if not (valid_name name) then
+    Error (Printf.sprintf "catalog: invalid relation name %S" name)
+  else if not (Sys.file_exists (file t name)) then
+    Error (Printf.sprintf "catalog: no relation named %S" name)
+  else Csv.load (file t name)
+
+let remove t name =
+  if not (exists t name) then
+    Error (Printf.sprintf "catalog: no relation named %S" name)
+  else
+    try
+      Sys.remove (file t name);
+      Ok ()
+    with Sys_error msg -> Error msg

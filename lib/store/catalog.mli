@@ -1,0 +1,24 @@
+(** A directory of named event relations persisted as CSV files — the
+    repository's stand-in for the paper's Oracle event store. Relation
+    names map to [<name>.csv] inside the catalog directory; names are
+    restricted to [A-Za-z0-9_-] to stay filesystem-safe. *)
+
+open Ses_event
+
+type t
+
+val open_dir : string -> (t, string) result
+(** Creates the directory if needed. *)
+
+val path : t -> string
+
+val list : t -> string list
+(** Names of stored relations, sorted. *)
+
+val exists : t -> string -> bool
+
+val save : t -> string -> Relation.t -> (unit, string) result
+
+val load : t -> string -> (Relation.t, string) result
+
+val remove : t -> string -> (unit, string) result

@@ -1,0 +1,230 @@
+open Ses_event
+
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let escape_field s =
+  if not (needs_quoting s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+(* One-record reader over a generic character producer: respects quoted
+   fields, including embedded separators and newlines. [Ok None] signals a
+   clean end of input before any character of a new record. *)
+let read_record ~next ~peek =
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let end_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let finish () = Ok (Some (List.rev (Buffer.contents buf :: !fields))) in
+  let rec plain started =
+    match next () with
+    | None -> if started then finish () else Ok None
+    | Some ',' ->
+        end_field ();
+        plain true
+    | Some '\n' -> finish ()
+    | Some '\r' -> plain started
+    | Some '"' when Buffer.length buf = 0 -> quoted ()
+    | Some c ->
+        Buffer.add_char buf c;
+        plain true
+  and quoted () =
+    match next () with
+    | None -> Error "csv: unterminated quoted field"
+    | Some '"' when peek () = Some '"' ->
+        ignore (next ());
+        Buffer.add_char buf '"';
+        quoted ()
+    | Some '"' -> after_quote ()
+    | Some c ->
+        Buffer.add_char buf c;
+        quoted ()
+  and after_quote () =
+    match next () with
+    | None -> finish ()
+    | Some ',' ->
+        end_field ();
+        plain true
+    | Some '\n' -> finish ()
+    | Some '\r' -> after_quote ()
+    | Some c -> Error (Printf.sprintf "csv: unexpected %C after closing quote" c)
+  in
+  (* A record that starts with a quoted field has consumed no plain
+     character yet; treat the opening quote as having started it. *)
+  match peek () with
+  | None -> Ok None
+  | Some '"' ->
+      ignore (next ());
+      (match quoted () with
+      | Ok (Some _) as ok -> ok
+      | Ok None -> assert false
+      | Error _ as e -> e)
+  | Some _ -> plain false
+
+let string_producer src =
+  let pos = ref 0 in
+  let peek () = if !pos < String.length src then Some src.[!pos] else None in
+  let next () =
+    let c = peek () in
+    if c <> None then incr pos;
+    c
+  in
+  (next, peek)
+
+let records src =
+  let next, peek = string_producer src in
+  let rec go acc =
+    match read_record ~next ~peek with
+    | Ok None -> Ok (List.rev acc)
+    | Ok (Some fields) -> go (fields :: acc)
+    | Error _ as e -> e
+  in
+  go []
+
+let split_line line =
+  match records line with
+  | Ok [ fields ] -> Ok fields
+  | Ok [] -> Ok []
+  | Ok (_ :: _ :: _) -> Error "csv: embedded record separator"
+  | Error _ as e -> e
+
+let ty_name = function
+  | Value.Tint -> "int"
+  | Value.Tfloat -> "float"
+  | Value.Tstr -> "string"
+
+let ty_of_name = function
+  | "int" -> Ok Value.Tint
+  | "float" -> Ok Value.Tfloat
+  | "string" -> Ok Value.Tstr
+  | other -> Error (Printf.sprintf "csv: unknown type %S in header" other)
+
+let header_of_schema schema =
+  let cells =
+    List.map
+      (fun (name, ty) -> escape_field (name ^ ":" ^ ty_name ty))
+      (Schema.attributes schema)
+  in
+  String.concat "," (cells @ [ "T" ])
+
+let schema_of_header line =
+  match split_line line with
+  | Error _ as e -> e
+  | Ok [] -> Error "csv: empty header"
+  | Ok cells -> (
+      match List.rev cells with
+      | "T" :: rev_attrs ->
+          let parse_cell cell =
+            match String.rindex_opt cell ':' with
+            | None ->
+                Error (Printf.sprintf "csv: header cell %S lacks a type" cell)
+            | Some i -> (
+                let name = String.sub cell 0 i in
+                let ty =
+                  String.sub cell (i + 1) (String.length cell - i - 1)
+                in
+                match ty_of_name ty with
+                | Ok ty -> Ok (name, ty)
+                | Error _ as e -> e)
+          in
+          let rec all acc = function
+            | [] -> Schema.make (List.rev acc)
+            | cell :: rest -> (
+                match parse_cell cell with
+                | Ok attr -> all (attr :: acc) rest
+                | Error _ as e -> e)
+          in
+          all [] (List.rev rev_attrs)
+      | _ -> Error "csv: header must end with the timestamp column T")
+
+let render_value = function
+  | Value.Int x -> string_of_int x
+  | Value.Float x -> Printf.sprintf "%.12g" x
+  | Value.Str s -> escape_field s
+
+let to_string r =
+  let schema = Relation.schema r in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header_of_schema schema);
+  Buffer.add_char buf '\n';
+  Relation.iter
+    (fun e ->
+      let cells =
+        Array.to_list (Array.map render_value e.Event.payload)
+        @ [ string_of_int (Event.ts e) ]
+      in
+      Buffer.add_string buf (String.concat "," cells);
+      Buffer.add_char buf '\n')
+    r;
+  Buffer.contents buf
+
+let row_of_fields schema fields =
+  let arity = Schema.arity schema in
+  if List.length fields <> arity + 1 then
+    Error
+      (Printf.sprintf "csv: expected %d fields, found %d" (arity + 1)
+         (List.length fields))
+  else
+    let rec values acc i = function
+      | [ ts_field ] -> (
+          match int_of_string_opt (String.trim ts_field) with
+          | Some ts -> Ok (Array.of_list (List.rev acc), ts)
+          | None -> Error (Printf.sprintf "csv: bad timestamp %S" ts_field))
+      | field :: rest -> (
+          match Value.of_string (Schema.type_of schema i) field with
+          | Ok v -> values (v :: acc) (i + 1) rest
+          | Error _ as e -> e)
+      | [] -> Error "csv: missing timestamp field"
+    in
+    values [] 0 fields
+
+let of_string src =
+  match records src with
+  | Error _ as e -> e
+  | Ok [] -> Error "csv: empty input"
+  | Ok (header :: data) -> (
+      let header_line = String.concat "," (List.map escape_field header) in
+      match schema_of_header header_line with
+      | Error _ as e -> e
+      | Ok schema ->
+          let rec rows acc idx = function
+            | [] -> Relation.of_rows schema (List.rev acc)
+            | fields :: rest -> (
+                match row_of_fields schema fields with
+                | Ok row -> rows (row :: acc) (idx + 1) rest
+                | Error msg ->
+                    Error (Printf.sprintf "row %d: %s" idx msg))
+          in
+          rows [] 1 data)
+
+let save path r =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_string r));
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let load path =
+  try
+    let ic = open_in path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    of_string content
+  with Sys_error msg -> Error msg

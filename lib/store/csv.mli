@@ -1,0 +1,40 @@
+(** CSV serialization of event relations.
+
+    The paper reads its events from an Oracle database; this repository's
+    stand-in persists relations as self-describing CSV files. The header
+    row carries [name:type] cells for the non-temporal attributes followed
+    by the literal cell [T]; data rows carry the attribute values and the
+    integer timestamp. Fields containing commas, quotes or newlines are
+    double-quoted with [""] escaping, per RFC 4180. *)
+
+open Ses_event
+
+val escape_field : string -> string
+
+val split_line : string -> (string list, string) result
+(** Splits one CSV record into raw fields (unescaped). *)
+
+val read_record :
+  next:(unit -> char option) ->
+  peek:(unit -> char option) ->
+  (string list option, string) result
+(** Low-level one-record reader over a character producer — the engine
+    behind both {!of_string} and {!Csv_stream}. [Ok None] is a clean end
+    of input. *)
+
+val row_of_fields :
+  Schema.t -> string list -> (Value.t array * int, string) result
+(** Parses one data record's raw fields into a payload and timestamp. *)
+
+val header_of_schema : Schema.t -> string
+
+val schema_of_header : string -> (Schema.t, string) result
+
+val to_string : Relation.t -> string
+
+val of_string : string -> (Relation.t, string) result
+
+val save : string -> Relation.t -> (unit, string) result
+(** Writes to a file path. *)
+
+val load : string -> (Relation.t, string) result

@@ -1,0 +1,63 @@
+open Ses_event
+
+let channel_producer ic =
+  let pending = ref None in
+  let peek () =
+    match !pending with
+    | Some _ as c -> c
+    | None ->
+        let c = In_channel.input_char ic in
+        pending := c;
+        c
+  in
+  let next () =
+    match !pending with
+    | Some _ as c ->
+        pending := None;
+        c
+    | None -> In_channel.input_char ic
+  in
+  (next, peek)
+
+let fold path ~init ~f =
+  match In_channel.open_text path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> In_channel.close ic)
+        (fun () ->
+          let next, peek = channel_producer ic in
+          match Csv.read_record ~next ~peek with
+          | Error _ as e -> e
+          | Ok None -> Error "csv: empty input"
+          | Ok (Some header) -> (
+              let header_line =
+                String.concat "," (List.map Csv.escape_field header)
+              in
+              match Csv.schema_of_header header_line with
+              | Error _ as e -> e
+              | Ok schema ->
+                  let rec go acc seq last_ts =
+                    match Csv.read_record ~next ~peek with
+                    | Error _ as e -> e
+                    | Ok None -> Ok (schema, acc)
+                    | Ok (Some fields) -> (
+                        match Csv.row_of_fields schema fields with
+                        | Error msg ->
+                            Error (Printf.sprintf "row %d: %s" (seq + 1) msg)
+                        | Ok (payload, ts) ->
+                            if ts < last_ts then
+                              Error
+                                (Printf.sprintf
+                                   "row %d: timestamps out of order (%d after %d)"
+                                   (seq + 1) ts last_ts)
+                            else
+                              go (f acc (Event.make ~seq ~ts payload)) (seq + 1) ts)
+                  in
+                  go init 0 min_int))
+
+let iter path ~f =
+  Result.map fst (fold path ~init:() ~f:(fun () e -> f e))
+
+let count path =
+  Result.map snd (fold path ~init:0 ~f:(fun acc _ -> acc + 1))

@@ -1,0 +1,22 @@
+(** Streaming CSV reader: events from a file without loading it whole.
+
+    Reads the self-describing header, then yields events one at a time in
+    file order, assigning sequence numbers as it goes. The feed must be
+    chronologically sorted (the engine's input contract); out-of-order
+    timestamps are reported as an error. Use this to pipe large archived
+    relations straight into {!Ses_core.Engine.feed} with O(1) memory. *)
+
+open Ses_event
+
+val fold :
+  string ->
+  init:'a ->
+  f:('a -> Event.t -> 'a) ->
+  (Schema.t * 'a, string) result
+(** [fold path ~init ~f] opens [path], parses the header, folds [f] over
+    the events and closes the file (also on exceptions). *)
+
+val iter : string -> f:(Event.t -> unit) -> (Schema.t, string) result
+
+val count : string -> (int, string) result
+(** Number of events, without materializing them. *)

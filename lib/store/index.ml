@@ -1,0 +1,27 @@
+open Ses_event
+
+type t = {
+  attribute : int;
+  table : (Value.t, Event.t list) Hashtbl.t;  (** values kept newest-first *)
+}
+
+let build r attr =
+  let table = Hashtbl.create 64 in
+  Relation.iter
+    (fun e ->
+      let key = Event.attr e attr in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt table key) in
+      Hashtbl.replace table key (e :: existing))
+    r;
+  { attribute = attr; table }
+
+let attribute t = t.attribute
+
+let lookup t key =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.table key))
+
+let keys t =
+  List.sort Value.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
+
+let cardinality t = Hashtbl.length t.table

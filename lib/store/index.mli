@@ -1,0 +1,23 @@
+(** Secondary hash index on one attribute of a relation.
+
+    Maps each distinct attribute value to the events carrying it, in
+    chronological order. Used by {!Partition} and by callers that look up
+    events by entity id (e.g. all events of one patient). *)
+
+open Ses_event
+
+type t
+
+val build : Relation.t -> int -> t
+(** [build r attr] indexes attribute [attr] (a schema position). *)
+
+val attribute : t -> int
+
+val lookup : t -> Value.t -> Event.t list
+(** Chronological; empty for absent keys. *)
+
+val keys : t -> Value.t list
+(** Distinct values, sorted by {!Ses_event.Value.compare}. *)
+
+val cardinality : t -> int
+(** Number of distinct keys. *)

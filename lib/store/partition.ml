@@ -1,0 +1,13 @@
+open Ses_event
+
+let by_attribute r attr =
+  let index = Index.build r attr in
+  List.map
+    (fun key ->
+      (key, Relation.filter (fun e -> Value.equal (Event.attr e attr) key) r))
+    (Index.keys index)
+
+let by_name r name =
+  match Schema.index_of (Relation.schema r) name with
+  | Some attr -> Ok (by_attribute r attr)
+  | None -> Error (Printf.sprintf "partition: unknown attribute %S" name)

@@ -1,0 +1,15 @@
+(** Partitioning a relation by an attribute.
+
+    SES patterns whose conditions join all variables on one attribute
+    (like the paper's per-patient ID equalities) can be evaluated per
+    partition; the harness uses this as an ablation. *)
+
+open Ses_event
+
+val by_attribute : Relation.t -> int -> (Value.t * Relation.t) list
+(** One sub-relation per distinct value, keys sorted; each sub-relation
+    keeps the original chronological order (sequence numbers are
+    reassigned densely within the partition). *)
+
+val by_name : Relation.t -> string -> ((Value.t * Relation.t) list, string) result
+(** Same, resolving the attribute by name. *)

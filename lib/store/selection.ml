@@ -1,0 +1,52 @@
+open Ses_event
+
+type predicate =
+  | Attr of string * Predicate.op * Value.t
+  | Conj of predicate list
+  | Disj of predicate list
+
+let attr name op v = Attr (name, op, v)
+
+let conj ps = Conj ps
+
+let disj ps = Disj ps
+
+let time_range lo hi =
+  Conj
+    [
+      Attr ("T", Predicate.Ge, Value.Int lo);
+      Attr ("T", Predicate.Le, Value.Int hi);
+    ]
+
+let rec compile schema = function
+  | Attr (name, op, v) -> (
+      match Schema.Field.resolve schema name with
+      | Error _ as e -> e
+      | Ok field ->
+          let field_ty = Schema.Field.type_of schema field in
+          if not (Value.ty_compatible field_ty (Value.type_of v)) then
+            Error
+              (Format.asprintf "selection: %s has type %a, not comparable to %a"
+                 name Value.pp_ty field_ty Value.pp v)
+          else Ok (fun e -> Predicate.eval op (Event.get e field) v))
+  | Conj ps -> (
+      match compile_all schema ps with
+      | Error _ as e -> e
+      | Ok fs -> Ok (fun e -> List.for_all (fun f -> f e) fs))
+  | Disj ps -> (
+      match compile_all schema ps with
+      | Error _ as e -> e
+      | Ok fs -> Ok (fun e -> List.exists (fun f -> f e) fs))
+
+and compile_all schema ps =
+  List.fold_right
+    (fun p acc ->
+      match acc, compile schema p with
+      | Ok fs, Ok f -> Ok (f :: fs)
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+    ps (Ok [])
+
+let select r p =
+  match compile (Relation.schema r) p with
+  | Error _ as e -> e
+  | Ok f -> Ok (Relation.filter f r)

@@ -1,0 +1,24 @@
+(** Simple selection queries over stored relations — the read path a SES
+    query planner would push down to the store before pattern matching
+    (e.g. restricting to one ward, one time range, or pre-applying the
+    Sec. 4.5 event filter inside the store). *)
+
+open Ses_event
+
+type predicate
+
+val attr : string -> Predicate.op -> Value.t -> predicate
+(** Comparison of a named attribute (or "T") against a constant. *)
+
+val conj : predicate list -> predicate
+
+val disj : predicate list -> predicate
+
+val time_range : Time.t -> Time.t -> predicate
+(** Inclusive bounds. *)
+
+val compile : Schema.t -> predicate -> ((Event.t -> bool), string) result
+(** Resolves attribute names; fails on unknown attributes or type
+    mismatches. *)
+
+val select : Relation.t -> predicate -> (Relation.t, string) result

@@ -1,0 +1,40 @@
+The examples are deterministic; lock their key outputs.
+
+  $ ../../examples/quickstart.exe
+  Pattern: (<{a, k}, {r}>, {a.KIND = 'A', k.KIND = 'K', r.KIND = 'R', a.SVC = k.SVC, a.SVC = r.SVC}, 60)
+  Matches: 1
+    {a/e1, k/e3, r/e4}
+  Same result via the query language: true
+
+  $ ../../examples/chemotherapy.exe | tail -16
+    candidate {d/e7, c/e8, p+/e10, p+/e11, b/e13}
+  
+  Matching substitutions:
+    {c/e1, d/e3, p+/e4, p+/e9, b/e12}
+    {p+/e6, d/e7, c/e8, p+/e10, p+/e11, b/e13}
+  
+  events seen:        14
+  events filtered:    0
+  instances created:  51
+  max simultaneous:   9
+  transitions fired:  37
+  instances expired:  0
+  instances killed:   0
+  matches emitted:    3
+  
+  With the no-severe-toxicity guard: 2 matches
+
+  $ ../../examples/finance.exe | grep -E 'Completed|states'
+  Automaton: 9 states, 13 transitions (a brute-force engine would run 6 chain automata)
+  Completed baskets: 20 (of 20 generated)
+
+  $ ../../examples/rfid.exe | grep -E 'shipments|agree'
+  Complete shipments (direct): 2
+  Complete shipments (per-order partitions): 2
+  Strategies agree: true
+
+  $ ../../examples/clickstream.exe | grep -E 'funnels|agrees|filter|partitioning'
+  event filter: strong filter
+  partitioning: per key value
+  Completed funnels: 11 (of 18 shoppers, ~2/3 convert)
+  Planner agrees with the direct run: true

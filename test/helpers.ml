@@ -1,0 +1,114 @@
+(* Shared builders for the test suites. *)
+
+open Ses_event
+open Ses_pattern
+
+(* A minimal schema used by most algorithmic tests: an entity id, a label
+   and an integer value. *)
+let schema =
+  Schema.make_exn
+    [ ("ID", Value.Tint); ("L", Value.Tstr); ("V", Value.Tint) ]
+
+(* [rel rows] builds a relation over {!schema} from (id, label, value, ts)
+   quadruples. *)
+let rel rows =
+  Relation.of_rows_exn schema
+    (List.map
+       (fun (id, l, v, ts) ->
+         ([| Value.Int id; Value.Str l; Value.Int v |], ts))
+       rows)
+
+(* [rel_l rows] builds from (label, ts) pairs with id = 1 and v = 0. *)
+let rel_l rows = rel (List.map (fun (l, ts) -> (1, l, 0, ts)) rows)
+
+let v name = Variable.singleton name
+
+let vplus name = Variable.group name
+
+let label name l = Pattern.Spec.const name "L" Predicate.Eq (Value.Str l)
+
+let pattern ?(where = []) ~within sets =
+  Pattern.make_exn ~schema ~sets ~where ~within
+
+(* Canonical rendering of a substitution for assertions: variable names
+   paired with 1-based event numbers, sorted. *)
+let subst_repr p s =
+  List.sort compare
+    (List.map
+       (fun (var, seq) -> (Pattern.var_name p var, seq + 1))
+       (Ses_core.Substitution.canonical s))
+
+let substs_repr p ss = List.sort compare (List.map (subst_repr p) ss)
+
+let check_substs p expected actual =
+  Alcotest.(check (list (list (pair string int))))
+    "substitutions"
+    (List.sort compare expected)
+    (substs_repr p actual)
+
+let run ?options p relation =
+  Ses_core.Engine.run_relation ?options (Ses_core.Automaton.of_pattern p)
+    relation
+
+(* The paper's Figure 1 relation and Query Q1, shared by several suites. *)
+let chemo_schema =
+  Schema.make_exn
+    [
+      ("ID", Value.Tint);
+      ("L", Value.Tstr);
+      ("V", Value.Tfloat);
+      ("U", Value.Tstr);
+    ]
+
+let figure_1 =
+  let row id l value u day hour =
+    ( [| Value.Int id; Value.Str l; Value.Float value; Value.Str u |],
+      (24 * day) + hour )
+  in
+  Relation.of_rows_exn chemo_schema
+    [
+      row 1 "C" 1672.5 "mg" 0 9;
+      row 1 "B" 0. "WHO-Tox" 0 10;
+      row 1 "D" 84. "mgl" 0 11;
+      row 1 "P" 111.5 "mg" 1 9;
+      row 2 "B" 0. "WHO-Tox" 2 9;
+      row 2 "P" 88. "mg" 2 10;
+      row 2 "D" 84. "mgl" 2 11;
+      row 2 "C" 1320. "mg" 3 9;
+      row 1 "P" 111.5 "mg" 3 10;
+      row 2 "P" 88. "mg" 3 11;
+      row 2 "P" 88. "mg" 4 9;
+      row 1 "B" 1. "WHO-Tox" 9 9;
+      row 2 "B" 1. "WHO-Tox" 10 9;
+      row 2 "B" 0. "WHO-Tox" 11 9;
+    ]
+
+let clabel name l = Pattern.Spec.const name "L" Predicate.Eq (Value.Str l)
+
+let query_q1 =
+  Pattern.make_exn ~schema:chemo_schema
+    ~sets:[ [ v "c"; vplus "p"; v "d" ]; [ v "b" ] ]
+    ~where:
+      ([ clabel "c" "C"; clabel "p" "P"; clabel "d" "D"; clabel "b" "B" ]
+      @ Pattern.Spec.
+          [
+            fields "c" "ID" Predicate.Eq "p" "ID";
+            fields "c" "ID" Predicate.Eq "d" "ID";
+            fields "d" "ID" Predicate.Eq "b" "ID";
+          ])
+    ~within:264
+
+(* Q1 with p as a singleton variable — the version of Example 11 that the
+   brute force handles exactly. *)
+let query_q1_singleton =
+  Pattern.make_exn ~schema:chemo_schema
+    ~sets:[ [ v "c"; v "p"; v "d" ]; [ v "b" ] ]
+    ~where:
+      ([ clabel "c" "C"; clabel "p" "P"; clabel "d" "D"; clabel "b" "B" ]
+      @ Pattern.Spec.
+          [
+            fields "c" "ID" Predicate.Eq "p" "ID";
+            fields "c" "ID" Predicate.Eq "d" "ID";
+            fields "d" "ID" Predicate.Eq "b" "ID";
+          ])
+    ~within:264

@@ -1,0 +1,56 @@
+The REPL drives the whole pipeline from a piped script.
+
+  $ ../../bin/ses_cli.exe generate --kind chemo --patients 2 --seed 7 -o chemo.csv > /dev/null
+
+  $ ../../bin/ses_repl.exe <<'SESSION'
+  > help
+  > count
+  > load chemo.csv
+  > schema
+  > count
+  > window 264
+  > let q1 = PATTERN (c, p+, d) -> (b) \
+  >   WHERE c.L = 'C' AND p.L = 'P' AND d.L = 'D' AND b.L = 'B' \
+  >   AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID \
+  >   WITHIN 11 DAYS
+  > list
+  > show q1
+  > plan q1
+  > trace q1 2
+  > run missing
+  > bogus
+  > quit
+  > SESSION
+  commands:
+    load <file.csv>          load an event relation
+    schema                   show the loaded relation's schema
+    count                    number of events
+    window <tau>             window size W (Definition 5)
+    let <name> = <query>     define a pattern (query language;
+                             end a line with \ to continue)
+    list                     defined patterns
+    show <name>              pattern, automaton size, complexity cases
+    plan <name>              execution plan the library would pick
+    run <name>               match the pattern against the relation
+    trace <name> [n]         execution narrative (first n steps)
+    dot <name>               Graphviz source of the automaton
+    quit                     leave
+  error: no relation loaded (use: load <file.csv>)
+  loaded 264 events from chemo.csv
+  (ID:int, L:string, V:float, U:string, T)
+  264
+  W(tau=264) = 48
+  q1 = (<{c, p+, d}, {b}>, {c.L = 'C', p+.L = 'P', d.L = 'D', b.L = 'B', c.ID = p+.ID, c.ID = d.ID, d.ID = b.ID}, 264)
+  q1
+  (<{c, p+, d}, {b}>, {c.L = 'C', p+.L = 'P', d.L = 'D', b.L = 'B', c.ID = p+.ID, c.ID = d.ID, d.ID = b.ID}, 264)
+  automaton: 9 states, 17 transitions, 6 orderings
+  V1 case 1 (pairwise mutually exclusive); V2 case 1 (pairwise mutually exclusive)
+  event filter: strong filter
+  partitioning: not applicable
+  constant pre-check: true
+  V1: case 1 (pairwise mutually exclusive)
+  V2: case 1 (pairwise mutually exclusive)
+  read e1: new instance
+  read e2: new instance
+  error: no pattern named "missing" (use: let missing = PATTERN ...)
+  error: unknown command "bogus" (try: help)

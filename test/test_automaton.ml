@@ -1,0 +1,205 @@
+open Ses_pattern
+open Ses_core
+open Helpers
+
+let q1 = query_q1
+
+let id name = Option.get (Pattern.var_id q1 name)
+
+let state names = Varset.of_list (List.map id names)
+
+let find_transition a ~src ~var =
+  List.filter
+    (fun (tr : Automaton.transition) -> tr.var = var)
+    (Automaton.outgoing a src)
+
+(* Figure 3: the automaton of the single event set pattern {b}. *)
+let test_figure3 () =
+  let n2 = Automaton.of_set_pattern q1 1 in
+  Alcotest.(check int) "two states" 2 (Automaton.n_states n2);
+  Alcotest.(check int) "one transition" 1 (Automaton.n_transitions n2);
+  Alcotest.(check bool) "start empty" true (Varset.is_empty (Automaton.start n2));
+  Alcotest.(check bool) "accept {b}" true
+    (Varset.equal (Automaton.accept n2) (Varset.singleton (id "b")));
+  match Automaton.transitions n2 with
+  | [ tr ] ->
+      Alcotest.(check int) "binds b" (id "b") tr.var;
+      (* In isolation, only b.L = 'B' and d.ID = b.ID with d from the
+         preceding set V1 — the paper's Figure 3 lists just {b.L = 'B'}
+         because it considers V2 in complete isolation, while our
+         construction already knows V1 precedes; both the label condition
+         and the cross-set join are evaluable at this transition. *)
+      Alcotest.(check bool) "label condition present" true
+        (List.exists
+           (fun (c : Condition.t) ->
+             Condition.is_constant c && c.var = id "b")
+           tr.conds)
+  | _ -> Alcotest.fail "expected exactly one transition"
+
+(* Figure 4(a): the automaton of V1 = {c, p+, d} has 2^3 states and 16
+   transitions (12 advancing + 4 loops at the states containing p+). *)
+let test_figure4a () =
+  let n1 = Automaton.of_set_pattern q1 0 in
+  Alcotest.(check int) "8 states" 8 (Automaton.n_states n1);
+  Alcotest.(check int) "16 transitions" 16 (Automaton.n_transitions n1);
+  let loops =
+    List.filter Automaton.is_loop (Automaton.transitions n1)
+  in
+  Alcotest.(check int) "4 loops" 4 (List.length loops);
+  Alcotest.(check bool) "all loops bind p+" true
+    (List.for_all (fun (tr : Automaton.transition) -> tr.var = id "p") loops)
+
+(* Figure 5: the concatenated automaton for Q1. *)
+let automaton = Automaton.of_pattern q1
+
+let test_figure5_shape () =
+  Alcotest.(check int) "9 states" 9 (Automaton.n_states automaton);
+  Alcotest.(check int) "17 transitions" 17 (Automaton.n_transitions automaton);
+  Alcotest.(check bool) "start" true (Varset.is_empty (Automaton.start automaton));
+  Alcotest.(check bool) "accept" true
+    (Varset.equal (Automaton.accept automaton) (state [ "c"; "p"; "d"; "b" ]));
+  Alcotest.(check int) "6 paths" 6 (Automaton.n_paths automaton)
+
+let cond_strings trs =
+  List.sort compare
+    (List.concat_map
+       (fun (tr : Automaton.transition) ->
+         List.map
+           (Format.asprintf "%a"
+              (Condition.pp (Pattern.schema q1) ~name_of:(Pattern.var_name q1)))
+           tr.conds)
+       trs)
+
+(* Θ1 of Figure 4(a): from ∅, binding c carries only its label condition. *)
+let test_theta_start () =
+  let trs = find_transition automaton ~src:Varset.empty ~var:(id "c") in
+  Alcotest.(check (list string)) "theta1" [ "c.L = 'C'" ] (cond_strings trs)
+
+(* Θ4: from {c}, binding d carries the label condition and the ID join with
+   the already-bound c. *)
+let test_theta_with_context () =
+  let trs = find_transition automaton ~src:(state [ "c" ]) ~var:(id "d") in
+  Alcotest.(check (list string)) "theta4"
+    [ "c.ID = d.ID"; "d.L = 'D'" ]
+    (cond_strings trs)
+
+(* From {p+}, binding d carries only d.L = 'D': the c.ID = d.ID join is not
+   evaluable yet (the paper's Figure 4 lists it in Θ9, which contradicts
+   its own construction rule in Sec. 4.2.1 — we follow the rule). *)
+let test_theta_rule_over_figure () =
+  let trs = find_transition automaton ~src:(state [ "p" ]) ~var:(id "d") in
+  Alcotest.(check (list string)) "theta9 per the rule" [ "d.L = 'D'" ]
+    (cond_strings trs)
+
+(* Θ11: from {c, d}, binding p+ sees both c and d bound; only the c join
+   exists in Θ. *)
+let test_theta11 () =
+  let trs = find_transition automaton ~src:(state [ "c"; "d" ]) ~var:(id "p") in
+  Alcotest.(check (list string)) "theta11"
+    [ "c.ID = p+.ID"; "p+.L = 'P'" ]
+    (cond_strings trs)
+
+(* Θ'17: entering the second event set pattern adds the time constraints
+   v'.T < b.T for every v' in V1 (rendered b.T > v'.T by our printer). *)
+let test_theta17_time_constraints () =
+  let trs =
+    find_transition automaton ~src:(state [ "c"; "p"; "d" ]) ~var:(id "b")
+  in
+  Alcotest.(check (list string)) "theta17"
+    [
+      "b.L = 'B'";
+      "b.T > c.T";
+      "b.T > d.T";
+      "b.T > p+.T";
+      "d.ID = b.ID";
+    ]
+    (cond_strings trs)
+
+(* The loop at the accepting state of segment 1 survives concatenation:
+   state {c,d,p+} keeps its p+ loop (Θ16 in Figure 5). *)
+let test_loop_at_merged_state () =
+  let loops =
+    List.filter Automaton.is_loop
+      (Automaton.outgoing automaton (state [ "c"; "p"; "d" ]))
+  in
+  Alcotest.(check int) "one loop" 1 (List.length loops);
+  (* The accepting state has no outgoing transitions: b is in the last
+     set and carries no Kleene plus. *)
+  Alcotest.(check int) "accept has no outgoing" 0
+    (List.length (Automaton.outgoing automaton (Automaton.accept automaton)))
+
+let test_concat_validation () =
+  let n1 = Automaton.of_set_pattern q1 0 in
+  Alcotest.check_raises "overlapping segments"
+    (Invalid_argument "Automaton.concat: overlapping variable segments")
+    (fun () -> ignore (Automaton.concat n1 n1));
+  let other = Automaton.of_set_pattern query_q1_singleton 1 in
+  Alcotest.check_raises "different patterns"
+    (Invalid_argument "Automaton.concat: automata of different patterns")
+    (fun () -> ignore (Automaton.concat n1 other))
+
+let test_of_pattern_equals_manual_concat () =
+  let n1 = Automaton.of_set_pattern q1 0 and n2 = Automaton.of_set_pattern q1 1 in
+  let manual = Automaton.concat n1 n2 in
+  Alcotest.(check int) "states" (Automaton.n_states automaton)
+    (Automaton.n_states manual);
+  Alcotest.(check int) "transitions" (Automaton.n_transitions automaton)
+    (Automaton.n_transitions manual);
+  Alcotest.(check bool) "accept" true
+    (Varset.equal (Automaton.accept automaton) (Automaton.accept manual))
+
+let test_three_segments () =
+  let p =
+    pattern ~within:50
+      [ [ v "a" ]; [ v "b"; v "c" ]; [ v "d" ] ]
+      ~where:[ label "a" "x" ]
+  in
+  let a = Automaton.of_pattern p in
+  (* 2 + (4-1) + (2-1) states sharing the segment boundaries. *)
+  Alcotest.(check int) "states" 6 (Automaton.n_states a);
+  Alcotest.(check int) "paths" 2 (Automaton.n_paths a);
+  Alcotest.(check int) "tau" 50 (Automaton.tau a)
+
+let test_states_sorted_unique () =
+  let states = Automaton.states automaton in
+  Alcotest.(check int) "unique" (List.length states)
+    (List.length (List.sort_uniq Varset.compare states));
+  Alcotest.(check bool) "sorted" true
+    (List.sort Varset.compare states = states)
+
+let test_dot_export () =
+  let dot = Dot.of_automaton automaton in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "accept doubly circled" true
+    (contains "doublecircle" dot);
+  Alcotest.(check bool) "mentions cp+db" true (contains "cp+db" dot);
+  let plain = Dot.of_automaton ~conditions:false automaton in
+  Alcotest.(check bool) "no conditions variant" true
+    (not (contains "c.L" plain))
+
+let suite =
+  [
+    Alcotest.test_case "Figure 3: single-variable set" `Quick test_figure3;
+    Alcotest.test_case "Figure 4(a): V1 automaton" `Quick test_figure4a;
+    Alcotest.test_case "Figure 5: shape" `Quick test_figure5_shape;
+    Alcotest.test_case "conditions at start" `Quick test_theta_start;
+    Alcotest.test_case "conditions with context" `Quick test_theta_with_context;
+    Alcotest.test_case "construction rule vs Figure 4 typo" `Quick
+      test_theta_rule_over_figure;
+    Alcotest.test_case "conditions theta11" `Quick test_theta11;
+    Alcotest.test_case "time constraints on concatenation" `Quick
+      test_theta17_time_constraints;
+    Alcotest.test_case "loops after concatenation" `Quick test_loop_at_merged_state;
+    Alcotest.test_case "concat validation" `Quick test_concat_validation;
+    Alcotest.test_case "of_pattern = manual concat" `Quick
+      test_of_pattern_equals_manual_concat;
+    Alcotest.test_case "three segments" `Quick test_three_segments;
+    Alcotest.test_case "states sorted and unique" `Quick test_states_sorted_unique;
+    Alcotest.test_case "dot export" `Quick test_dot_export;
+  ]

@@ -1,0 +1,152 @@
+(* Structural properties of SES automaton construction, checked over
+   randomly generated patterns. *)
+
+open Ses_pattern
+open Ses_core
+
+let with_pattern seed f =
+  let rng = Ses_gen.Prng.create (Int64.of_int seed) in
+  let spec =
+    {
+      Ses_gen.Random_workload.default_pattern with
+      Ses_gen.Random_workload.max_sets = 3;
+      max_vars_per_set = 3;
+    }
+  in
+  f (Ses_gen.Random_workload.pattern rng spec)
+
+(* The state count is Σ 2^|Vi| − (m − 1): each set contributes its power
+   set and consecutive sets share the boundary state. *)
+let state_count =
+  QCheck.Test.make ~count:200 ~name:"state count formula"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_pattern seed (fun p ->
+          let a = Automaton.of_pattern p in
+          let expected =
+            List.fold_left
+              (fun acc i -> acc + (1 lsl List.length (Pattern.set_vars p i)))
+              0
+              (List.init (Pattern.n_sets p) Fun.id)
+            - (Pattern.n_sets p - 1)
+          in
+          Automaton.n_states a = expected))
+
+(* Advancing transitions per set: |Vi| · 2^(|Vi|−1); loops: one per group
+   variable and subset containing it, i.e. gi · 2^(|Vi|−1). *)
+let transition_count =
+  QCheck.Test.make ~count:200 ~name:"transition count formula"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_pattern seed (fun p ->
+          let a = Automaton.of_pattern p in
+          let expected =
+            List.fold_left
+              (fun acc i ->
+                let vars = Pattern.set_vars p i in
+                let n = List.length vars in
+                let groups =
+                  List.length (List.filter (Pattern.is_group p) vars)
+                in
+                acc + ((n + groups) * (1 lsl (n - 1))))
+              0
+              (List.init (Pattern.n_sets p) Fun.id)
+          in
+          Automaton.n_transitions a = expected))
+
+(* Every transition's target is its source plus the bound variable; loops
+   are exactly the group variables. *)
+let transition_shape =
+  QCheck.Test.make ~count:200 ~name:"transition targets and loops"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_pattern seed (fun p ->
+          let a = Automaton.of_pattern p in
+          List.for_all
+            (fun (tr : Automaton.transition) ->
+              Varset.equal tr.tgt (Varset.add tr.var tr.src)
+              && (not (Automaton.is_loop tr) || Pattern.is_group p tr.var))
+            (Automaton.transitions a)))
+
+(* Conditions attached to a transition only mention the bound variable and
+   variables available in the context (source state or earlier sets). *)
+let condition_scoping =
+  QCheck.Test.make ~count:200 ~name:"condition scoping"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_pattern seed (fun p ->
+          let a = Automaton.of_pattern p in
+          List.for_all
+            (fun (tr : Automaton.transition) ->
+              List.for_all
+                (fun c ->
+                  Condition.mentions c tr.var
+                  &&
+                  match Condition.other_var c tr.var with
+                  | None -> true
+                  | Some v' -> Varset.mem v' tr.src || v' = tr.var)
+                tr.conds)
+            (Automaton.transitions a)))
+
+(* Reachability: every state is reachable from the start and reaches the
+   accepting state (ignoring conditions). *)
+let connectivity =
+  QCheck.Test.make ~count:100 ~name:"start-to-accept connectivity"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_pattern seed (fun p ->
+          let a = Automaton.of_pattern p in
+          let states = Automaton.states a in
+          let step q =
+            List.filter_map
+              (fun (tr : Automaton.transition) ->
+                if Automaton.is_loop tr then None else Some tr.tgt)
+              (Automaton.outgoing a q)
+          in
+          let reachable_from start =
+            let visited = Hashtbl.create 32 in
+            let rec go q =
+              if not (Hashtbl.mem visited q) then begin
+                Hashtbl.add visited q ();
+                List.iter go (step q)
+              end
+            in
+            go start;
+            visited
+          in
+          let fwd = reachable_from (Automaton.start a) in
+          List.for_all (fun q -> Hashtbl.mem fwd q) states
+          &&
+          (* Backwards: every state has a path to accept — check via
+             forward search from each state. *)
+          List.for_all
+            (fun q -> Hashtbl.mem (reachable_from q) (Automaton.accept a))
+            states))
+
+(* Paths from start to accept: exactly Π |Vi|! distinct variable orders. *)
+let path_count =
+  QCheck.Test.make ~count:100 ~name:"path count = product of factorials"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_pattern seed (fun p ->
+          let a = Automaton.of_pattern p in
+          let rec count q =
+            if Varset.equal q (Automaton.accept a) then 1
+            else
+              List.fold_left
+                (fun acc (tr : Automaton.transition) ->
+                  if Automaton.is_loop tr then acc else acc + count tr.tgt)
+                0 (Automaton.outgoing a q)
+          in
+          count (Automaton.start a) = Automaton.n_paths a))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      state_count;
+      transition_count;
+      transition_shape;
+      condition_scoping;
+      connectivity;
+      path_count;
+    ]

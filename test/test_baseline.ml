@@ -1,0 +1,150 @@
+open Ses_pattern
+open Ses_baseline
+open Helpers
+
+let test_factorial () =
+  Alcotest.(check int) "0!" 1 (Permutation.factorial 0);
+  Alcotest.(check int) "1!" 1 (Permutation.factorial 1);
+  Alcotest.(check int) "5!" 120 (Permutation.factorial 5);
+  Alcotest.(check int) "20!" 2432902008176640000 (Permutation.factorial 20);
+  Alcotest.check_raises "negative" (Invalid_argument "Permutation.factorial")
+    (fun () -> ignore (Permutation.factorial (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Permutation.factorial")
+    (fun () -> ignore (Permutation.factorial 21))
+
+let test_permutations () =
+  Alcotest.(check int) "3 elements" 6 (List.length (Permutation.permutations [ 1; 2; 3 ]));
+  Alcotest.(check (list (list int))) "empty" [ [] ] (Permutation.permutations []);
+  let perms = Permutation.permutations [ 1; 2; 3 ] in
+  Alcotest.(check int) "distinct" 6 (List.length (List.sort_uniq compare perms));
+  Alcotest.(check bool) "each is a permutation" true
+    (List.for_all (fun p -> List.sort compare p = [ 1; 2; 3 ]) perms)
+
+let test_cartesian () =
+  Alcotest.(check (list (list int))) "two by one"
+    [ [ 1; 3 ]; [ 2; 3 ] ]
+    (Permutation.cartesian [ [ 1; 2 ]; [ 3 ] ]);
+  Alcotest.(check (list (list int))) "empty product" [ [] ] (Permutation.cartesian []);
+  Alcotest.(check (list (list int))) "empty choice kills" []
+    (Permutation.cartesian [ [ 1 ]; [] ])
+
+let test_n_sequences () =
+  Alcotest.(check int) "3! * 1!" 6 (Permutation.n_sequences [ [ 1; 2; 3 ]; [ 4 ] ]);
+  Alcotest.(check int) "2! * 2!" 4 (Permutation.n_sequences [ [ 1; 2 ]; [ 3; 4 ] ])
+
+(* Example 11 / Figure 10(b): the singleton variant of Q1 yields six
+   variable sequences. *)
+let test_orderings_figure10 () =
+  let p = query_q1_singleton in
+  let os = Brute_force.orderings p in
+  Alcotest.(check int) "six orderings" 6 (List.length os);
+  Alcotest.(check int) "n_automata" 6 (Brute_force.n_automata p);
+  let name ids = List.map (Pattern.var_name p) ids in
+  let rendered = List.sort compare (List.map name os) in
+  Alcotest.(check (list (list string)))
+    "all sequences of Figure 10(b)"
+    (List.sort compare
+       [
+         [ "c"; "p"; "d"; "b" ];
+         [ "c"; "d"; "p"; "b" ];
+         [ "p"; "c"; "d"; "b" ];
+         [ "p"; "d"; "c"; "b" ];
+         [ "d"; "c"; "p"; "b" ];
+         [ "d"; "p"; "c"; "b" ];
+       ])
+    rendered;
+  (* b is always last: permutations never cross set boundaries. *)
+  Alcotest.(check bool) "b last everywhere" true
+    (List.for_all (fun o -> List.nth o 3 = Option.get (Pattern.var_id p "b")) os)
+
+let test_sequence_pattern () =
+  let p = query_q1_singleton in
+  let ordering = List.hd (Brute_force.orderings p) in
+  let chain = Brute_force.sequence_pattern p ordering in
+  Alcotest.(check int) "four sets" 4 (Pattern.n_sets chain);
+  Alcotest.(check int) "four vars" 4 (Pattern.n_vars chain);
+  Alcotest.(check bool) "all singleton sets" true
+    (List.for_all
+       (fun i -> List.length (Pattern.set_vars chain i) = 1)
+       (List.init (Pattern.n_sets chain) Fun.id));
+  Alcotest.(check int) "conditions preserved" 7
+    (List.length (Pattern.conditions chain));
+  Alcotest.(check int) "tau preserved" 264 (Pattern.tau chain);
+  (* Chain automata have |V|+1 states and no nondeterministic fan-out. *)
+  let a = Ses_core.Automaton.of_pattern chain in
+  Alcotest.(check int) "chain states" 5 (Ses_core.Automaton.n_states a);
+  Alcotest.(check int) "chain transitions" 4 (Ses_core.Automaton.n_transitions a);
+  Alcotest.(check int) "single path" 1 (Ses_core.Automaton.n_paths a)
+
+let test_group_variable_kept () =
+  let p = query_q1 in
+  let ordering = List.hd (Brute_force.orderings p) in
+  let chain = Brute_force.sequence_pattern p ordering in
+  Alcotest.(check int) "still one group var" 1
+    (List.length (Pattern.group_vars chain))
+
+let test_run_matches_ses () =
+  let ses = run query_q1_singleton figure_1 in
+  let bf = Brute_force.run_relation query_q1_singleton figure_1 in
+  Alcotest.(check int) "six automata" 6 bf.Brute_force.n_automata;
+  check_substs query_q1_singleton
+    (substs_repr query_q1_singleton ses.Ses_core.Engine.matches)
+    bf.Brute_force.matches
+
+let test_bf_raw_superset () =
+  let ses = run query_q1_singleton figure_1 in
+  let bf = Brute_force.run_relation query_q1_singleton figure_1 in
+  let bf_raw =
+    List.map Ses_core.Substitution.canonical bf.Brute_force.raw
+  in
+  Alcotest.(check bool) "SES raw within BF raw" true
+    (List.for_all
+       (fun s -> List.mem (Ses_core.Substitution.canonical s) bf_raw)
+       ses.Ses_core.Engine.raw)
+
+let test_bf_metrics () =
+  let bf = Brute_force.run_relation query_q1_singleton figure_1 in
+  let m = bf.Brute_force.metrics in
+  Alcotest.(check bool) "instances tracked" true
+    (m.Ses_core.Metrics.max_simultaneous_instances > 0);
+  (* The brute force runs one automaton per ordering, so it creates at
+     least as many instances as the single SES automaton. *)
+  let ses = run query_q1_singleton figure_1 in
+  Alcotest.(check bool) "BF costs more" true
+    (m.Ses_core.Metrics.instances_created
+    >= ses.Ses_core.Engine.metrics.Ses_core.Metrics.instances_created)
+
+let test_exclusive_ratio () =
+  (* With pairwise mutually exclusive variables and no branching, BF's
+     instance peak exceeds SES's by roughly (|V1|-1)! (Table 1). *)
+  let p =
+    pattern ~within:30
+      [ [ v "a"; v "b"; v "c" ] ]
+      ~where:[ label "a" "x"; label "b" "y"; label "c" "z" ]
+  in
+  let r =
+    rel_l
+      [ ("x", 0); ("y", 1); ("z", 2); ("x", 3); ("y", 4); ("z", 5); ("x", 6) ]
+  in
+  let ses = (run p r).Ses_core.Engine.metrics in
+  let bf = (Brute_force.run_relation p r).Brute_force.metrics in
+  let ratio =
+    float_of_int bf.Ses_core.Metrics.max_simultaneous_instances
+    /. float_of_int ses.Ses_core.Metrics.max_simultaneous_instances
+  in
+  Alcotest.(check bool) "ratio near (3-1)! = 2" true (ratio >= 1.5 && ratio <= 3.0)
+
+let suite =
+  [
+    Alcotest.test_case "factorial" `Quick test_factorial;
+    Alcotest.test_case "permutations" `Quick test_permutations;
+    Alcotest.test_case "cartesian" `Quick test_cartesian;
+    Alcotest.test_case "n_sequences" `Quick test_n_sequences;
+    Alcotest.test_case "Figure 10(b): orderings" `Quick test_orderings_figure10;
+    Alcotest.test_case "sequence_pattern" `Quick test_sequence_pattern;
+    Alcotest.test_case "group variables kept" `Quick test_group_variable_kept;
+    Alcotest.test_case "BF matches = SES matches" `Quick test_run_matches_ses;
+    Alcotest.test_case "BF raw superset of SES raw" `Quick test_bf_raw_superset;
+    Alcotest.test_case "BF metrics" `Quick test_bf_metrics;
+    Alcotest.test_case "Table 1 ratio on a small case" `Quick test_exclusive_ratio;
+  ]

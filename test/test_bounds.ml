@@ -1,0 +1,131 @@
+(* Theorems 1-3: the measured number of simultaneous automaton instances
+   stays within the theoretical upper bounds. *)
+
+open Ses_core
+open Ses_harness
+open Helpers
+
+let w_of relation tau = Ses_event.Relation.window_size relation tau
+
+let measured p relation =
+  (run p relation).Engine.metrics.Metrics.max_simultaneous_instances
+
+let test_per_set_formulas () =
+  (* Case 1. *)
+  let excl =
+    pattern ~within:50 [ [ v "a"; v "b" ] ] ~where:[ label "a" "x"; label "b" "y" ]
+  in
+  Alcotest.(check (float 0.0)) "case 1 = 1" 1.0 (Bounds.per_set excl 0 ~w:100);
+  (* Case 2. *)
+  let overlap =
+    pattern ~within:50
+      [ [ v "a"; v "b"; v "c" ] ]
+      ~where:[ label "a" "x"; label "b" "x"; label "c" "x" ]
+  in
+  Alcotest.(check (float 0.0)) "case 2 = 3!" 6.0 (Bounds.per_set overlap 0 ~w:100);
+  (* Case 3 with k = 1: (|V1|-1)! * W^|V1|. *)
+  let one_group =
+    pattern ~within:50
+      [ [ v "a"; v "b"; vplus "g" ] ]
+      ~where:[ label "a" "x"; label "b" "x"; label "g" "x" ]
+  in
+  Alcotest.(check (float 0.0)) "case 3 k=1" (2.0 *. (10.0 ** 3.0))
+    (Bounds.per_set one_group 0 ~w:10);
+  (* Case 3 with k = 2: k * (|V1|-1)! * k^(W*|V1|). *)
+  let two_groups =
+    pattern ~within:50
+      [ [ vplus "g"; vplus "h" ] ]
+      ~where:[ label "g" "x"; label "h" "x" ]
+  in
+  Alcotest.(check (float 0.0)) "case 3 k=2"
+    (2.0 *. 1.0 *. (2.0 ** 6.0))
+    (Bounds.per_set two_groups 0 ~w:3)
+
+let test_overall_formula () =
+  (* Two sets, worst per-set bound 6, W = 10: 10 * 6^2. *)
+  let p =
+    pattern ~within:50
+      [ [ v "a"; v "b"; v "c" ]; [ v "z" ] ]
+      ~where:[ label "a" "x"; label "b" "x"; label "c" "x"; label "z" "z" ]
+  in
+  Alcotest.(check (float 0.0)) "overall" 360.0 (Bounds.overall p ~w:10);
+  Alcotest.(check bool) "describe" true (String.length (Bounds.describe p ~w:10) > 0)
+
+let test_case1_measured_constant () =
+  (* Pairwise exclusive variables: instances do not blow up with W. *)
+  let p =
+    pattern ~within:20
+      [ [ v "a"; v "b" ] ]
+      ~where:[ label "a" "x"; label "b" "y" ]
+  in
+  let r =
+    rel_l (List.init 40 (fun i -> ((if i mod 2 = 0 then "x" else "y"), i)))
+  in
+  let m = measured p r in
+  (* One fresh instance per event can survive one step; the bound is
+     O(W * 1^n) = O(W), far below the case-2/3 blowups. *)
+  Alcotest.(check bool) "bounded by overall" true
+    (float_of_int m <= Bounds.overall p ~w:(w_of r 20))
+
+let test_case2_measured_within_bound () =
+  let p =
+    pattern ~within:20
+      [ [ v "a"; v "b"; v "c" ] ]
+      ~where:[ label "a" "x"; label "b" "x"; label "c" "x" ]
+  in
+  let r = rel_l (List.init 30 (fun i -> ("x", i))) in
+  let m = measured p r in
+  Alcotest.(check bool) "within W * |V1|!" true
+    (float_of_int m <= Bounds.overall p ~w:(w_of r 20))
+
+let test_case3_measured_within_bound () =
+  let p =
+    pattern ~within:10
+      [ [ v "a"; vplus "g" ] ]
+      ~where:[ label "a" "x"; label "g" "x" ]
+  in
+  let r = rel_l (List.init 25 (fun i -> ("x", i))) in
+  let m = measured p r in
+  Alcotest.(check bool) "within W * ((|V1|-1)! W^|V1|)^n" true
+    (float_of_int m <= Bounds.overall p ~w:(w_of r 10))
+
+let test_case2_growth_is_linear_in_w () =
+  (* Theorem 2 implies the per-start instance count is W-independent; the
+     total growth is the linear fresh-instance term (the trend Fig. 12
+     shows for P4). Duplicating the dataset must scale the peak by about
+     the duplication factor, not quadratically. *)
+  let p =
+    pattern ~within:20
+      [ [ v "a"; v "b" ] ]
+      ~where:[ label "a" "x"; label "b" "x" ]
+  in
+  let base = rel_l (List.init 20 (fun i -> ("x", i))) in
+  let m1 = measured p base in
+  let m3 = measured p (Ses_gen.Dataset.duplicate 3 base) in
+  Alcotest.(check bool) "roughly linear" true
+    (float_of_int m3 <= 4.5 *. float_of_int m1)
+
+let test_case3_growth_superlinear () =
+  (* The group variable makes the peak grow faster than linearly in W
+     (Fig. 12's P3 curve). *)
+  let p =
+    pattern ~within:10
+      [ [ v "a"; vplus "g" ] ]
+      ~where:[ label "a" "x"; label "g" "x" ]
+  in
+  let base = rel_l (List.init 15 (fun i -> ("x", i))) in
+  let m1 = measured p base in
+  let m3 = measured p (Ses_gen.Dataset.duplicate 3 base) in
+  Alcotest.(check bool) "superlinear" true
+    (float_of_int m3 >= 3.5 *. float_of_int m1)
+
+let suite =
+  [
+    Alcotest.test_case "per-set formulas" `Quick test_per_set_formulas;
+    Alcotest.test_case "overall formula" `Quick test_overall_formula;
+    Alcotest.test_case "case 1 measured" `Quick test_case1_measured_constant;
+    Alcotest.test_case "case 2 measured" `Quick test_case2_measured_within_bound;
+    Alcotest.test_case "case 3 measured" `Quick test_case3_measured_within_bound;
+    Alcotest.test_case "case 2 linear growth" `Quick test_case2_growth_is_linear_in_w;
+    Alcotest.test_case "case 3 superlinear growth" `Quick test_case3_growth_superlinear;
+  ]

@@ -1,0 +1,122 @@
+open Ses_event
+open Ses_store
+
+let test_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape_field "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape_field "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape_field "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.escape_field "a\nb")
+
+let test_split_line () =
+  let ok line = match Csv.split_line line with Ok f -> f | Error e -> Alcotest.fail e in
+  Alcotest.(check (list string)) "plain" [ "a"; "b"; "c" ] (ok "a,b,c");
+  Alcotest.(check (list string)) "quoted comma" [ "a,b"; "c" ] (ok "\"a,b\",c");
+  Alcotest.(check (list string)) "escaped quote" [ "a\"b" ] (ok "\"a\"\"b\"");
+  Alcotest.(check (list string)) "empty fields" [ ""; ""; "" ] (ok ",,");
+  Alcotest.(check bool) "unterminated" true
+    (Result.is_error (Csv.split_line "\"abc"))
+
+let test_header () =
+  let schema =
+    Schema.make_exn [ ("ID", Value.Tint); ("L", Value.Tstr); ("V", Value.Tfloat) ]
+  in
+  let header = Csv.header_of_schema schema in
+  Alcotest.(check string) "header" "ID:int,L:string,V:float,T" header;
+  (match Csv.schema_of_header header with
+  | Ok s -> Alcotest.(check bool) "roundtrip" true (Schema.equal s schema)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "missing T" true
+    (Result.is_error (Csv.schema_of_header "A:int,B:int"));
+  Alcotest.(check bool) "unknown type" true
+    (Result.is_error (Csv.schema_of_header "A:blob,T"));
+  Alcotest.(check bool) "untyped cell" true
+    (Result.is_error (Csv.schema_of_header "A,T"))
+
+let sample =
+  Relation.of_rows_exn Helpers.schema
+    [
+      ([| Value.Int 1; Value.Str "plain"; Value.Int 3 |], 0);
+      ([| Value.Int 2; Value.Str "with,comma"; Value.Int (-4) |], 5);
+      ([| Value.Int 3; Value.Str "with\"quote"; Value.Int 0 |], 9);
+      ([| Value.Int 4; Value.Str "multi\nline"; Value.Int 7 |], 12);
+    ]
+
+let relations_equal a b =
+  Relation.cardinality a = Relation.cardinality b
+  && Schema.equal (Relation.schema a) (Relation.schema b)
+  && List.for_all2
+       (fun x y ->
+         Event.ts x = Event.ts y
+         && Array.for_all2 Value.equal x.Event.payload y.Event.payload)
+       (Array.to_list (Relation.events a))
+       (Array.to_list (Relation.events b))
+
+let test_roundtrip_string () =
+  match Csv.of_string (Csv.to_string sample) with
+  | Ok r -> Alcotest.(check bool) "equal" true (relations_equal sample r)
+  | Error e -> Alcotest.fail e
+
+let test_roundtrip_floats () =
+  let schema = Schema.make_exn [ ("X", Value.Tfloat) ] in
+  let r =
+    Relation.of_rows_exn schema
+      [
+        ([| Value.Float 2.5 |], 0);
+        ([| Value.Float (-0.125) |], 1);
+        ([| Value.Float 1e12 |], 2);
+      ]
+  in
+  match Csv.of_string (Csv.to_string r) with
+  | Ok r' -> Alcotest.(check bool) "floats survive" true (relations_equal r r')
+  | Error e -> Alcotest.fail e
+
+let test_roundtrip_file () =
+  let path = Filename.temp_file "ses_csv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match Csv.save path sample with Ok () -> () | Error e -> Alcotest.fail e);
+      match Csv.load path with
+      | Ok r -> Alcotest.(check bool) "file roundtrip" true (relations_equal sample r)
+      | Error e -> Alcotest.fail e)
+
+let test_bad_rows () =
+  Alcotest.(check bool) "empty input" true (Result.is_error (Csv.of_string ""));
+  Alcotest.(check bool) "arity" true
+    (Result.is_error (Csv.of_string "A:int,T\n1,2,3\n"));
+  Alcotest.(check bool) "bad timestamp" true
+    (Result.is_error (Csv.of_string "A:int,T\n1,xyz\n"));
+  Alcotest.(check bool) "bad int" true
+    (Result.is_error (Csv.of_string "A:int,T\nfoo,3\n"))
+
+let test_empty_relation () =
+  let r = Relation.of_rows_exn Helpers.schema [] in
+  match Csv.of_string (Csv.to_string r) with
+  | Ok r' -> Alcotest.(check int) "no events" 0 (Relation.cardinality r')
+  | Error e -> Alcotest.fail e
+
+let csv_roundtrip_random =
+  QCheck.Test.make ~count:50 ~name:"csv roundtrip (random relations)"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Ses_gen.Prng.create (Int64.of_int seed) in
+      let r =
+        Ses_gen.Random_workload.relation rng
+          Ses_gen.Random_workload.default_relation
+      in
+      match Csv.of_string (Csv.to_string r) with
+      | Ok r' -> relations_equal r r'
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "escape_field" `Quick test_escape;
+    Alcotest.test_case "split_line" `Quick test_split_line;
+    Alcotest.test_case "header" `Quick test_header;
+    Alcotest.test_case "roundtrip via string" `Quick test_roundtrip_string;
+    Alcotest.test_case "roundtrip floats" `Quick test_roundtrip_floats;
+    Alcotest.test_case "roundtrip via file" `Quick test_roundtrip_file;
+    Alcotest.test_case "bad rows" `Quick test_bad_rows;
+    Alcotest.test_case "empty relation" `Quick test_empty_relation;
+    QCheck_alcotest.to_alcotest csv_roundtrip_random;
+  ]

@@ -1,0 +1,44 @@
+open Ses_event
+
+let schema = Schema.make_exn [ ("ID", Value.Tint); ("L", Value.Tstr) ]
+
+let ev ?(seq = 0) ?(ts = 0) id l =
+  Event.make ~seq ~ts [| Value.Int id; Value.Str l |]
+
+let test_accessors () =
+  let e = ev ~seq:3 ~ts:42 7 "C" in
+  Alcotest.(check int) "seq" 3 (Event.seq e);
+  Alcotest.(check int) "ts" 42 (Event.ts e);
+  Alcotest.(check bool) "attr" true (Value.equal (Event.attr e 0) (Value.Int 7));
+  Alcotest.(check bool) "get attr" true
+    (Value.equal (Event.get e (Schema.Field.Attr 1)) (Value.Str "C"));
+  Alcotest.(check bool) "get timestamp" true
+    (Value.equal (Event.get e Schema.Field.Timestamp) (Value.Int 42));
+  Alcotest.(check string) "name" "e4" (Event.name e)
+
+let test_typed_ok () =
+  Alcotest.(check bool) "ok" true (Event.typed_ok schema (ev 1 "x"));
+  let wrong_arity = Event.make ~seq:0 ~ts:0 [| Value.Int 1 |] in
+  Alcotest.(check bool) "arity" false (Event.typed_ok schema wrong_arity);
+  let wrong_type = Event.make ~seq:0 ~ts:0 [| Value.Str "x"; Value.Str "y" |] in
+  Alcotest.(check bool) "type" false (Event.typed_ok schema wrong_type)
+
+let test_chrono () =
+  let a = ev ~seq:0 ~ts:5 1 "x" and b = ev ~seq:1 ~ts:5 1 "y" in
+  let c = ev ~seq:2 ~ts:4 1 "z" in
+  Alcotest.(check bool) "tie broken by seq" true (Event.compare_chrono a b < 0);
+  Alcotest.(check bool) "ts dominates" true (Event.compare_chrono c a < 0);
+  Alcotest.(check bool) "equal identity" true (Event.equal a a);
+  Alcotest.(check bool) "distinct" false (Event.equal a b)
+
+let test_pp () =
+  Alcotest.(check string) "pp" "e1{ID=7, L='C', T=42}"
+    (Format.asprintf "%a" (Event.pp schema) (ev ~ts:42 7 "C"))
+
+let suite =
+  [
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "typed_ok" `Quick test_typed_ok;
+    Alcotest.test_case "chronological order" `Quick test_chrono;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]

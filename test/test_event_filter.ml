@@ -1,0 +1,141 @@
+open Ses_event
+open Ses_core
+open Helpers
+
+let ev l v = Event.make ~seq:0 ~ts:0 [| Value.Int 1; Value.Str l; Value.Int v |]
+
+(* x matches label 'a' with V >= 5; y matches label 'b'. *)
+let p =
+  pattern ~within:10
+    [ [ v "x" ]; [ v "y" ] ]
+    ~where:
+      [
+        label "x" "a";
+        Ses_pattern.Pattern.Spec.const "x" "V" Predicate.Ge (Value.Int 5);
+        label "y" "b";
+      ]
+
+let test_no_filter () =
+  let f = Event_filter.make p Event_filter.No_filter in
+  Alcotest.(check bool) "ineffective" false (Event_filter.effective f);
+  Alcotest.(check bool) "keeps anything" true (Event_filter.keep f (ev "zzz" 0))
+
+let test_paper_filter () =
+  let f = Event_filter.make p Event_filter.Paper in
+  Alcotest.(check bool) "effective" true (Event_filter.effective f);
+  (* Satisfies x's label condition only — kept by the paper filter. *)
+  Alcotest.(check bool) "partial satisfaction kept" true
+    (Event_filter.keep f (ev "a" 0));
+  Alcotest.(check bool) "y label kept" true (Event_filter.keep f (ev "b" 0));
+  (* Satisfies only the V >= 5 atom. *)
+  Alcotest.(check bool) "value atom kept" true (Event_filter.keep f (ev "q" 9));
+  Alcotest.(check bool) "nothing satisfied dropped" false
+    (Event_filter.keep f (ev "q" 0))
+
+let test_strong_filter () =
+  let f = Event_filter.make p Event_filter.Strong in
+  Alcotest.(check bool) "effective" true (Event_filter.effective f);
+  (* x needs label AND value. *)
+  Alcotest.(check bool) "x fully satisfied" true (Event_filter.keep f (ev "a" 7));
+  Alcotest.(check bool) "x label only dropped" false
+    (Event_filter.keep f (ev "a" 0));
+  Alcotest.(check bool) "y satisfied" true (Event_filter.keep f (ev "b" 0));
+  Alcotest.(check bool) "neither dropped" false (Event_filter.keep f (ev "q" 9))
+
+let test_unconstrained_variable_degenerates () =
+  (* y carries no constant condition: both filters must keep everything. *)
+  let p' =
+    pattern ~within:10 [ [ v "x" ]; [ v "y" ] ] ~where:[ label "x" "a" ]
+  in
+  let fp = Event_filter.make p' Event_filter.Paper in
+  let fs = Event_filter.make p' Event_filter.Strong in
+  Alcotest.(check bool) "paper ineffective" false (Event_filter.effective fp);
+  Alcotest.(check bool) "strong ineffective" false (Event_filter.effective fs);
+  Alcotest.(check bool) "keeps unrelated" true (Event_filter.keep fp (ev "z" 0))
+
+let test_filters_preserve_matches () =
+  (* The three modes agree on Q1 over Figure 1. *)
+  let run_mode mode =
+    let options = { Engine.default_options with Engine.filter = mode } in
+    (run ~options query_q1 figure_1).Engine.matches
+  in
+  let reference = run_mode Event_filter.No_filter in
+  List.iter
+    (fun mode ->
+      let got = run_mode mode in
+      Alcotest.(check int) "same count" (List.length reference) (List.length got);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) "same match" true (Substitution.equal a b))
+        reference got)
+    [ Event_filter.Paper; Event_filter.Strong ]
+
+let test_filter_reduces_work () =
+  let count_filtered mode =
+    let options =
+      { Engine.default_options with Engine.filter = mode; finalize = false }
+    in
+    (run ~options query_q1 figure_1).Engine.metrics.Metrics.events_filtered
+  in
+  Alcotest.(check int) "no filter drops nothing" 0
+    (count_filtered Event_filter.No_filter);
+  Alcotest.(check int) "figure 1 is all-matching" 0
+    (count_filtered Event_filter.Paper);
+  (* Add unrelated events and check they are dropped. *)
+  let noisy =
+    Relation.append figure_1
+      (Relation.of_rows_exn chemo_schema
+         [
+           ([| Value.Int 1; Value.Str "X"; Value.Float 0.; Value.Str "u" |], 50);
+           ([| Value.Int 2; Value.Str "Y"; Value.Float 0.; Value.Str "u" |], 60);
+         ])
+  in
+  let options =
+    {
+      Engine.default_options with
+      Engine.filter = Event_filter.Paper;
+      finalize = false;
+    }
+  in
+  let outcome = run ~options query_q1 noisy in
+  Alcotest.(check int) "noise dropped" 2
+    outcome.Engine.metrics.Metrics.events_filtered
+
+let test_pp_mode () =
+  Alcotest.(check string) "paper" "paper filter"
+    (Format.asprintf "%a" Event_filter.pp_mode Event_filter.Paper);
+  Alcotest.(check string) "none" "no filter"
+    (Format.asprintf "%a" Event_filter.pp_mode Event_filter.No_filter)
+
+(* Property: on random workloads, filtering never changes the finalized
+   match set. *)
+let filter_transparent =
+  QCheck.Test.make ~count:60 ~name:"filters preserve matches (random)"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Ses_gen.Prng.create (Int64.of_int seed) in
+      let pat = Ses_gen.Random_workload.pattern rng Ses_gen.Random_workload.default_pattern in
+      let r = Ses_gen.Random_workload.relation rng Ses_gen.Random_workload.default_relation in
+      let automaton = Automaton.of_pattern pat in
+      let matches mode =
+        let options = { Engine.default_options with Engine.filter = mode } in
+        List.map Substitution.canonical
+          (Engine.run_relation ~options automaton r).Engine.matches
+      in
+      let reference = matches Event_filter.No_filter in
+      matches Event_filter.Paper = reference
+      && matches Event_filter.Strong = reference)
+
+let suite =
+  [
+    Alcotest.test_case "no filter" `Quick test_no_filter;
+    Alcotest.test_case "paper filter" `Quick test_paper_filter;
+    Alcotest.test_case "strong filter" `Quick test_strong_filter;
+    Alcotest.test_case "unconstrained variable" `Quick
+      test_unconstrained_variable_degenerates;
+    Alcotest.test_case "filters preserve Q1 matches" `Quick
+      test_filters_preserve_matches;
+    Alcotest.test_case "filter reduces work" `Quick test_filter_reduces_work;
+    Alcotest.test_case "pp_mode" `Quick test_pp_mode;
+    QCheck_alcotest.to_alcotest filter_transparent;
+  ]

@@ -1,0 +1,154 @@
+open Ses_event
+open Ses_pattern
+open Helpers
+
+let pat ~where sets = pattern ~where ~within:100 sets
+
+let id p name = Option.get (Pattern.var_id p name)
+
+let test_distinct_labels_exclusive () =
+  let p = pat [ [ v "a"; v "b" ] ] ~where:[ label "a" "x"; label "b" "y" ] in
+  Alcotest.(check bool) "exclusive" true
+    (Exclusivity.mutually_exclusive p (id p "a") (id p "b"));
+  Alcotest.(check bool) "symmetric" true
+    (Exclusivity.mutually_exclusive p (id p "b") (id p "a"));
+  Alcotest.(check bool) "all pairwise" true (Exclusivity.all_pairwise_exclusive p)
+
+let test_same_label_not_exclusive () =
+  let p = pat [ [ v "a"; v "b" ] ] ~where:[ label "a" "x"; label "b" "x" ] in
+  Alcotest.(check bool) "not exclusive" false
+    (Exclusivity.mutually_exclusive p (id p "a") (id p "b"))
+
+let test_self_never_exclusive () =
+  let p = pat [ [ v "a" ] ] ~where:[ label "a" "x" ] in
+  Alcotest.(check bool) "self" false
+    (Exclusivity.mutually_exclusive p (id p "a") (id p "a"))
+
+let test_no_conditions_not_exclusive () =
+  let p = pat [ [ v "a"; v "b" ] ] ~where:[] in
+  Alcotest.(check bool) "unconstrained" false
+    (Exclusivity.mutually_exclusive p (id p "a") (id p "b"))
+
+let test_different_attributes_not_exclusive () =
+  (* a.L = 'x' and b.V = 5 never conflict: Definition 6 requires the same
+     attribute on both sides. *)
+  let p =
+    pat
+      [ [ v "a"; v "b" ] ]
+      ~where:
+        [ label "a" "x"; Pattern.Spec.const "b" "V" Predicate.Eq (Value.Int 5) ]
+  in
+  Alcotest.(check bool) "different attributes" false
+    (Exclusivity.mutually_exclusive p (id p "a") (id p "b"))
+
+let test_range_exclusivity () =
+  let cond name op k = Pattern.Spec.const name "V" op (Value.Int k) in
+  let p =
+    pat
+      [ [ v "a"; v "b" ] ]
+      ~where:[ cond "a" Predicate.Lt 3; cond "b" Predicate.Gt 7 ]
+  in
+  Alcotest.(check bool) "disjoint ranges exclusive" true
+    (Exclusivity.mutually_exclusive p (id p "a") (id p "b"));
+  let p2 =
+    pat
+      [ [ v "a"; v "b" ] ]
+      ~where:[ cond "a" Predicate.Lt 5; cond "b" Predicate.Gt 3 ]
+  in
+  Alcotest.(check bool) "overlapping ranges not exclusive" false
+    (Exclusivity.mutually_exclusive p2 (id p2 "a") (id p2 "b"))
+
+let test_var_conditions_ignored () =
+  (* Only constant conditions count for Definition 6. *)
+  let p =
+    pat
+      [ [ v "a"; v "b" ] ]
+      ~where:[ Pattern.Spec.fields "a" "V" Predicate.Lt "b" "V" ]
+  in
+  Alcotest.(check bool) "var-var condition ignored" false
+    (Exclusivity.mutually_exclusive p (id p "a") (id p "b"))
+
+let check_case = Alcotest.testable Exclusivity.pp_case ( = )
+
+let test_classify () =
+  let excl = pat [ [ v "a"; v "b" ] ] ~where:[ label "a" "x"; label "b" "y" ] in
+  Alcotest.check check_case "case 1" Exclusivity.Exclusive
+    (Exclusivity.classify_set excl 0);
+  let overlap = pat [ [ v "a"; v "b" ] ] ~where:[ label "a" "x"; label "b" "x" ] in
+  Alcotest.check check_case "case 2" Exclusivity.Overlapping
+    (Exclusivity.classify_set overlap 0);
+  let with_group =
+    pat [ [ v "a"; vplus "b" ] ] ~where:[ label "a" "x"; label "b" "x" ]
+  in
+  Alcotest.check check_case "case 3, k=1"
+    (Exclusivity.Overlapping_with_groups 1)
+    (Exclusivity.classify_set with_group 0);
+  let two_groups =
+    pat [ [ vplus "a"; vplus "b" ] ] ~where:[ label "a" "x"; label "b" "x" ]
+  in
+  Alcotest.check check_case "case 3, k=2"
+    (Exclusivity.Overlapping_with_groups 2)
+    (Exclusivity.classify_set two_groups 0);
+  (* An exclusive set with groups is still case 1: Lemma 1 only needs
+     exclusivity. *)
+  let excl_group =
+    pat [ [ v "a"; vplus "b" ] ] ~where:[ label "a" "x"; label "b" "y" ]
+  in
+  Alcotest.check check_case "exclusive despite group" Exclusivity.Exclusive
+    (Exclusivity.classify_set excl_group 0)
+
+let test_classify_per_set () =
+  let p =
+    pat
+      [ [ v "a"; v "b" ]; [ v "c"; v "d" ] ]
+      ~where:[ label "a" "x"; label "b" "y"; label "c" "z"; label "d" "z" ]
+  in
+  Alcotest.(check (list check_case)) "per set"
+    [ Exclusivity.Exclusive; Exclusivity.Overlapping ]
+    (Exclusivity.classify p);
+  Alcotest.(check bool) "set 0 exclusive" true (Exclusivity.set_pairwise_exclusive p 0);
+  Alcotest.(check bool) "set 1 not" false (Exclusivity.set_pairwise_exclusive p 1);
+  Alcotest.(check bool) "whole pattern not" false (Exclusivity.all_pairwise_exclusive p)
+
+let test_running_example () =
+  (* Example 10: all event variables of Q1 are pairwise mutually exclusive. *)
+  Alcotest.(check bool) "Q1 exclusive" true
+    (Exclusivity.all_pairwise_exclusive query_q1)
+
+(* Lemma 1: with pairwise mutually exclusive variables no nondeterminism
+   occurs — at most one transition fires per instance and event, so the
+   number of instances created never exceeds the number of transitions
+   fired plus the fresh instances. *)
+let test_lemma1_no_branching () =
+  let p =
+    pat
+      [ [ v "a"; v "b"; v "c" ] ]
+      ~where:[ label "a" "x"; label "b" "y"; label "c" "z" ]
+  in
+  let r =
+    rel_l
+      [ ("x", 1); ("y", 2); ("x", 3); ("z", 4); ("y", 5); ("z", 6); ("x", 7) ]
+  in
+  let outcome = run p r in
+  let m = outcome.Ses_core.Engine.metrics in
+  Alcotest.(check bool) "creations bounded" true
+    (m.Ses_core.Metrics.instances_created
+    <= m.Ses_core.Metrics.transitions_fired + m.Ses_core.Metrics.events_seen);
+  Alcotest.(check int) "transitions = non-fresh creations"
+    m.Ses_core.Metrics.transitions_fired
+    (m.Ses_core.Metrics.instances_created - m.Ses_core.Metrics.events_seen)
+
+let suite =
+  [
+    Alcotest.test_case "distinct labels" `Quick test_distinct_labels_exclusive;
+    Alcotest.test_case "same label" `Quick test_same_label_not_exclusive;
+    Alcotest.test_case "self" `Quick test_self_never_exclusive;
+    Alcotest.test_case "no conditions" `Quick test_no_conditions_not_exclusive;
+    Alcotest.test_case "different attributes" `Quick test_different_attributes_not_exclusive;
+    Alcotest.test_case "ranges" `Quick test_range_exclusivity;
+    Alcotest.test_case "variable conditions ignored" `Quick test_var_conditions_ignored;
+    Alcotest.test_case "classification" `Quick test_classify;
+    Alcotest.test_case "classification per set" `Quick test_classify_per_set;
+    Alcotest.test_case "Example 10 (Q1)" `Quick test_running_example;
+    Alcotest.test_case "Lemma 1: no branching" `Quick test_lemma1_no_branching;
+  ]

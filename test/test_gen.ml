@@ -1,0 +1,186 @@
+open Ses_event
+open Ses_gen
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  let seq rng = List.init 20 (fun _ -> Prng.int rng 1000) in
+  Alcotest.(check (list int)) "same stream" (seq a) (seq b);
+  let c = Prng.create 43L in
+  Alcotest.(check bool) "different seed differs" true (seq (Prng.create 42L) <> seq c)
+
+let test_prng_bounds () =
+  let rng = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 10 in
+    if x < 0 || x >= 10 then Alcotest.fail "int out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let f = Prng.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.fail "float out of bounds"
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_prng_copy () =
+  let rng = Prng.create 9L in
+  ignore (Prng.int rng 100);
+  let snap = Prng.copy rng in
+  let a = List.init 5 (fun _ -> Prng.int rng 100) in
+  let b = List.init 5 (fun _ -> Prng.int snap 100) in
+  Alcotest.(check (list int)) "copy resumes identically" a b
+
+let test_prng_shuffle_pick () =
+  let rng = Prng.create 11L in
+  let l = [ 1; 2; 3; 4; 5; 6 ] in
+  let s = Prng.shuffle rng l in
+  Alcotest.(check (list int)) "permutation" l (List.sort compare s);
+  Alcotest.(check bool) "pick member" true (List.mem (Prng.pick rng l) l);
+  Alcotest.check_raises "empty pick" (Invalid_argument "Prng.pick: empty list")
+    (fun () -> ignore (Prng.pick rng []))
+
+let small_chemo =
+  { Chemo.default with Chemo.patients = 3; horizon_days = 40; noise_per_day = 0.5 }
+
+let test_chemo_deterministic () =
+  let a = Chemo.generate small_chemo and b = Chemo.generate small_chemo in
+  Alcotest.(check int) "same size" (Relation.cardinality a) (Relation.cardinality b);
+  Alcotest.(check bool) "same events" true
+    (List.for_all2
+       (fun x y ->
+         Event.ts x = Event.ts y
+         && Array.for_all2 Value.equal x.Event.payload y.Event.payload)
+       (Array.to_list (Relation.events a))
+       (Array.to_list (Relation.events b)))
+
+let labels_of r =
+  List.sort_uniq String.compare
+    (Relation.fold
+       (fun acc e ->
+         match Event.attr e 1 with Value.Str s -> s :: acc | _ -> acc)
+       [] r)
+
+let test_chemo_content () =
+  let r = Chemo.generate small_chemo in
+  Alcotest.(check bool) "nonempty" false (Relation.is_empty r);
+  Alcotest.(check bool) "schema" true (Schema.equal (Relation.schema r) Chemo.schema);
+  let present = labels_of r in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (Printf.sprintf "label %s present" l) true
+        (List.mem l present))
+    Chemo.labels;
+  (* Chronological order is guaranteed by the relation. *)
+  let sorted = ref true in
+  let prev = ref min_int in
+  Relation.iter
+    (fun e ->
+      if Event.ts e < !prev then sorted := false;
+      prev := Event.ts e)
+    r;
+  Alcotest.(check bool) "sorted" true !sorted;
+  (* Patient ids stay within range. *)
+  Relation.iter
+    (fun e ->
+      match Event.attr e 0 with
+      | Value.Int id ->
+          if id < 1 || id > small_chemo.Chemo.patients then
+            Alcotest.fail "patient id out of range"
+      | _ -> Alcotest.fail "ID not an int")
+    r
+
+let test_chemo_q1_matches () =
+  (* The generator must produce data on which the running example's query
+     actually finds matches. *)
+  let r = Chemo.generate small_chemo in
+  let outcome = Helpers.run Ses_harness.Queries.q1 r in
+  Alcotest.(check bool) "q1 matches exist" true
+    (outcome.Ses_core.Engine.matches <> [])
+
+let test_duplicate () =
+  let r = Chemo.generate small_chemo in
+  let d3 = Dataset.duplicate 3 r in
+  Alcotest.(check int) "triple size" (3 * Relation.cardinality r)
+    (Relation.cardinality d3);
+  Alcotest.(check int) "window scales" (3 * Relation.window_size r 264)
+    (Relation.window_size d3 264);
+  Alcotest.(check int) "duplicate 1 is identity" (Relation.cardinality r)
+    (Relation.cardinality (Dataset.duplicate 1 r));
+  Alcotest.check_raises "k = 0" (Invalid_argument "Dataset.duplicate: k must be >= 1")
+    (fun () -> ignore (Dataset.duplicate 0 r))
+
+let test_d_series () =
+  let r = Chemo.generate small_chemo in
+  let series = Dataset.d_series r 3 in
+  Alcotest.(check (list string)) "names" [ "D1"; "D2"; "D3" ] (List.map fst series);
+  Alcotest.(check bool) "D1 is the original" true
+    (Relation.cardinality (List.assoc "D1" series) = Relation.cardinality r);
+  Alcotest.(check bool) "describe mentions W" true
+    (String.length (Dataset.describe r 264) > 0)
+
+let test_random_workload_patterns_valid () =
+  (* Pattern generation must always produce valid patterns. *)
+  let rng = Prng.create 123L in
+  for _ = 1 to 200 do
+    let p = Random_workload.pattern rng Random_workload.default_pattern in
+    if Ses_pattern.Pattern.n_vars p < 1 then Alcotest.fail "empty pattern"
+  done
+
+let test_random_workload_relation () =
+  let rng = Prng.create 5L in
+  let spec = { Random_workload.default_relation with Random_workload.n_events = 40 } in
+  let r = Random_workload.relation rng spec in
+  Alcotest.(check int) "requested size" 40 (Relation.cardinality r);
+  Alcotest.(check bool) "uses the workload schema" true
+    (Schema.equal (Relation.schema r) Random_workload.schema)
+
+let test_clickstream () =
+  let r = Clickstream.generate Clickstream.default in
+  Alcotest.(check bool) "nonempty" false (Relation.is_empty r);
+  Alcotest.(check bool) "schema" true
+    (Schema.equal (Relation.schema r) Clickstream.schema);
+  let count page =
+    Relation.fold
+      (fun acc e ->
+        if Value.equal (Event.attr e 1) (Value.Str page) then acc + 1 else acc)
+      0 r
+  in
+  Alcotest.(check int) "one product page per shopper"
+    Clickstream.default.Clickstream.shoppers (count "product");
+  Alcotest.(check bool) "some conversions" true (count "checkout" > 0);
+  Alcotest.(check bool) "not everyone converts" true
+    (count "checkout" < Clickstream.default.Clickstream.shoppers)
+
+let test_finance_rfid () =
+  let fin = Finance.generate Finance.default in
+  Alcotest.(check bool) "finance nonempty" false (Relation.is_empty fin);
+  Alcotest.(check bool) "finance schema" true
+    (Schema.equal (Relation.schema fin) Finance.schema);
+  let rf = Rfid.generate Rfid.default in
+  Alcotest.(check bool) "rfid nonempty" false (Relation.is_empty rf);
+  Alcotest.(check bool) "rfid schema" true
+    (Schema.equal (Relation.schema rf) Rfid.schema);
+  (* Both generators embed at least one GATE / HEDGE completion. *)
+  let has r attr_value =
+    Relation.fold
+      (fun acc e -> acc || Value.equal (Event.attr e 1) (Value.Str attr_value))
+      false r
+  in
+  Alcotest.(check bool) "hedge present" true (has fin "HEDGE");
+  Alcotest.(check bool) "gate present" true (has rf "GATE")
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng copy" `Quick test_prng_copy;
+    Alcotest.test_case "prng shuffle/pick" `Quick test_prng_shuffle_pick;
+    Alcotest.test_case "chemo deterministic" `Quick test_chemo_deterministic;
+    Alcotest.test_case "chemo content" `Quick test_chemo_content;
+    Alcotest.test_case "chemo supports Q1" `Quick test_chemo_q1_matches;
+    Alcotest.test_case "dataset duplicate" `Quick test_duplicate;
+    Alcotest.test_case "d_series" `Quick test_d_series;
+    Alcotest.test_case "random patterns valid" `Quick test_random_workload_patterns_valid;
+    Alcotest.test_case "random relations" `Quick test_random_workload_relation;
+    Alcotest.test_case "clickstream generator" `Quick test_clickstream;
+    Alcotest.test_case "finance and rfid generators" `Quick test_finance_rfid;
+  ]

@@ -1,0 +1,277 @@
+open Ses_event
+open Ses_pattern
+open Ses_lang
+
+let q1_text =
+  "PATTERN (c, p+, d) -> (b)\n\
+   WHERE c.L = 'C' AND p.L = 'P' AND d.L = 'D' AND b.L = 'B'\n\
+  \  AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID\n\
+   WITHIN 11 DAYS"
+
+let tokens src =
+  match Lexer.tokenize src with
+  | Ok toks -> List.map (fun (t, _, _) -> t) toks
+  | Error e -> Alcotest.failf "lexer error: %a" Lexer.pp_error e
+
+let test_lexer_basics () =
+  Alcotest.(check int) "token count"
+    (* PATTERN ( a ) WITHIN 5 EOF *)
+    7
+    (List.length (tokens "PATTERN (a) WITHIN 5"));
+  (match tokens "a.V >= 2.5" with
+  | [ Token.IDENT "a"; Token.DOT; Token.IDENT "V"; Token.OP Predicate.Ge;
+      Token.FLOAT f; Token.EOF ] ->
+      Alcotest.(check (float 0.0)) "float" 2.5 f
+  | _ -> Alcotest.fail "unexpected tokens");
+  (match tokens "x <> -42" with
+  | [ Token.IDENT "x"; Token.OP Predicate.Neq; Token.INT n; Token.EOF ] ->
+      Alcotest.(check int) "negative int" (-42) n
+  | _ -> Alcotest.fail "unexpected tokens")
+
+let test_lexer_keywords_case_insensitive () =
+  (match tokens "pattern Where withIN and DAY hours unit" with
+  | [ Token.PATTERN; Token.WHERE; Token.WITHIN; Token.AND; Token.DAYS;
+      Token.HOURS; Token.UNITS; Token.EOF ] -> ()
+  | _ -> Alcotest.fail "keywords not recognized")
+
+let test_lexer_strings () =
+  (match tokens "'hello world'" with
+  | [ Token.STRING "hello world"; Token.EOF ] -> ()
+  | _ -> Alcotest.fail "string");
+  (match tokens "'it''s'" with
+  | [ Token.STRING "it's"; Token.EOF ] -> ()
+  | _ -> Alcotest.fail "escaped quote");
+  match Lexer.tokenize "'unterminated" with
+  | Error e -> Alcotest.(check bool) "position" true (e.Lexer.line = 1)
+  | Ok _ -> Alcotest.fail "expected lexer error"
+
+let test_lexer_comments () =
+  (match tokens "a -- a comment\nb" with
+  | [ Token.IDENT "a"; Token.IDENT "b"; Token.EOF ] -> ()
+  | _ -> Alcotest.fail "comment not skipped")
+
+let test_lexer_error_position () =
+  match Lexer.tokenize "abc\n  @" with
+  | Error e ->
+      Alcotest.(check int) "line" 2 e.Lexer.line;
+      Alcotest.(check int) "col" 3 e.Lexer.col
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_parse_q1 () =
+  match Parser.parse q1_text with
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+  | Ok ast ->
+      Alcotest.(check int) "two sets" 2 (List.length ast.Ast.sets);
+      Alcotest.(check int) "seven conditions" 7 (List.length ast.Ast.where);
+      Alcotest.(check int) "duration in hours" 264 (Ast.duration ast);
+      let set1 = (List.hd ast.Ast.sets).Ast.vars in
+      Alcotest.(check (list string)) "set 1 names" [ "c"; "p"; "d" ]
+        (List.map (fun (v : Ast.var_decl) -> v.Ast.name) set1);
+      Alcotest.(check (list bool)) "group flags" [ false; true; false ]
+        (List.map
+           (fun (v : Ast.var_decl) -> v.Ast.quantifier.Variable.max_count <> Some 1)
+           set1)
+
+let test_parse_minimal () =
+  match Parser.parse "PATTERN a WITHIN 5" with
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+  | Ok ast ->
+      Alcotest.(check int) "one set" 1 (List.length ast.Ast.sets);
+      Alcotest.(check int) "no conditions" 0 (List.length ast.Ast.where);
+      Alcotest.(check int) "raw units" 5 (Ast.duration ast)
+
+let test_parse_unparenthesized_chain () =
+  match Parser.parse "PATTERN a -> b -> c WITHIN 9 HOURS" with
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+  | Ok ast ->
+      Alcotest.(check int) "three sets" 3 (List.length ast.Ast.sets);
+      Alcotest.(check int) "hours = raw" 9 (Ast.duration ast)
+
+let expect_parse_error src fragment =
+  match Parser.parse src with
+  | Ok _ -> Alcotest.failf "expected a parse error for %S" src
+  | Error e ->
+      let msg = Format.asprintf "%a" Parser.pp_error e in
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions %s" fragment)
+        true (contains fragment msg)
+
+let test_parse_errors () =
+  expect_parse_error "(a) WITHIN 5" "PATTERN";
+  expect_parse_error "PATTERN () WITHIN 5" "variable name";
+  expect_parse_error "PATTERN a" "WITHIN";
+  expect_parse_error "PATTERN a WITHIN" "duration";
+  expect_parse_error "PATTERN a WHERE a.L 'x' WITHIN 5" "comparison operator";
+  expect_parse_error "PATTERN a WHERE a.L = WITHIN 5" "constant or field";
+  expect_parse_error "PATTERN a WITHIN 5 extra" "end of input";
+  expect_parse_error "PATTERN a WHERE a = 'x' WITHIN 5" "'.'"
+
+let test_compile_q1 () =
+  let p =
+    match Lang.parse_pattern Helpers.chemo_schema q1_text with
+    | Ok p -> p
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check int) "vars" 4 (Pattern.n_vars p);
+  Alcotest.(check int) "tau" 264 (Pattern.tau p);
+  Alcotest.(check bool) "p is group" true
+    (Pattern.is_group p (Option.get (Pattern.var_id p "p")));
+  (* The compiled pattern behaves exactly like the hand-built one. *)
+  let parsed = Helpers.run p Helpers.figure_1 in
+  let manual = Helpers.run Helpers.query_q1 Helpers.figure_1 in
+  Alcotest.(check (list (list (pair string int))))
+    "same matches"
+    (Helpers.substs_repr Helpers.query_q1 manual.Ses_core.Engine.matches)
+    (Helpers.substs_repr p parsed.Ses_core.Engine.matches)
+
+let test_compile_errors () =
+  let err src =
+    match Lang.parse_pattern Helpers.chemo_schema src with
+    | Ok _ -> Alcotest.failf "expected compile error for %S" src
+    | Error msg -> msg
+  in
+  ignore (err "PATTERN a WHERE a.NOPE = 1 WITHIN 5");
+  ignore (err "PATTERN a WHERE z.L = 'x' WITHIN 5");
+  ignore (err "PATTERN (a, a) WITHIN 5");
+  ignore (err "PATTERN a WHERE a.L = 1 WITHIN 5")
+
+let test_timestamp_in_conditions () =
+  let p =
+    match
+      Lang.parse_pattern Helpers.chemo_schema
+        "PATTERN a -> b WHERE a.L = 'C' AND b.L = 'B' AND b.T >= 100 WITHIN 500"
+    with
+    | Ok p -> p
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check int) "three conditions" 3 (List.length (Pattern.conditions p))
+
+let test_ast_roundtrip () =
+  match Parser.parse q1_text with
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+  | Ok ast -> (
+      let printed = Format.asprintf "%a" Ast.pp ast in
+      match Parser.parse printed with
+      | Error e -> Alcotest.failf "reparse error on %S: %a" printed Parser.pp_error e
+      | Ok ast2 ->
+          Alcotest.(check int) "same duration" (Ast.duration ast) (Ast.duration ast2);
+          Alcotest.(check int) "same conditions"
+            (List.length ast.Ast.where)
+            (List.length ast2.Ast.where);
+          Alcotest.(check bool) "same sets" true (ast.Ast.sets = ast2.Ast.sets))
+
+let test_negative_and_float_constants () =
+  match
+    Parser.parse "PATTERN a WHERE a.V >= -3 AND a.V < 2.75 WITHIN 10"
+  with
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+  | Ok ast -> (
+      match ast.Ast.where with
+      | [ c1; c2 ] ->
+          (match c1.Pattern.Spec.right with
+          | Pattern.Spec.Const (Value.Int n) ->
+              Alcotest.(check int) "negative" (-3) n
+          | _ -> Alcotest.fail "expected int constant");
+          (match c2.Pattern.Spec.right with
+          | Pattern.Spec.Const (Value.Float f) ->
+              Alcotest.(check (float 0.0)) "float" 2.75 f
+          | _ -> Alcotest.fail "expected float constant")
+      | _ -> Alcotest.fail "expected two conditions")
+
+let test_to_query_roundtrip () =
+  let rendered = Lang.to_query Helpers.query_q1 in
+  let reparsed =
+    match Lang.parse_pattern Helpers.chemo_schema rendered with
+    | Ok p -> p
+    | Error msg -> Alcotest.failf "reparse of %S failed: %s" rendered msg
+  in
+  Alcotest.(check int) "vars" (Pattern.n_vars Helpers.query_q1)
+    (Pattern.n_vars reparsed);
+  Alcotest.(check int) "tau" (Pattern.tau Helpers.query_q1) (Pattern.tau reparsed);
+  let run p = Helpers.run p Helpers.figure_1 in
+  Alcotest.(check (list (list (pair string int))))
+    "same matches"
+    (Helpers.substs_repr Helpers.query_q1 (run Helpers.query_q1).Ses_core.Engine.matches)
+    (Helpers.substs_repr reparsed (run reparsed).Ses_core.Engine.matches)
+
+let test_to_query_quoting () =
+  (* A label containing a quote survives the roundtrip. *)
+  let schema = Ses_gen.Random_workload.schema in
+  let p =
+    Pattern.make_exn ~schema
+      ~sets:[ [ Variable.singleton "a" ] ]
+      ~where:[ Pattern.Spec.const "a" "L" Predicate.Eq (Value.Str "it's") ]
+      ~within:5
+  in
+  match Lang.parse_pattern schema (Lang.to_query p) with
+  | Ok p' -> (
+      match Pattern.conditions p' with
+      | [ { Condition.rhs = Condition.Const (Value.Str s); _ } ] ->
+          Alcotest.(check string) "quote preserved" "it's" s
+      | _ -> Alcotest.fail "unexpected conditions")
+  | Error msg -> Alcotest.fail msg
+
+let to_query_roundtrip_random =
+  QCheck.Test.make ~count:100 ~name:"to_query/parse roundtrip (random)"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Ses_gen.Prng.create (Int64.of_int seed) in
+      let p =
+        Ses_gen.Random_workload.pattern rng
+          Ses_gen.Random_workload.default_pattern
+      in
+      match
+        Lang.parse_pattern Ses_gen.Random_workload.schema (Lang.to_query p)
+      with
+      | Error _ -> false
+      | Ok p' ->
+          Pattern.n_vars p = Pattern.n_vars p'
+          && Pattern.n_sets p = Pattern.n_sets p'
+          && Pattern.tau p = Pattern.tau p'
+          && List.length (Pattern.conditions p)
+             = List.length (Pattern.conditions p'))
+
+(* The lexer never raises on arbitrary input — it returns a result. *)
+let lexer_total =
+  QCheck.Test.make ~count:500 ~name:"lexer is total"
+    QCheck.(string_of_size Gen.(0 -- 60))
+    (fun src ->
+      match Lexer.tokenize src with
+      | Ok toks -> toks <> []
+      | Error e -> e.Lexer.line >= 1 && e.Lexer.col >= 1)
+
+(* Neither does the parser. *)
+let parser_total =
+  QCheck.Test.make ~count:500 ~name:"parser is total"
+    QCheck.(string_of_size Gen.(0 -- 60))
+    (fun src ->
+      match Parser.parse src with Ok _ -> true | Error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "keywords case-insensitive" `Quick
+      test_lexer_keywords_case_insensitive;
+    Alcotest.test_case "string literals" `Quick test_lexer_strings;
+    Alcotest.test_case "comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer error positions" `Quick test_lexer_error_position;
+    Alcotest.test_case "parse Q1" `Quick test_parse_q1;
+    Alcotest.test_case "parse minimal" `Quick test_parse_minimal;
+    Alcotest.test_case "parse chain" `Quick test_parse_unparenthesized_chain;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "compile Q1 = hand-built" `Quick test_compile_q1;
+    Alcotest.test_case "compile errors" `Quick test_compile_errors;
+    Alcotest.test_case "T in conditions" `Quick test_timestamp_in_conditions;
+    Alcotest.test_case "ast roundtrip" `Quick test_ast_roundtrip;
+    Alcotest.test_case "numeric constants" `Quick test_negative_and_float_constants;
+    Alcotest.test_case "to_query roundtrip (Q1)" `Quick test_to_query_roundtrip;
+    Alcotest.test_case "to_query quoting" `Quick test_to_query_quoting;
+    QCheck_alcotest.to_alcotest to_query_roundtrip_random;
+    QCheck_alcotest.to_alcotest lexer_total;
+    QCheck_alcotest.to_alcotest parser_total;
+  ]

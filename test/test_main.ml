@@ -1,0 +1,35 @@
+let () =
+  Alcotest.run "ses"
+    [
+      ("time", Test_time.suite);
+      ("value", Test_value.suite);
+      ("predicate", Test_predicate.suite);
+      ("schema", Test_schema.suite);
+      ("event", Test_event.suite);
+      ("relation", Test_relation.suite);
+      ("condition", Test_condition.suite);
+      ("pattern", Test_pattern.suite);
+      ("exclusivity", Test_exclusivity.suite);
+      ("varset", Test_varset.suite);
+      ("automaton", Test_automaton.suite);
+      ("automaton-props", Test_automaton_props.suite);
+      ("substitution", Test_substitution.suite);
+      ("engine", Test_engine.suite);
+      ("event-filter", Test_event_filter.suite);
+      ("partitioned", Test_partitioned.suite);
+      ("naive", Test_naive.suite);
+      ("quantifier", Test_quantifier.suite);
+      ("negation", Test_negation.suite);
+      ("planner-multi", Test_planner_multi.suite);
+      ("trace", Test_trace.suite);
+      ("explain", Test_explain.suite);
+      ("paper-example", Test_paper_example.suite);
+      ("baseline", Test_baseline.suite);
+      ("equivalence", Test_equivalence.suite);
+      ("lang", Test_lang.suite);
+      ("csv", Test_csv.suite);
+      ("store", Test_store.suite);
+      ("gen", Test_gen.suite);
+      ("harness", Test_harness.suite);
+      ("bounds", Test_bounds.suite);
+    ]

@@ -1,0 +1,135 @@
+open Ses_core
+open Helpers
+
+let canon = Substitution.canonical
+
+let contains all s = List.mem (canon s) (List.map canon all)
+
+let test_figure1_contains_paper_matches () =
+  let all = Naive.all_satisfying_1_3 query_q1 figure_1 in
+  let outcome = run query_q1 figure_1 in
+  (* Everything the engine emits satisfies 1-3, so it appears here. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "raw in oracle" true (contains all s))
+    outcome.Engine.raw;
+  (* The oracle is strictly larger: it also holds non-greedy variants,
+     e.g. patient 2 with the later blood count e14. *)
+  Alcotest.(check bool) "oracle is larger" true
+    (List.length all > List.length outcome.Engine.raw)
+
+let test_figure1_non_greedy_variant () =
+  let all = Naive.all_satisfying_1_3 query_q1 figure_1 in
+  let events = Ses_event.Relation.events figure_1 in
+  let var name = Option.get (Ses_pattern.Pattern.var_id query_q1 name) in
+  let e i = events.(i - 1) in
+  (* Patient 2 with b/e14 instead of b/e13 satisfies conditions 1-3 but is
+     rejected by skip-till-next-match (Example 4). *)
+  let non_greedy =
+    [
+      (var "p", e 6);
+      (var "d", e 7);
+      (var "c", e 8);
+      (var "p", e 10);
+      (var "p", e 11);
+      (var "b", e 14);
+    ]
+  in
+  Alcotest.(check bool) "non-greedy variant in oracle" true
+    (contains all non_greedy);
+  let outcome = run query_q1 figure_1 in
+  Alcotest.(check bool) "but not emitted by the engine" false
+    (contains outcome.Engine.raw non_greedy)
+
+let test_poisoned_branch_found_by_oracle () =
+  (* The star-join scenario from test_partitioned: the engine finds no
+     match, the oracle finds the entity-1 substitution. *)
+  let star =
+    pattern ~within:100
+      [ [ v "a"; v "b"; v "c" ] ]
+      ~where:
+        ([ label "a" "x"; label "b" "y"; label "c" "z" ]
+        @ [
+            Ses_pattern.Pattern.Spec.fields "a" "ID" Ses_event.Predicate.Eq "b" "ID";
+            Ses_pattern.Pattern.Spec.fields "a" "ID" Ses_event.Predicate.Eq "c" "ID";
+          ])
+  in
+  let r =
+    rel [ (1, "y", 0, 0); (2, "z", 0, 1); (1, "z", 0, 2); (1, "x", 0, 3) ]
+  in
+  check_substs star [] (run star r).Engine.matches;
+  check_substs star
+    [ [ ("a", 4); ("b", 1); ("c", 3) ] ]
+    (Naive.matches star r)
+
+let test_group_subsets () =
+  let p =
+    pattern ~within:20
+      [ [ vplus "g" ]; [ v "z" ] ]
+      ~where:[ label "g" "g"; label "z" "z" ]
+  in
+  let r = rel_l [ ("g", 0); ("g", 1); ("z", 2) ] in
+  let all = Naive.all_satisfying_1_3 p r in
+  (* {g1}, {g2}, {g1,g2}, each with z: three substitutions. *)
+  Alcotest.(check int) "three combinations" 3 (List.length all);
+  (* Maximality keeps only the full group. *)
+  check_substs p
+    [ [ ("g+", 1); ("g+", 2); ("z", 3) ] ]
+    (Naive.matches p r)
+
+let test_empty_when_unsatisfiable () =
+  let p = pattern ~within:5 [ [ v "a" ] ] ~where:[ label "a" "nope" ] in
+  let r = rel_l [ ("x", 0); ("y", 1) ] in
+  Alcotest.(check int) "no matches" 0
+    (List.length (Naive.all_satisfying_1_3 p r))
+
+let test_too_large () =
+  (* An unconstrained group variable over 25 events explodes. *)
+  let p = pattern ~within:100 [ [ vplus "g" ] ] ~where:[] in
+  let r = rel_l (List.init 25 (fun i -> ("x", i))) in
+  Alcotest.check_raises "guard" (Naive.Too_large 1000) (fun () ->
+      ignore (Naive.all_satisfying_1_3 ~limit:1000 p r))
+
+(* Differential property: on small constrained workloads, everything the
+   engine emits is in the oracle's condition-1-3 set. *)
+let engine_within_oracle =
+  QCheck.Test.make ~count:60 ~name:"engine raw within the naive oracle"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Ses_gen.Prng.create (Int64.of_int seed) in
+      let spec =
+        {
+          Ses_gen.Random_workload.default_pattern with
+          Ses_gen.Random_workload.p_label_cond = 1.0;
+          max_vars_per_set = 2;
+        }
+      in
+      let pat = Ses_gen.Random_workload.pattern rng spec in
+      let r =
+        Ses_gen.Random_workload.relation rng
+          {
+            Ses_gen.Random_workload.default_relation with
+            Ses_gen.Random_workload.n_events = 14;
+          }
+      in
+      match Naive.all_satisfying_1_3 ~limit:300_000 pat r with
+      | exception Naive.Too_large _ -> QCheck.assume_fail ()
+      | oracle ->
+          let outcome =
+            Ses_core.Engine.run_relation (Automaton.of_pattern pat) r
+          in
+          List.for_all (contains oracle) outcome.Ses_core.Engine.raw)
+
+let suite =
+  [
+    Alcotest.test_case "Figure 1: oracle covers engine" `Quick
+      test_figure1_contains_paper_matches;
+    Alcotest.test_case "Figure 1: non-greedy variant" `Quick
+      test_figure1_non_greedy_variant;
+    Alcotest.test_case "poisoned branch found by oracle" `Quick
+      test_poisoned_branch_found_by_oracle;
+    Alcotest.test_case "group subsets" `Quick test_group_subsets;
+    Alcotest.test_case "unsatisfiable pattern" `Quick test_empty_when_unsatisfiable;
+    Alcotest.test_case "size guard" `Quick test_too_large;
+    QCheck_alcotest.to_alcotest engine_within_oracle;
+  ]

@@ -1,0 +1,143 @@
+(* End-to-end checks of the paper's running example: relation Event of
+   Figure 1, Query Q1, and the matches the paper reports in Examples 1
+   and 4. *)
+
+open Ses_core
+open Helpers
+
+let outcome = run query_q1 figure_1
+
+(* The paper's intended results (Example 1 / Example 4):
+   patient 1: {c/e1, d/e3, p+/e4, p+/e9, b/e12}
+   patient 2: {p+/e6, d/e7, c/e8, p+/e10, p+/e11, b/e13}. *)
+let patient1 = [ ("b", 12); ("c", 1); ("d", 3); ("p+", 4); ("p+", 9) ]
+
+let patient2 = [ ("b", 13); ("c", 8); ("d", 7); ("p+", 6); ("p+", 10); ("p+", 11) ]
+
+let test_matches () =
+  check_substs query_q1
+    [ List.sort compare patient1; List.sort compare patient2 ]
+    outcome.Engine.matches
+
+let test_blood_counts_ignored () =
+  (* e2 and e5 are measured during (not after) the administrations and must
+     not appear in any match (Example 1). *)
+  let used =
+    List.concat_map
+      (fun s -> List.map snd (Substitution.canonical s))
+      outcome.Engine.matches
+  in
+  Alcotest.(check bool) "e2 unused" false (List.mem 1 used);
+  Alcotest.(check bool) "e5 unused" false (List.mem 4 used)
+
+let test_e14_not_bound () =
+  (* Condition 4 / skip-till-next-match: e13 is bound for patient 2, not the
+     later e14 (Example 4). *)
+  let used =
+    List.concat_map
+      (fun s -> List.map snd (Substitution.canonical s))
+      outcome.Engine.matches
+  in
+  Alcotest.(check bool) "e14 unused" false (List.mem 13 used)
+
+let test_maximality () =
+  (* Example 4's second counterexample: dropping p+/e11 yields a
+     substitution that satisfies conditions 1-3 but is not maximal. It must
+     not be reported. *)
+  let without_e11 =
+    List.sort compare [ ("b", 13); ("c", 8); ("d", 7); ("p+", 6); ("p+", 10) ]
+  in
+  Alcotest.(check bool) "non-maximal absent" false
+    (List.mem without_e11 (substs_repr query_q1 outcome.Engine.matches))
+
+let test_raw_candidates () =
+  (* The automaton additionally emits the late-start patient-2 candidate
+     rooted at e7; finalization removes it by subsumption. *)
+  Alcotest.(check int) "three raw candidates" 3 (List.length outcome.Engine.raw);
+  Alcotest.(check int) "two final matches" 2 (List.length outcome.Engine.matches)
+
+let test_conditions_1_3_hold () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "satisfies Definition 2 (1-3)" true
+        (Substitution.satisfies_1_3 query_q1 s))
+    outcome.Engine.raw
+
+let test_spans () =
+  (* Figure 2: patient 2's match spans 191 hours ≤ 264. *)
+  let p2 =
+    List.find
+      (fun s -> subst_repr query_q1 s = List.sort compare patient2)
+      outcome.Engine.matches
+  in
+  Alcotest.(check int) "191 hours" 191 (Substitution.span p2);
+  let p1 =
+    List.find
+      (fun s -> subst_repr query_q1 s = List.sort compare patient1)
+      outcome.Engine.matches
+  in
+  Alcotest.(check int) "216 hours" 216 (Substitution.span p1)
+
+let test_example3_decomposition () =
+  (* Example 3: γ = {c/e1, d/e3, p+/e4, p+/e9, b/e12} satisfies Θγ — the
+     instantiation decomposes over the two p+ bindings. *)
+  let events = Ses_event.Relation.events figure_1 in
+  let e i = events.(i - 1) in
+  let var name = Option.get (Ses_pattern.Pattern.var_id query_q1 name) in
+  let gamma =
+    [
+      (var "c", e 1);
+      (var "d", e 3);
+      (var "p", e 4);
+      (var "p", e 9);
+      (var "b", e 12);
+    ]
+  in
+  Alcotest.(check bool) "theta holds" true
+    (Substitution.satisfies_theta query_q1 gamma);
+  (* Swapping in e10 (patient 2) violates the c.ID = p+.ID join for one of
+     the decomposed instantiations. *)
+  let gamma_bad =
+    [
+      (var "c", e 1);
+      (var "d", e 3);
+      (var "p", e 4);
+      (var "p", e 10);
+      (var "b", e 12);
+    ]
+  in
+  Alcotest.(check bool) "theta violated" false
+    (Substitution.satisfies_theta query_q1 gamma_bad)
+
+let test_brute_force_agrees () =
+  (* Example 11 uses the all-singleton variant of Q1; the brute force must
+     find the same finalized matches as the SES automaton. *)
+  let ses = run query_q1_singleton figure_1 in
+  let bf = Ses_baseline.Brute_force.run_relation query_q1_singleton figure_1 in
+  Alcotest.(check (list (list (pair string int))))
+    "BF = SES"
+    (substs_repr query_q1_singleton ses.Engine.matches)
+    (substs_repr query_q1_singleton bf.Ses_baseline.Brute_force.matches)
+
+let test_metrics () =
+  let m = outcome.Engine.metrics in
+  Alcotest.(check int) "14 events" 14 m.Metrics.events_seen;
+  Alcotest.(check int) "3 raw matches" 3 m.Metrics.matches_emitted;
+  Alcotest.(check bool) "no expiry (window covers all)" true
+    (m.Metrics.instances_expired = 0)
+
+let suite =
+  [
+    Alcotest.test_case "Q1 matches (Examples 1 and 4)" `Quick test_matches;
+    Alcotest.test_case "early blood counts ignored" `Quick test_blood_counts_ignored;
+    Alcotest.test_case "skip-till-next: e13 over e14" `Quick test_e14_not_bound;
+    Alcotest.test_case "maximality: p+/e11 included" `Quick test_maximality;
+    Alcotest.test_case "raw candidates" `Quick test_raw_candidates;
+    Alcotest.test_case "Definition 2 (1-3) on all emissions" `Quick
+      test_conditions_1_3_hold;
+    Alcotest.test_case "match spans (Figure 2)" `Quick test_spans;
+    Alcotest.test_case "Example 3: decomposition" `Quick test_example3_decomposition;
+    Alcotest.test_case "Example 11: brute force agrees" `Quick
+      test_brute_force_agrees;
+    Alcotest.test_case "metrics" `Quick test_metrics;
+  ]

@@ -1,0 +1,104 @@
+open Ses_event
+open Ses_pattern
+open Helpers
+
+let test_accessors () =
+  let p = query_q1 in
+  Alcotest.(check int) "n_vars" 4 (Pattern.n_vars p);
+  Alcotest.(check int) "n_sets" 2 (Pattern.n_sets p);
+  Alcotest.(check int) "tau" 264 (Pattern.tau p);
+  Alcotest.(check (list int)) "set 0" [ 0; 1; 2 ] (Pattern.set_vars p 0);
+  Alcotest.(check (list int)) "set 1" [ 3 ] (Pattern.set_vars p 1);
+  Alcotest.(check (option int)) "var_id c" (Some 0) (Pattern.var_id p "c");
+  Alcotest.(check (option int)) "var_id b" (Some 3) (Pattern.var_id p "b");
+  Alcotest.(check (option int)) "var_id missing" None (Pattern.var_id p "z");
+  Alcotest.(check string) "p is group" "p+" (Pattern.var_name p 1);
+  Alcotest.(check bool) "is_group" true (Pattern.is_group p 1);
+  Alcotest.(check bool) "not group" false (Pattern.is_group p 0);
+  Alcotest.(check (list int)) "group_vars" [ 1 ] (Pattern.group_vars p);
+  Alcotest.(check int) "set_of_var b" 1 (Pattern.set_of_var p 3);
+  Alcotest.(check bool) "singleton_only" false (Pattern.singleton_only p);
+  Alcotest.(check bool) "q1 singleton version" true
+    (Pattern.singleton_only query_q1_singleton);
+  Alcotest.(check int) "conditions" 7 (List.length (Pattern.conditions p))
+
+let test_conditions_on () =
+  let p = query_q1 in
+  let c = Option.get (Pattern.var_id p "c") in
+  Alcotest.(check int) "conditions on c" 3 (List.length (Pattern.conditions_on p c));
+  Alcotest.(check int) "constant conditions on c" 1
+    (List.length (Pattern.constant_conditions_on p c));
+  let b = Option.get (Pattern.var_id p "b") in
+  Alcotest.(check int) "conditions on b" 2 (List.length (Pattern.conditions_on p b))
+
+let errors_of ~sets ~where ~within =
+  match Pattern.make ~schema:Helpers.schema ~sets ~where ~within with
+  | Ok _ -> []
+  | Error errs -> errs
+
+let test_validation () =
+  Alcotest.(check bool) "no sets" true
+    (errors_of ~sets:[] ~where:[] ~within:10 <> []);
+  Alcotest.(check bool) "empty set" true
+    (errors_of ~sets:[ [ v "a" ]; [] ] ~where:[] ~within:10 <> []);
+  Alcotest.(check bool) "duplicate names across sets" true
+    (errors_of ~sets:[ [ v "a" ]; [ v "a" ] ] ~where:[] ~within:10 <> []);
+  Alcotest.(check bool) "duplicate names within a set" true
+    (errors_of ~sets:[ [ v "a"; v "a" ] ] ~where:[] ~within:10 <> []);
+  Alcotest.(check bool) "negative duration" true
+    (errors_of ~sets:[ [ v "a" ] ] ~where:[] ~within:(-1) <> []);
+  Alcotest.(check bool) "unknown variable in condition" true
+    (errors_of ~sets:[ [ v "a" ] ] ~where:[ label "z" "x" ] ~within:10 <> []);
+  Alcotest.(check bool) "unknown attribute" true
+    (errors_of ~sets:[ [ v "a" ] ]
+       ~where:[ Pattern.Spec.const "a" "NOPE" Predicate.Eq (Value.Int 1) ]
+       ~within:10
+    <> []);
+  Alcotest.(check bool) "type mismatch" true
+    (errors_of ~sets:[ [ v "a" ] ]
+       ~where:[ Pattern.Spec.const "a" "L" Predicate.Eq (Value.Int 1) ]
+       ~within:10
+    <> []);
+  Alcotest.(check bool) "valid pattern" true
+    (errors_of ~sets:[ [ v "a"; vplus "b" ] ] ~where:[ label "a" "x" ] ~within:10
+    = [])
+
+let test_too_many_vars () =
+  let many = List.init 63 (fun i -> v (Printf.sprintf "x%d" i)) in
+  Alcotest.(check bool) "63 vars rejected" true
+    (errors_of ~sets:[ many ] ~where:[] ~within:10 <> []);
+  let ok = List.init 62 (fun i -> v (Printf.sprintf "x%d" i)) in
+  Alcotest.(check bool) "62 vars accepted" true
+    (errors_of ~sets:[ ok ] ~where:[] ~within:10 = [])
+
+let test_multiple_errors_reported () =
+  let errs =
+    errors_of
+      ~sets:[ [ v "a" ] ]
+      ~where:[ label "z" "x"; Pattern.Spec.const "a" "L" Predicate.Eq (Value.Int 1) ]
+      ~within:10
+  in
+  Alcotest.(check int) "both errors" 2 (List.length errs)
+
+let test_make_exn () =
+  Alcotest.check_raises "make_exn raises"
+    (Invalid_argument "pattern: no event set patterns") (fun () ->
+      ignore
+        (Pattern.make_exn ~schema:Helpers.schema ~sets:[] ~where:[] ~within:1))
+
+let test_pp () =
+  let rendered = Format.asprintf "%a" Pattern.pp query_q1 in
+  Alcotest.(check string) "paper notation"
+    "(<{c, p+, d}, {b}>, {c.L = 'C', p+.L = 'P', d.L = 'D', b.L = 'B', c.ID = p+.ID, c.ID = d.ID, d.ID = b.ID}, 264)"
+    rendered
+
+let suite =
+  [
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "conditions_on" `Quick test_conditions_on;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "variable limit" `Quick test_too_many_vars;
+    Alcotest.test_case "multiple errors" `Quick test_multiple_errors_reported;
+    Alcotest.test_case "make_exn" `Quick test_make_exn;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]

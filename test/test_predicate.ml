@@ -1,0 +1,130 @@
+open Ses_event
+
+let i n = Value.Int n
+
+let s x = Value.Str x
+
+let f x = Value.Float x
+
+let test_eval_ops () =
+  Alcotest.(check bool) "eq" true (Predicate.eval Predicate.Eq (i 3) (i 3));
+  Alcotest.(check bool) "neq" true (Predicate.eval Predicate.Neq (i 3) (i 4));
+  Alcotest.(check bool) "lt" true (Predicate.eval Predicate.Lt (i 3) (i 4));
+  Alcotest.(check bool) "le eq" true (Predicate.eval Predicate.Le (i 4) (i 4));
+  Alcotest.(check bool) "gt" true (Predicate.eval Predicate.Gt (i 5) (i 4));
+  Alcotest.(check bool) "ge" true (Predicate.eval Predicate.Ge (i 4) (i 4));
+  Alcotest.(check bool) "lt false" false (Predicate.eval Predicate.Lt (i 4) (i 4));
+  Alcotest.(check bool) "strings" true
+    (Predicate.eval Predicate.Lt (s "abc") (s "abd"));
+  Alcotest.(check bool) "coercion" true
+    (Predicate.eval Predicate.Eq (i 3) (f 3.0))
+
+let test_eval_incompatible () =
+  Alcotest.(check bool) "eq cross-type" false
+    (Predicate.eval Predicate.Eq (i 3) (s "3"));
+  Alcotest.(check bool) "neq cross-type" true
+    (Predicate.eval Predicate.Neq (i 3) (s "3"));
+  Alcotest.(check bool) "lt cross-type" false
+    (Predicate.eval Predicate.Lt (i 3) (s "zzz"));
+  Alcotest.(check bool) "ge cross-type" false
+    (Predicate.eval Predicate.Ge (s "zzz") (i 3))
+
+let test_negate_flip () =
+  List.iter
+    (fun op ->
+      let again = Predicate.negate (Predicate.negate op) in
+      Alcotest.(check string) "negate involutive" (Predicate.to_string op)
+        (Predicate.to_string again);
+      let again = Predicate.flip (Predicate.flip op) in
+      Alcotest.(check string) "flip involutive" (Predicate.to_string op)
+        (Predicate.to_string again))
+    Predicate.all_ops
+
+let test_of_string () =
+  Alcotest.(check bool) "eq" true (Predicate.of_string "=" = Some Predicate.Eq);
+  Alcotest.(check bool) "neq" true
+    (Predicate.of_string "<>" = Some Predicate.Neq);
+  Alcotest.(check bool) "neq alt" true
+    (Predicate.of_string "!=" = Some Predicate.Neq);
+  Alcotest.(check bool) "le" true (Predicate.of_string "<=" = Some Predicate.Le);
+  Alcotest.(check bool) "unknown" true (Predicate.of_string "~" = None)
+
+let sat = Predicate.conjunction_satisfiable
+
+let test_conjunction_eq () =
+  Alcotest.(check bool) "eq same" true (sat (Predicate.Eq, s "C") (Predicate.Eq, s "C"));
+  Alcotest.(check bool) "eq diff" false (sat (Predicate.Eq, s "C") (Predicate.Eq, s "D"));
+  Alcotest.(check bool) "eq vs neq same" false
+    (sat (Predicate.Eq, i 5) (Predicate.Neq, i 5));
+  Alcotest.(check bool) "eq vs neq diff" true
+    (sat (Predicate.Eq, i 5) (Predicate.Neq, i 6))
+
+let test_conjunction_ranges () =
+  Alcotest.(check bool) "disjoint ranges" false
+    (sat (Predicate.Lt, i 3) (Predicate.Gt, i 5));
+  Alcotest.(check bool) "touching exclusive" false
+    (sat (Predicate.Lt, i 3) (Predicate.Ge, i 3));
+  Alcotest.(check bool) "touching inclusive" true
+    (sat (Predicate.Le, i 3) (Predicate.Ge, i 3));
+  Alcotest.(check bool) "dense between" true
+    (sat (Predicate.Gt, f 4.0) (Predicate.Lt, f 5.0));
+  Alcotest.(check bool) "eq inside range" true
+    (sat (Predicate.Eq, i 4) (Predicate.Le, i 10));
+  Alcotest.(check bool) "eq outside range" false
+    (sat (Predicate.Eq, i 40) (Predicate.Le, i 10))
+
+let test_conjunction_neq () =
+  Alcotest.(check bool) "neq neq" true (sat (Predicate.Neq, i 1) (Predicate.Neq, i 1));
+  Alcotest.(check bool) "neq with range" true
+    (sat (Predicate.Neq, i 3) (Predicate.Le, i 3))
+
+let test_conjunction_strings () =
+  Alcotest.(check bool) "below empty string" false
+    (sat (Predicate.Lt, s "") (Predicate.Neq, s "x"));
+  Alcotest.(check bool) "le empty string" true
+    (sat (Predicate.Le, s "") (Predicate.Neq, s "x"));
+  Alcotest.(check bool) "ge empty string" true
+    (sat (Predicate.Ge, s "") (Predicate.Eq, s "q"))
+
+let test_conjunction_cross_type () =
+  Alcotest.(check bool) "eq int vs eq str" false
+    (sat (Predicate.Eq, i 1) (Predicate.Eq, s "1"));
+  Alcotest.(check bool) "neq int vs eq str" true
+    (sat (Predicate.Neq, i 1) (Predicate.Eq, s "1"));
+  Alcotest.(check bool) "eq int vs neq str" true
+    (sat (Predicate.Eq, i 1) (Predicate.Neq, s "1"));
+  Alcotest.(check bool) "lt int vs gt str" false
+    (sat (Predicate.Lt, i 1) (Predicate.Gt, s "a"))
+
+(* Soundness: whenever the decision procedure says "unsatisfiable", no value
+   from a dense sample grid satisfies both predicates. *)
+let op_gen = QCheck.oneofl Predicate.all_ops
+
+let int_pred = QCheck.(pair op_gen (map (fun n -> i (n - 10)) (int_bound 20)))
+
+let unsat_is_sound =
+  QCheck.Test.make ~count:500 ~name:"conjunction_satisfiable soundness (ints)"
+    QCheck.(pair int_pred int_pred)
+    (fun (p1, p2) ->
+      sat p1 p2
+      || not
+           (List.exists
+              (fun k ->
+                let x = f (float_of_int k /. 2.0) in
+                Predicate.eval (fst p1) x (snd p1)
+                && Predicate.eval (fst p2) x (snd p2))
+              (List.init 101 (fun k -> k - 50))))
+
+let suite =
+  [
+    Alcotest.test_case "eval operators" `Quick test_eval_ops;
+    Alcotest.test_case "eval incompatible types" `Quick test_eval_incompatible;
+    Alcotest.test_case "negate/flip involutions" `Quick test_negate_flip;
+    Alcotest.test_case "of_string" `Quick test_of_string;
+    Alcotest.test_case "conjunction: equality" `Quick test_conjunction_eq;
+    Alcotest.test_case "conjunction: ranges" `Quick test_conjunction_ranges;
+    Alcotest.test_case "conjunction: inequality" `Quick test_conjunction_neq;
+    Alcotest.test_case "conjunction: string bounds" `Quick test_conjunction_strings;
+    Alcotest.test_case "conjunction: cross-type" `Quick test_conjunction_cross_type;
+    QCheck_alcotest.to_alcotest unsat_is_sound;
+  ]

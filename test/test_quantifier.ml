@@ -1,0 +1,195 @@
+(* Bounded quantifiers v{min,max} — the "broader class of SES patterns"
+   extension. Singleton and v+ behaviour is covered by the other suites;
+   these tests exercise the bounds. *)
+
+open Ses_pattern
+open Ses_core
+open Helpers
+
+let test_variable_constructors () =
+  let r = Variable.repeat ~min:2 ~max:4 "v" in
+  Alcotest.(check int) "min" 2 (Variable.min_count r);
+  Alcotest.(check (option int)) "max" (Some 4) (Variable.max_count r);
+  Alcotest.(check bool) "is_group" true (Variable.is_group r);
+  Alcotest.(check string) "render" "v{2,4}" (Variable.to_string r);
+  Alcotest.(check string) "exact" "v{3}"
+    (Variable.to_string (Variable.repeat ~min:3 ~max:3 "v"));
+  Alcotest.(check string) "open" "v{2,}"
+    (Variable.to_string (Variable.repeat ~min:2 "v"));
+  Alcotest.(check string) "plus" "v+" (Variable.to_string (Variable.group "v"));
+  Alcotest.(check string) "single" "v" (Variable.to_string (Variable.singleton "v"));
+  Alcotest.(check bool) "singleton not group" false
+    (Variable.is_group (Variable.singleton "v"));
+  Alcotest.check_raises "min 0" (Invalid_argument "Variable.repeat: min must be >= 1")
+    (fun () -> ignore (Variable.repeat ~min:0 "v"));
+  Alcotest.check_raises "max < min"
+    (Invalid_argument "Variable.repeat: max must be >= min") (fun () ->
+      ignore (Variable.repeat ~min:3 ~max:2 "v"))
+
+let test_pattern_validation () =
+  (* Quantifiers that bypass Variable.repeat (e.g. built by a parser) are
+     validated by Pattern.make. *)
+  let bad = { Variable.name = "v"; quantifier = { min_count = 0; max_count = None } } in
+  match
+    Pattern.make ~schema:Helpers.schema ~sets:[ [ bad ] ] ~where:[] ~within:10
+  with
+  | Error errs ->
+      Alcotest.(check bool) "reported" true
+        (List.exists
+           (fun e ->
+             let has = ref false in
+             String.iteri
+               (fun i _ ->
+                 if i + 10 <= String.length e && String.sub e i 10 = "quantifier"
+                 then has := true)
+               e;
+             !has)
+           errs)
+  | Ok _ -> Alcotest.fail "expected a validation error"
+
+let bounded ~min ?max () =
+  pattern ~within:50
+    [ [ { Variable.name = "g";
+          quantifier = { Variable.min_count = min; max_count = max } } ];
+      [ v "z" ] ]
+    ~where:[ label "g" "g"; label "z" "z" ]
+
+let test_minimum_enforced () =
+  let p = bounded ~min:2 () in
+  (* One g only: the accepting state is reached but the quantifier minimum
+     fails — no match. *)
+  let too_few = run p (rel_l [ ("g", 0); ("z", 1) ]) in
+  check_substs p [] too_few.Engine.matches;
+  let enough = run p (rel_l [ ("g", 0); ("g", 1); ("z", 2) ]) in
+  check_substs p
+    [ [ ("g{2,}", 1); ("g{2,}", 2); ("z", 3) ] ]
+    enough.Engine.matches
+
+let test_maximum_enforced () =
+  let p = bounded ~min:1 ~max:2 () in
+  let outcome = run p (rel_l [ ("g", 0); ("g", 1); ("g", 2); ("z", 3) ]) in
+  (* The loop stops at two bindings; later roots cover the remaining
+     combinations, and subsumption keeps the two maximal incomparable
+     ones. *)
+  check_substs p
+    [
+      [ ("g{1,2}", 1); ("g{1,2}", 2); ("z", 4) ];
+      [ ("g{1,2}", 2); ("g{1,2}", 3); ("z", 4) ];
+    ]
+    outcome.Engine.matches;
+  (* Every match respects the bound. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "within max" true
+        (List.length
+           (Substitution.bindings_of s (Option.get (Pattern.var_id p "g")))
+        <= 2))
+    outcome.Engine.matches
+
+let test_exact_count () =
+  let p = bounded ~min:2 ~max:2 () in
+  let outcome = run p (rel_l [ ("g", 0); ("g", 1); ("g", 2); ("z", 3) ]) in
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "exactly two" 2
+        (List.length
+           (Substitution.bindings_of s (Option.get (Pattern.var_id p "g")))))
+    outcome.Engine.matches;
+  Alcotest.(check bool) "found some" true (outcome.Engine.matches <> [])
+
+let test_exact_one_behaves_like_singleton () =
+  let explicit =
+    pattern ~within:50
+      [ [ { Variable.name = "x";
+            quantifier = { Variable.min_count = 1; max_count = Some 1 } } ];
+        [ v "z" ] ]
+      ~where:[ label "x" "g"; label "z" "z" ]
+  in
+  let implicit =
+    pattern ~within:50 [ [ v "x" ]; [ v "z" ] ]
+      ~where:[ label "x" "g"; label "z" "z" ]
+  in
+  let r = rel_l [ ("g", 0); ("g", 1); ("z", 2) ] in
+  Alcotest.(check (list (list (pair string int))))
+    "same behaviour"
+    (substs_repr implicit (run implicit r).Engine.matches)
+    (substs_repr explicit (run explicit r).Engine.matches)
+
+let test_naive_agreement () =
+  let p = bounded ~min:2 ~max:3 () in
+  let r = rel_l [ ("g", 0); ("g", 1); ("g", 2); ("g", 3); ("z", 4) ] in
+  let oracle = Naive.all_satisfying_1_3 p r in
+  (* Oracle counts: subsets of 4 g-events of size 2 or 3, each with z. *)
+  Alcotest.(check int) "C(4,2)+C(4,3)" 10 (List.length oracle);
+  let outcome = run p r in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "engine within oracle" true
+        (List.mem (Substitution.canonical s)
+           (List.map Substitution.canonical oracle)))
+    outcome.Engine.raw
+
+let test_lang_quantifiers () =
+  let parse src =
+    match Ses_lang.Lang.parse_pattern Helpers.schema src with
+    | Ok p -> p
+    | Error msg -> Alcotest.failf "parse failed: %s" msg
+  in
+  let p = parse "PATTERN (a{2,4}, b{3}) -> c{2,} WITHIN 10" in
+  let q name = Option.get (Pattern.var_id p name) in
+  Alcotest.(check int) "a min" 2 (Pattern.min_count p (q "a"));
+  Alcotest.(check (option int)) "a max" (Some 4) (Pattern.max_count p (q "a"));
+  Alcotest.(check int) "b min" 3 (Pattern.min_count p (q "b"));
+  Alcotest.(check (option int)) "b max" (Some 3) (Pattern.max_count p (q "b"));
+  Alcotest.(check (option int)) "c open" None (Pattern.max_count p (q "c"));
+  (* Errors. *)
+  let err src =
+    match Ses_lang.Lang.parse_pattern Helpers.schema src with
+    | Ok _ -> Alcotest.failf "expected error for %S" src
+    | Error _ -> ()
+  in
+  err "PATTERN a{0} WITHIN 5";
+  err "PATTERN a{3,2} WITHIN 5";
+  err "PATTERN a{2 WITHIN 5";
+  err "PATTERN a{} WITHIN 5"
+
+let test_lang_roundtrip () =
+  let p =
+    pattern ~within:30
+      [ [ Variable.repeat ~min:2 ~max:5 "a"; v "b" ]; [ Variable.repeat ~min:2 "c" ] ]
+      ~where:[ label "a" "x"; label "b" "y"; label "c" "z" ]
+  in
+  let printed = Ses_lang.Lang.to_query p in
+  match Ses_lang.Lang.parse_pattern Helpers.schema printed with
+  | Error msg -> Alcotest.failf "reparse of %S failed: %s" printed msg
+  | Ok p' ->
+      let q name = Option.get (Pattern.var_id p' name) in
+      Alcotest.(check int) "a min" 2 (Pattern.min_count p' (q "a"));
+      Alcotest.(check (option int)) "a max" (Some 5) (Pattern.max_count p' (q "a"));
+      Alcotest.(check (option int)) "c open" None (Pattern.max_count p' (q "c"))
+
+let test_brute_force_bounded () =
+  (* The baseline inherits the bounds through the shared engine. *)
+  let p = bounded ~min:2 ~max:2 () in
+  let r = rel_l [ ("g", 0); ("g", 1); ("g", 2); ("z", 3) ] in
+  let bf = Ses_baseline.Brute_force.run_relation p r in
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "exactly two" 2
+        (List.length
+           (Substitution.bindings_of s (Option.get (Pattern.var_id p "g")))))
+    bf.Ses_baseline.Brute_force.matches
+
+let suite =
+  [
+    Alcotest.test_case "variable constructors" `Quick test_variable_constructors;
+    Alcotest.test_case "pattern validation" `Quick test_pattern_validation;
+    Alcotest.test_case "minimum enforced" `Quick test_minimum_enforced;
+    Alcotest.test_case "maximum enforced" `Quick test_maximum_enforced;
+    Alcotest.test_case "exact count" `Quick test_exact_count;
+    Alcotest.test_case "{1,1} = singleton" `Quick test_exact_one_behaves_like_singleton;
+    Alcotest.test_case "naive oracle agreement" `Quick test_naive_agreement;
+    Alcotest.test_case "language quantifiers" `Quick test_lang_quantifiers;
+    Alcotest.test_case "language roundtrip" `Quick test_lang_roundtrip;
+    Alcotest.test_case "brute force bounded" `Quick test_brute_force_bounded;
+  ]

@@ -1,0 +1,107 @@
+open Ses_event
+
+let test_sorting () =
+  (* Rows supplied out of order are sorted and renumbered. *)
+  let r = Helpers.rel_l [ ("b", 5); ("a", 2); ("c", 9) ] in
+  let labels =
+    List.map
+      (fun e -> match Event.attr e 1 with Value.Str s -> s | _ -> "?")
+      (Array.to_list (Relation.events r))
+  in
+  Alcotest.(check (list string)) "chronological" [ "a"; "b"; "c" ] labels;
+  Alcotest.(check int) "seq 0" 0 (Event.seq (Relation.get r 0));
+  Alcotest.(check int) "seq 2" 2 (Event.seq (Relation.get r 2))
+
+let test_stable_ties () =
+  let r = Helpers.rel [ (1, "x", 0, 5); (2, "y", 0, 5) ] in
+  (* Equal timestamps keep insertion order. *)
+  Alcotest.(check bool) "first is x" true
+    (Value.equal (Event.attr (Relation.get r 0) 1) (Value.Str "x"));
+  Alcotest.(check bool) "second is y" true
+    (Value.equal (Event.attr (Relation.get r 1) 1) (Value.Str "y"))
+
+let test_of_rows_errors () =
+  let bad = [ ([| Value.Int 1 |], 0) ] in
+  Alcotest.(check bool) "arity mismatch" true
+    (Result.is_error (Relation.of_rows Helpers.schema bad))
+
+let test_filter () =
+  let r = Helpers.rel_l [ ("a", 1); ("b", 2); ("a", 3) ] in
+  let only_a =
+    Relation.filter
+      (fun e -> Value.equal (Event.attr e 1) (Value.Str "a"))
+      r
+  in
+  Alcotest.(check int) "two events" 2 (Relation.cardinality only_a);
+  Alcotest.(check int) "renumbered" 1 (Event.seq (Relation.get only_a 1))
+
+let test_append () =
+  let a = Helpers.rel_l [ ("a", 1); ("c", 5) ] in
+  let b = Helpers.rel_l [ ("b", 3) ] in
+  let r = Relation.append a b in
+  Alcotest.(check int) "merged" 3 (Relation.cardinality r);
+  Alcotest.(check int) "middle ts" 3 (Event.ts (Relation.get r 1));
+  let other = Relation.of_rows_exn (Schema.make_exn [ ("X", Value.Tint) ]) [] in
+  Alcotest.check_raises "schema mismatch"
+    (Invalid_argument "Relation.append: schema mismatch") (fun () ->
+      ignore (Relation.append a other))
+
+let test_bounds () =
+  let r = Helpers.rel_l [ ("a", 2); ("b", 9) ] in
+  Alcotest.(check (option int)) "first" (Some 2) (Relation.first_ts r);
+  Alcotest.(check (option int)) "last" (Some 9) (Relation.last_ts r);
+  Alcotest.(check int) "duration" 7 (Relation.duration r);
+  let empty = Relation.of_rows_exn Helpers.schema [] in
+  Alcotest.(check bool) "empty" true (Relation.is_empty empty);
+  Alcotest.(check (option int)) "empty first" None (Relation.first_ts empty);
+  Alcotest.(check int) "empty duration" 0 (Relation.duration empty)
+
+let test_window_size () =
+  let r = Helpers.rel_l [ ("a", 0); ("b", 5); ("c", 10); ("d", 11); ("e", 30) ] in
+  Alcotest.(check int) "tau 0" 1 (Relation.window_size r 0);
+  Alcotest.(check int) "tau 5" 2 (Relation.window_size r 5);
+  Alcotest.(check int) "tau 11" 4 (Relation.window_size r 11);
+  Alcotest.(check int) "tau 100" 5 (Relation.window_size r 100);
+  let empty = Relation.of_rows_exn Helpers.schema [] in
+  Alcotest.(check int) "empty" 0 (Relation.window_size empty 10)
+
+let test_window_size_duplicates () =
+  let r = Helpers.rel_l [ ("a", 3); ("b", 3); ("c", 3); ("d", 20) ] in
+  Alcotest.(check int) "simultaneous all count" 3 (Relation.window_size r 0)
+
+let test_figure1_window () =
+  (* Example 9 of the paper: τ = 264 h spans all 14 events of Figure 1. *)
+  Alcotest.(check int) "W = 14" 14 (Relation.window_size Helpers.figure_1 264);
+  Alcotest.(check int) "events" 14 (Relation.cardinality Helpers.figure_1)
+
+let test_fold_iter_seq () =
+  let r = Helpers.rel_l [ ("a", 1); ("b", 2) ] in
+  let n = Relation.fold (fun acc _ -> acc + 1) 0 r in
+  Alcotest.(check int) "fold" 2 n;
+  let count = ref 0 in
+  Relation.iter (fun _ -> incr count) r;
+  Alcotest.(check int) "iter" 2 !count;
+  Alcotest.(check int) "to_seq" 2 (Seq.length (Relation.to_seq r))
+
+let window_monotone =
+  QCheck.Test.make ~count:100 ~name:"window_size is monotone in tau"
+    QCheck.(pair (list_of_size Gen.(0 -- 30) (int_bound 100)) (int_bound 50))
+    (fun (tss, tau) ->
+      let r = Helpers.rel_l (List.map (fun ts -> ("x", ts)) tss) in
+      Relation.window_size r tau <= Relation.window_size r (tau + 5)
+      && Relation.window_size r tau <= Relation.cardinality r)
+
+let suite =
+  [
+    Alcotest.test_case "sorting + renumbering" `Quick test_sorting;
+    Alcotest.test_case "stable timestamp ties" `Quick test_stable_ties;
+    Alcotest.test_case "of_rows errors" `Quick test_of_rows_errors;
+    Alcotest.test_case "filter" `Quick test_filter;
+    Alcotest.test_case "append" `Quick test_append;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "window_size" `Quick test_window_size;
+    Alcotest.test_case "window_size duplicates" `Quick test_window_size_duplicates;
+    Alcotest.test_case "Figure 1 window (Example 9)" `Quick test_figure1_window;
+    Alcotest.test_case "fold/iter/to_seq" `Quick test_fold_iter_seq;
+    QCheck_alcotest.to_alcotest window_monotone;
+  ]

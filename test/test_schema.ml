@@ -1,0 +1,61 @@
+open Ses_event
+
+let test_make_ok () =
+  let s = Schema.make_exn [ ("A", Value.Tint); ("B", Value.Tstr) ] in
+  Alcotest.(check int) "arity" 2 (Schema.arity s);
+  Alcotest.(check (option int)) "index A" (Some 0) (Schema.index_of s "A");
+  Alcotest.(check (option int)) "index B" (Some 1) (Schema.index_of s "B");
+  Alcotest.(check (option int)) "missing" None (Schema.index_of s "C");
+  Alcotest.(check string) "name_of" "B" (Schema.name_of s 1);
+  Alcotest.(check bool) "type_of" true (Schema.type_of s 0 = Value.Tint)
+
+let test_make_errors () =
+  let err attrs =
+    match Schema.make attrs with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "duplicate" true
+    (err [ ("A", Value.Tint); ("A", Value.Tstr) ]);
+  Alcotest.(check bool) "empty name" true (err [ ("", Value.Tint) ]);
+  Alcotest.(check bool) "reserved T" true (err [ ("T", Value.Tint) ]);
+  Alcotest.(check bool) "empty schema ok" false (err [])
+
+let test_equal () =
+  let a = Schema.make_exn [ ("A", Value.Tint) ] in
+  let b = Schema.make_exn [ ("A", Value.Tint) ] in
+  let c = Schema.make_exn [ ("A", Value.Tfloat) ] in
+  Alcotest.(check bool) "equal" true (Schema.equal a b);
+  Alcotest.(check bool) "type differs" false (Schema.equal a c)
+
+let test_field () =
+  let s = Schema.make_exn [ ("A", Value.Tint); ("B", Value.Tstr) ] in
+  (match Schema.Field.resolve s "B" with
+  | Ok (Schema.Field.Attr 1) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Attr 1");
+  (match Schema.Field.resolve s "T" with
+  | Ok Schema.Field.Timestamp -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Timestamp");
+  Alcotest.(check bool) "unknown" true
+    (Result.is_error (Schema.Field.resolve s "Z"));
+  Alcotest.(check bool) "timestamp type" true
+    (Schema.Field.type_of s Schema.Field.Timestamp = Value.Tint);
+  Alcotest.(check string) "field name" "T"
+    (Schema.Field.name s Schema.Field.Timestamp);
+  Alcotest.(check string) "attr name" "A"
+    (Schema.Field.name s (Schema.Field.Attr 0));
+  Alcotest.(check bool) "field equal" true
+    (Schema.Field.equal (Schema.Field.Attr 1) (Schema.Field.Attr 1));
+  Alcotest.(check bool) "field differs" false
+    (Schema.Field.equal (Schema.Field.Attr 1) Schema.Field.Timestamp)
+
+let test_pp () =
+  let s = Schema.make_exn [ ("A", Value.Tint) ] in
+  Alcotest.(check string) "pp" "(A:int, T)" (Format.asprintf "%a" Schema.pp s)
+
+let suite =
+  [
+    Alcotest.test_case "make + accessors" `Quick test_make_ok;
+    Alcotest.test_case "make errors" `Quick test_make_errors;
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "fields" `Quick test_field;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]

@@ -1,0 +1,208 @@
+open Ses_event
+open Ses_store
+
+let with_catalog f =
+  let dir = Filename.temp_file "ses_catalog" "" in
+  Sys.remove dir;
+  let finally () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  Fun.protect ~finally (fun () ->
+      match Catalog.open_dir dir with
+      | Ok c -> f c
+      | Error e -> Alcotest.fail e)
+
+let sample = Helpers.rel [ (1, "a", 0, 0); (2, "b", 1, 5) ]
+
+let test_catalog_save_load () =
+  with_catalog (fun c ->
+      (match Catalog.save c "events" sample with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check bool) "exists" true (Catalog.exists c "events");
+      Alcotest.(check (list string)) "list" [ "events" ] (Catalog.list c);
+      match Catalog.load c "events" with
+      | Ok r -> Alcotest.(check int) "cardinality" 2 (Relation.cardinality r)
+      | Error e -> Alcotest.fail e)
+
+let test_catalog_remove () =
+  with_catalog (fun c ->
+      (match Catalog.save c "tmp" sample with Ok () -> () | Error e -> Alcotest.fail e);
+      (match Catalog.remove c "tmp" with Ok () -> () | Error e -> Alcotest.fail e);
+      Alcotest.(check bool) "gone" false (Catalog.exists c "tmp");
+      Alcotest.(check bool) "remove missing errors" true
+        (Result.is_error (Catalog.remove c "tmp")))
+
+let test_catalog_names () =
+  with_catalog (fun c ->
+      Alcotest.(check bool) "slash rejected" true
+        (Result.is_error (Catalog.save c "a/b" sample));
+      Alcotest.(check bool) "empty rejected" true
+        (Result.is_error (Catalog.save c "" sample));
+      Alcotest.(check bool) "dots rejected" true
+        (Result.is_error (Catalog.load c ".."));
+      Alcotest.(check bool) "missing errors" true
+        (Result.is_error (Catalog.load c "nothere")))
+
+let test_index () =
+  let r =
+    Helpers.rel [ (1, "a", 0, 0); (2, "b", 0, 1); (1, "c", 0, 2); (3, "d", 0, 3) ]
+  in
+  let idx = Index.build r 0 in
+  Alcotest.(check int) "attribute" 0 (Index.attribute idx);
+  Alcotest.(check int) "three keys" 3 (Index.cardinality idx);
+  Alcotest.(check int) "id 1 has two" 2 (List.length (Index.lookup idx (Value.Int 1)));
+  Alcotest.(check int) "absent" 0 (List.length (Index.lookup idx (Value.Int 9)));
+  (* Chronological order within a key. *)
+  let seqs = List.map Event.seq (Index.lookup idx (Value.Int 1)) in
+  Alcotest.(check (list int)) "ordered" [ 0; 2 ] seqs;
+  Alcotest.(check int) "keys sorted" 1
+    (match Index.keys idx with Value.Int k :: _ -> k | _ -> -1)
+
+let test_partition () =
+  let r =
+    Helpers.rel [ (1, "a", 0, 0); (2, "b", 0, 1); (1, "c", 0, 2); (2, "d", 0, 3) ]
+  in
+  let parts = Partition.by_attribute r 0 in
+  Alcotest.(check int) "two partitions" 2 (List.length parts);
+  let total =
+    List.fold_left (fun acc (_, p) -> acc + Relation.cardinality p) 0 parts
+  in
+  Alcotest.(check int) "partition of the whole" (Relation.cardinality r) total;
+  List.iter
+    (fun (key, p) ->
+      Relation.iter
+        (fun e ->
+          Alcotest.(check bool) "homogeneous" true
+            (Value.equal (Event.attr e 0) key))
+        p)
+    parts;
+  (match Partition.by_name r "ID" with
+  | Ok parts' -> Alcotest.(check int) "by name" 2 (List.length parts')
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "unknown attribute" true
+    (Result.is_error (Partition.by_name r "NOPE"))
+
+let test_selection () =
+  let r =
+    Helpers.rel
+      [ (1, "a", 5, 0); (2, "b", 7, 10); (1, "a", 9, 20); (3, "c", 1, 30) ]
+  in
+  let ok = function Ok x -> x | Error e -> Alcotest.fail e in
+  let sel p = Relation.cardinality (ok (Selection.select r p)) in
+  Alcotest.(check int) "attr equals" 2
+    (sel (Selection.attr "L" Predicate.Eq (Value.Str "a")));
+  Alcotest.(check int) "conj" 1
+    (sel
+       (Selection.conj
+          [
+            Selection.attr "L" Predicate.Eq (Value.Str "a");
+            Selection.attr "V" Predicate.Gt (Value.Int 6);
+          ]));
+  Alcotest.(check int) "disj" 3
+    (sel
+       (Selection.disj
+          [
+            Selection.attr "ID" Predicate.Eq (Value.Int 1);
+            Selection.attr "ID" Predicate.Eq (Value.Int 3);
+          ]));
+  Alcotest.(check int) "time range" 2 (sel (Selection.time_range 5 25));
+  Alcotest.(check int) "T attr directly" 3
+    (sel (Selection.attr "T" Predicate.Ge (Value.Int 10)));
+  Alcotest.(check bool) "unknown attr" true
+    (Result.is_error (Selection.select r (Selection.attr "Z" Predicate.Eq (Value.Int 1))));
+  Alcotest.(check bool) "type mismatch" true
+    (Result.is_error
+       (Selection.select r (Selection.attr "L" Predicate.Eq (Value.Int 1))))
+
+let test_csv_stream () =
+  let path = Filename.temp_file "ses_stream" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match Csv.save path Helpers.figure_1 with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      (match Csv_stream.count path with
+      | Ok n -> Alcotest.(check int) "count" 14 n
+      | Error e -> Alcotest.fail e);
+      (* Streaming the file through the engine gives the same matches as
+         loading it. *)
+      let automaton = Ses_core.Automaton.of_pattern Helpers.query_q1 in
+      let st = Ses_core.Engine.create automaton in
+      (match Csv_stream.iter path ~f:(fun e -> ignore (Ses_core.Engine.feed st e)) with
+      | Ok schema ->
+          Alcotest.(check bool) "schema" true
+            (Schema.equal schema Helpers.chemo_schema)
+      | Error e -> Alcotest.fail e);
+      ignore (Ses_core.Engine.close st);
+      Alcotest.(check int) "raw emissions" 3
+        (List.length (Ses_core.Engine.emitted st));
+      (* Sequence numbers follow file order. *)
+      match
+        Csv_stream.fold path ~init:[] ~f:(fun acc e -> Event.seq e :: acc)
+      with
+      | Ok (_, seqs) ->
+          Alcotest.(check (list int)) "sequence numbers"
+            (List.init 14 Fun.id) (List.rev seqs)
+      | Error e -> Alcotest.fail e)
+
+let test_csv_stream_errors () =
+  let with_content content f =
+    let path = Filename.temp_file "ses_stream" ".csv" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        f path)
+  in
+  with_content "" (fun path ->
+      Alcotest.(check bool) "empty" true (Result.is_error (Csv_stream.count path)));
+  with_content "A:int,T
+1,5
+2,3
+" (fun path ->
+      match Csv_stream.count path with
+      | Error msg ->
+          Alcotest.(check bool) "out of order reported" true
+            (String.length msg > 0)
+      | Ok _ -> Alcotest.fail "expected out-of-order error");
+  with_content "A:int,T
+x,5
+" (fun path ->
+      Alcotest.(check bool) "bad value" true
+        (Result.is_error (Csv_stream.count path)));
+  Alcotest.(check bool) "missing file" true
+    (Result.is_error (Csv_stream.count "/nonexistent/file.csv"))
+
+let test_store_then_match () =
+  (* Integration: persist Figure 1 in a catalog, load it back, and run Q1
+     — the paper's full pipeline (store → scan → match). *)
+  with_catalog (fun c ->
+      (match Catalog.save c "chemo" Helpers.figure_1 with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      let r =
+        match Catalog.load c "chemo" with Ok r -> r | Error e -> Alcotest.fail e
+      in
+      let outcome = Helpers.run Helpers.query_q1 r in
+      Alcotest.(check int) "two matches from stored data" 2
+        (List.length outcome.Ses_core.Engine.matches))
+
+let suite =
+  [
+    Alcotest.test_case "catalog save/load" `Quick test_catalog_save_load;
+    Alcotest.test_case "catalog remove" `Quick test_catalog_remove;
+    Alcotest.test_case "catalog name validation" `Quick test_catalog_names;
+    Alcotest.test_case "index" `Quick test_index;
+    Alcotest.test_case "partition" `Quick test_partition;
+    Alcotest.test_case "selection" `Quick test_selection;
+    Alcotest.test_case "csv streaming" `Quick test_csv_stream;
+    Alcotest.test_case "csv streaming errors" `Quick test_csv_stream_errors;
+    Alcotest.test_case "store then match (integration)" `Quick test_store_then_match;
+  ]

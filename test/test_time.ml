@@ -1,0 +1,42 @@
+open Ses_event
+
+let test_span () =
+  Alcotest.(check int) "symmetric" 5 (Time.span 2 7);
+  Alcotest.(check int) "symmetric rev" 5 (Time.span 7 2);
+  Alcotest.(check int) "zero" 0 (Time.span 3 3);
+  Alcotest.(check int) "negative side" 12 (Time.span (-5) 7)
+
+let test_units () =
+  Alcotest.(check int) "hours are raw" 264 (Time.hours 264);
+  Alcotest.(check int) "11 days" 264 (Time.days 11);
+  Alcotest.(check int) "day zero" 0 (Time.days 0)
+
+let test_order () =
+  Alcotest.(check bool) "lt" true (Time.( <. ) 1 2);
+  Alcotest.(check bool) "not lt" false (Time.( <. ) 2 2);
+  Alcotest.(check bool) "le" true (Time.( <=. ) 2 2);
+  Alcotest.(check int) "compare" (-1) (Time.compare 1 2);
+  Alcotest.(check bool) "equal" true (Time.equal 4 4)
+
+let test_min_max_add () =
+  Alcotest.(check int) "min" 1 (Time.min 1 2);
+  Alcotest.(check int) "max" 2 (Time.max 1 2);
+  Alcotest.(check int) "add" 33 (Time.add 9 24)
+
+let test_pp () =
+  Alcotest.(check string) "pp day/hour" "day 1 09:00 (t=33)"
+    (Format.asprintf "%a" Time.pp 33);
+  Alcotest.(check string) "pp midnight" "day 0 00:00 (t=0)"
+    (Format.asprintf "%a" Time.pp 0);
+  Alcotest.(check string) "pp negative" "day -1 23:00 (t=-1)"
+    (Format.asprintf "%a" Time.pp (-1));
+  Alcotest.(check string) "pp raw" "42" (Format.asprintf "%a" Time.pp_raw 42)
+
+let suite =
+  [
+    Alcotest.test_case "span" `Quick test_span;
+    Alcotest.test_case "units" `Quick test_units;
+    Alcotest.test_case "order" `Quick test_order;
+    Alcotest.test_case "min/max/add" `Quick test_min_max_add;
+    Alcotest.test_case "pretty-printing" `Quick test_pp;
+  ]

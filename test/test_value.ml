@@ -1,0 +1,94 @@
+open Ses_event
+
+let test_type_of () =
+  Alcotest.(check bool) "int" true (Value.type_of (Value.Int 3) = Value.Tint);
+  Alcotest.(check bool) "float" true
+    (Value.type_of (Value.Float 3.) = Value.Tfloat);
+  Alcotest.(check bool) "str" true (Value.type_of (Value.Str "x") = Value.Tstr)
+
+let test_compat () =
+  Alcotest.(check bool) "int/float" true
+    (Value.ty_compatible Value.Tint Value.Tfloat);
+  Alcotest.(check bool) "float/int" true
+    (Value.ty_compatible Value.Tfloat Value.Tint);
+  Alcotest.(check bool) "str/str" true
+    (Value.ty_compatible Value.Tstr Value.Tstr);
+  Alcotest.(check bool) "int/str" false
+    (Value.ty_compatible Value.Tint Value.Tstr);
+  Alcotest.(check bool) "str/float" false
+    (Value.ty_compatible Value.Tstr Value.Tfloat)
+
+let test_compare () =
+  Alcotest.(check int) "int eq" 0 (Value.compare (Value.Int 3) (Value.Int 3));
+  Alcotest.(check bool) "int lt" true
+    (Value.compare (Value.Int 2) (Value.Int 3) < 0);
+  Alcotest.(check int) "int/float coercion" 0
+    (Value.compare (Value.Int 3) (Value.Float 3.0));
+  Alcotest.(check bool) "float/int coercion" true
+    (Value.compare (Value.Float 2.5) (Value.Int 3) < 0);
+  Alcotest.(check bool) "strings" true
+    (Value.compare (Value.Str "abc") (Value.Str "abd") < 0);
+  Alcotest.(check bool) "equal via coercion" true
+    (Value.equal (Value.Float 4.0) (Value.Int 4))
+
+let test_numeric () =
+  Alcotest.(check (option (float 0.0))) "int" (Some 3.0)
+    (Value.numeric (Value.Int 3));
+  Alcotest.(check (option (float 0.0))) "float" (Some 2.5)
+    (Value.numeric (Value.Float 2.5));
+  Alcotest.(check (option (float 0.0))) "str" None
+    (Value.numeric (Value.Str "x"))
+
+let test_to_string () =
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.Int 42));
+  Alcotest.(check string) "negative int" "-7" (Value.to_string (Value.Int (-7)));
+  Alcotest.(check string) "float keeps point" "3." (Value.to_string (Value.Float 3.0));
+  Alcotest.(check string) "float fraction" "3.5" (Value.to_string (Value.Float 3.5));
+  Alcotest.(check string) "string quoted" "'abc'" (Value.to_string (Value.Str "abc"));
+  Alcotest.(check string) "quote doubling" "'it''s'"
+    (Value.to_string (Value.Str "it's"))
+
+let test_of_string () =
+  let ok = function Ok v -> v | Error e -> Alcotest.fail e in
+  Alcotest.(check bool) "int" true
+    (Value.equal (Value.Int 5) (ok (Value.of_string Value.Tint " 5 ")));
+  Alcotest.(check bool) "float" true
+    (Value.equal (Value.Float 2.5) (ok (Value.of_string Value.Tfloat "2.5")));
+  Alcotest.(check bool) "string raw" true
+    (Value.equal (Value.Str "a b") (ok (Value.of_string Value.Tstr "a b")));
+  Alcotest.(check bool) "bad int" true
+    (Result.is_error (Value.of_string Value.Tint "abc"));
+  Alcotest.(check bool) "bad float" true
+    (Result.is_error (Value.of_string Value.Tfloat "x.y"))
+
+let test_pp () =
+  Alcotest.(check string) "pp string" "'hi'"
+    (Format.asprintf "%a" Value.pp (Value.Str "hi"));
+  Alcotest.(check string) "pp float" "2.5"
+    (Format.asprintf "%a" Value.pp (Value.Float 2.5));
+  Alcotest.(check string) "pp ty" "int"
+    (Format.asprintf "%a" Value.pp_ty Value.Tint)
+
+let compare_total_order =
+  QCheck.Test.make ~count:200 ~name:"Value.compare is antisymmetric"
+    QCheck.(
+      pair
+        (oneof [ map (fun i -> Value.Int i) small_int;
+                 map (fun f -> Value.Float f) (float_bound_exclusive 100.);
+                 map (fun s -> Value.Str s) small_string ])
+        (oneof [ map (fun i -> Value.Int i) small_int;
+                 map (fun f -> Value.Float f) (float_bound_exclusive 100.);
+                 map (fun s -> Value.Str s) small_string ]))
+    (fun (a, b) -> compare (Value.compare a b) 0 = compare 0 (Value.compare b a))
+
+let suite =
+  [
+    Alcotest.test_case "type_of" `Quick test_type_of;
+    Alcotest.test_case "ty_compatible" `Quick test_compat;
+    Alcotest.test_case "compare" `Quick test_compare;
+    Alcotest.test_case "numeric" `Quick test_numeric;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "of_string" `Quick test_of_string;
+    Alcotest.test_case "pp" `Quick test_pp;
+    QCheck_alcotest.to_alcotest compare_total_order;
+  ]

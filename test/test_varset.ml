@@ -1,0 +1,77 @@
+open Ses_core
+
+let test_basics () =
+  let s = Varset.of_list [ 0; 3; 5 ] in
+  Alcotest.(check bool) "empty" true (Varset.is_empty Varset.empty);
+  Alcotest.(check bool) "nonempty" false (Varset.is_empty s);
+  Alcotest.(check bool) "mem" true (Varset.mem 3 s);
+  Alcotest.(check bool) "not mem" false (Varset.mem 1 s);
+  Alcotest.(check int) "cardinal" 3 (Varset.cardinal s);
+  Alcotest.(check (list int)) "to_list sorted" [ 0; 3; 5 ] (Varset.to_list s);
+  Alcotest.(check bool) "add/remove" true
+    (Varset.equal s (Varset.remove 7 (Varset.add 7 s)));
+  Alcotest.(check bool) "singleton" true
+    (Varset.equal (Varset.singleton 4) (Varset.of_list [ 4 ]))
+
+let test_set_ops () =
+  let a = Varset.of_list [ 0; 1 ] and b = Varset.of_list [ 1; 2 ] in
+  Alcotest.(check (list int)) "union" [ 0; 1; 2 ] (Varset.to_list (Varset.union a b));
+  Alcotest.(check (list int)) "inter" [ 1 ] (Varset.to_list (Varset.inter a b));
+  Alcotest.(check (list int)) "diff" [ 0 ] (Varset.to_list (Varset.diff a b));
+  Alcotest.(check bool) "subset" true (Varset.subset (Varset.singleton 1) a);
+  Alcotest.(check bool) "not subset" false (Varset.subset b a);
+  Alcotest.(check bool) "empty subset of all" true (Varset.subset Varset.empty b)
+
+let test_subsets () =
+  let s = Varset.of_list [ 0; 2; 4 ] in
+  let subs = Varset.subsets s in
+  Alcotest.(check int) "2^3 subsets" 8 (List.length subs);
+  Alcotest.(check int) "distinct" 8
+    (List.length (List.sort_uniq Varset.compare subs));
+  Alcotest.(check bool) "all within" true
+    (List.for_all (fun q -> Varset.subset q s) subs);
+  Alcotest.(check bool) "contains empty" true
+    (List.exists Varset.is_empty subs);
+  Alcotest.(check bool) "contains full" true
+    (List.exists (Varset.equal s) subs);
+  Alcotest.(check int) "empty set has one subset" 1
+    (List.length (Varset.subsets Varset.empty))
+
+let test_fold () =
+  let s = Varset.of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "sum" 6 (Varset.fold ( + ) s 0)
+
+let test_pp () =
+  let name_of = function 0 -> "c" | 1 -> "d" | 2 -> "p+" | _ -> "?" in
+  Alcotest.(check string) "set" "cdp+"
+    (Format.asprintf "%a" (Varset.pp ~name_of) (Varset.of_list [ 0; 1; 2 ]));
+  Alcotest.(check string) "empty" "\xe2\x88\x85"
+    (Format.asprintf "%a" (Varset.pp ~name_of) Varset.empty)
+
+let roundtrip =
+  QCheck.Test.make ~count:200 ~name:"of_list/to_list roundtrip"
+    QCheck.(list_of_size Gen.(0 -- 10) (int_bound 61))
+    (fun l ->
+      let s = Varset.of_list l in
+      Varset.to_list s = List.sort_uniq Int.compare l)
+
+let union_cardinal =
+  QCheck.Test.make ~count:200 ~name:"inclusion-exclusion"
+    QCheck.(
+      pair (list_of_size Gen.(0 -- 10) (int_bound 61))
+        (list_of_size Gen.(0 -- 10) (int_bound 61)))
+    (fun (la, lb) ->
+      let a = Varset.of_list la and b = Varset.of_list lb in
+      Varset.cardinal (Varset.union a b) + Varset.cardinal (Varset.inter a b)
+      = Varset.cardinal a + Varset.cardinal b)
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "set operations" `Quick test_set_ops;
+    Alcotest.test_case "subsets" `Quick test_subsets;
+    Alcotest.test_case "fold" `Quick test_fold;
+    Alcotest.test_case "pp" `Quick test_pp;
+    QCheck_alcotest.to_alcotest roundtrip;
+    QCheck_alcotest.to_alcotest union_cardinal;
+  ]
