@@ -14,11 +14,17 @@
        partitioned evaluation) and beyond-paper sweeps (set size vs the
        Theorem 2/3 bounds, event selectivity)
 
-   Part 2 runs bechamel micro-benchmarks of the core operations (one
+   Part 2 compares streaming (Csv_stream -> executor, O(1) memory)
+   against materialized (Csv.load -> Relation.t) evaluation of Q1 over
+   the chemotherapy workload, one row per execution strategy, and prints
+   the results as machine-readable JSON.
+
+   Part 3 runs bechamel micro-benchmarks of the core operations (one
    Test.make per paper table/figure, exercising the code path that
    dominates it).
 
-   Usage: dune exec bench/main.exe [-- --quick] [-- --exp N] [-- --no-micro] *)
+   Usage: dune exec bench/main.exe
+            [-- --quick] [-- --exp N] [-- --no-micro] [-- --no-stream] *)
 
 open Bechamel
 open Toolkit
@@ -26,6 +32,8 @@ open Toolkit
 let quick = Array.exists (( = ) "--quick") Sys.argv
 
 let no_micro = Array.exists (( = ) "--no-micro") Sys.argv
+
+let no_stream = Array.exists (( = ) "--no-stream") Sys.argv
 
 let only_exp =
   let rec find i =
@@ -61,6 +69,75 @@ let run_tables () =
     show (E.sweep_set_size cfg);
     show (E.sweep_selectivity cfg)
   end
+
+(* Streaming vs materialized: Q1 over the chemo workload, one row per
+   strategy, as machine-readable JSON. The naive oracle is excluded — its
+   exhaustive enumeration is exponential in the input and does not
+   terminate on a realistic dataset. *)
+
+let stream_bench () =
+  Ses_baseline.Brute_force.register ();
+  let module E = Ses_harness.Experiments in
+  let module Q = Ses_harness.Queries in
+  let d1 = E.dataset cfg in
+  let n_events = Ses_event.Relation.cardinality d1 in
+  let path = Filename.temp_file "ses_bench" ".csv" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  (match Ses_store.Csv.save path d1 with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let leg ~elapsed ~(metrics : Ses_core.Metrics.snapshot) ~matches extra =
+    Printf.sprintf
+      "{\"elapsed_s\":%.6f,\"events_per_sec\":%.0f,\"max_instances\":%d,\"matches\":%d%s}"
+      elapsed
+      (float_of_int n_events /. elapsed)
+      metrics.Ses_core.Metrics.max_simultaneous_instances matches extra
+  in
+  let row strategy =
+    let automaton () = Ses_core.Automaton.of_pattern Q.q1 in
+    let mat, mat_s =
+      time (fun () ->
+          Ses_core.Executor.run_relation strategy (automaton ()) d1)
+    in
+    let str, str_s =
+      time (fun () ->
+          match
+            Ses_harness.Stream_runner.run ~strategy
+              ~query:(fun _schema -> Ok (automaton ()))
+              path
+          with
+          | Ok o -> o
+          | Error msg -> failwith msg)
+    in
+    let n_mat = List.length mat.Ses_core.Engine.matches in
+    let n_str = List.length str.Ses_harness.Stream_runner.matches in
+    if n_mat <> n_str then
+      Printf.eprintf "warning: %s: streaming found %d matches, materialized %d\n"
+        (Ses_core.Executor.strategy_name strategy)
+        n_str n_mat;
+    Printf.sprintf
+      "  {\"query\":\"q1\",\"strategy\":%S,\"events\":%d,\n\
+      \   \"materialized\":%s,\n\
+      \   \"streaming\":%s}"
+      (Ses_core.Executor.strategy_name strategy)
+      n_events
+      (leg ~elapsed:mat_s ~metrics:mat.Ses_core.Engine.metrics ~matches:n_mat
+         "")
+      (leg ~elapsed:str_s ~metrics:str.Ses_harness.Stream_runner.metrics
+         ~matches:n_str
+         (Printf.sprintf ",\"delivered\":%d"
+            str.Ses_harness.Stream_runner.events_delivered))
+  in
+  let strategies = [ `Auto; `Plain; `Partitioned; `Brute_force ] in
+  Printf.printf "Streaming vs materialized (Q1 over chemo, JSON)\n";
+  Printf.printf "-----------------------------------------------\n";
+  Printf.printf "[\n%s\n]\n\n"
+    (String.concat ",\n" (List.map row strategies))
 
 (* Micro-benchmarks: one Test.make per paper artifact, on the D1 dataset. *)
 
@@ -156,4 +233,5 @@ let run_micro () =
 
 let () =
   run_tables ();
+  if not no_stream then stream_bench ();
   if not no_micro then run_micro ()

@@ -162,41 +162,120 @@ let table_arg =
     value & flag
     & info [ "table" ] ~doc:"Render matches as a table (one column per variable).")
 
-let run_match data query query_file filter policy show_metrics show_raw table =
-  let relation = load_relation data in
-  let schema = Ses_event.Relation.schema relation in
-  let pattern = load_pattern schema query query_file in
-  let automaton = Ses_core.Automaton.of_pattern pattern in
-  let options =
-    { Ses_core.Engine.default_options with Ses_core.Engine.filter; policy }
-  in
-  let outcome = Ses_core.Engine.run_relation ~options automaton relation in
+let strategy_conv =
+  Arg.conv
+    ( (fun s ->
+        match Ses_core.Executor.strategy_of_string s with
+        | Ok s -> Ok s
+        | Error msg -> Error (`Msg msg)),
+      fun ppf s ->
+        Format.pp_print_string ppf (Ses_core.Executor.strategy_name s) )
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv `Auto
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Execution strategy: auto (planner-selected), plain, partitioned, \
+           naive or brute-force.")
+
+let stream_arg =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:
+          "Stream events straight from the CSV file through the executor \
+           (O(1) memory) instead of materializing the relation; the Sec. \
+           4.5 constant-condition filter is pushed into the scan when the \
+           pattern supports it.")
+
+let print_match_results pattern ~raw ~matches ~metrics show_metrics show_raw
+    table =
   Format.printf "pattern: %a@." Ses_pattern.Pattern.pp pattern;
   if show_raw then begin
-    Format.printf "raw candidates: %d@." (List.length outcome.Ses_core.Engine.raw);
+    Format.printf "raw candidates: %d@." (List.length raw);
     List.iter
-      (fun s ->
-        Format.printf "  %a@." (Ses_core.Substitution.pp pattern) s)
-      outcome.Ses_core.Engine.raw
+      (fun s -> Format.printf "  %a@." (Ses_core.Substitution.pp pattern) s)
+      raw
   end;
   if table then
     Format.printf "%a@." Ses_harness.Report.pp
-      (Ses_harness.Match_table.of_matches pattern outcome.Ses_core.Engine.matches)
+      (Ses_harness.Match_table.of_matches pattern matches)
   else begin
-    Format.printf "matches: %d@." (List.length outcome.Ses_core.Engine.matches);
+    Format.printf "matches: %d@." (List.length matches);
     List.iter
       (fun s -> Format.printf "  %a@." (Ses_core.Substitution.pp pattern) s)
-      outcome.Ses_core.Engine.matches
+      matches
   end;
-  if show_metrics then
-    Format.printf "%a@." Ses_core.Metrics.pp outcome.Ses_core.Engine.metrics
+  if show_metrics then Format.printf "%a@." Ses_core.Metrics.pp metrics
+
+let run_match data query query_file strategy stream filter policy show_metrics
+    show_raw table =
+  Ses_baseline.Brute_force.register ();
+  let run_match_body () =
+  let options =
+    { Ses_core.Engine.default_options with Ses_core.Engine.filter; policy }
+  in
+  if stream then begin
+    let parsed = ref None in
+    let outcome =
+      or_die
+        (Ses_harness.Stream_runner.run ~options ~strategy
+           ~query:(fun schema ->
+             let pattern = load_pattern schema query query_file in
+             parsed := Some pattern;
+             Ok (Ses_core.Automaton.of_pattern pattern))
+           data)
+    in
+    let pattern = Option.get !parsed in
+    print_match_results pattern ~raw:outcome.Ses_harness.Stream_runner.raw
+      ~matches:outcome.Ses_harness.Stream_runner.matches
+      ~metrics:outcome.Ses_harness.Stream_runner.metrics show_metrics show_raw
+      table;
+    if show_metrics then begin
+      Format.printf "executor: %s@." outcome.Ses_harness.Stream_runner.executor;
+      Format.printf "events scanned: %d, delivered: %d@."
+        outcome.Ses_harness.Stream_runner.events_scanned
+        outcome.Ses_harness.Stream_runner.events_delivered;
+      match outcome.Ses_harness.Stream_runner.pushed with
+      | None -> Format.printf "pushed filter: none@."
+      | Some p ->
+          Format.printf "pushed filter: %a@." Ses_store.Selection.pp p
+    end
+  end
+  else begin
+    let relation = load_relation data in
+    let schema = Ses_event.Relation.schema relation in
+    let pattern = load_pattern schema query query_file in
+    let automaton = Ses_core.Automaton.of_pattern pattern in
+    let outcome =
+      Ses_core.Executor.run_relation ~options strategy automaton relation
+    in
+    print_match_results pattern ~raw:outcome.Ses_core.Engine.raw
+      ~matches:outcome.Ses_core.Engine.matches
+      ~metrics:outcome.Ses_core.Engine.metrics show_metrics show_raw table;
+    if show_metrics then
+      Format.printf "executor: %s@."
+        (Ses_core.Executor.strategy_name strategy)
+  end
+  in
+  try run_match_body ()
+  with Ses_core.Naive.Too_large n ->
+    prerr_endline
+      (Printf.sprintf
+         "error: the naive oracle would enumerate more than %d assignments \
+          on this input; use a smaller relation or another --strategy"
+         n);
+    exit 1
 
 let match_cmd =
   Cmd.v
     (Cmd.info "match" ~doc:"Run a SES pattern over a stored relation")
     Term.(
-      const run_match $ data_arg $ query_arg $ query_file_arg $ filter_arg
-      $ policy_arg $ show_metrics_arg $ show_raw_arg $ table_arg)
+      const run_match $ data_arg $ query_arg $ query_file_arg $ strategy_arg
+      $ stream_arg $ filter_arg $ policy_arg $ show_metrics_arg $ show_raw_arg
+      $ table_arg)
 
 (* dot *)
 

@@ -64,57 +64,119 @@ let retarget ~original ~derived subst =
       | None -> assert false)
     subst
 
-let run ?(options = Engine.default_options) p events =
+(* Incremental interface: all chain automata advance in lockstep on each
+   [feed]; completions are retargeted to the original pattern's variable
+   ids and deduplicated across automata as they appear (distinct
+   orderings find the same substitution). *)
+
+type stream = {
+  pattern : Pattern.t;
+  streams : (Pattern.t * Engine.stream) list;
+  seen : ((int * int) list, unit) Hashtbl.t;
+  mutable emissions : Substitution.t list;  (** deduplicated, newest first *)
+  mutable max_total : int;
+}
+
+let create_pattern ?(options = Engine.default_options) p =
   let derived = List.map (sequence_pattern p) (orderings p) in
-  let streams =
-    List.map
-      (fun dp -> (dp, Engine.create ~options (Automaton.of_pattern dp)))
-      derived
-  in
-  let max_total = ref 0 in
-  Seq.iter
-    (fun e ->
-      List.iter (fun (_, st) -> ignore (Engine.feed st e)) streams;
-      let total =
-        List.fold_left (fun acc (_, st) -> acc + Engine.population st) 0 streams
-      in
-      if total > !max_total then max_total := total)
-    events;
-  List.iter (fun (_, st) -> ignore (Engine.close st)) streams;
-  let raw_all =
+  {
+    pattern = p;
+    streams =
+      List.map
+        (fun dp -> (dp, Engine.create ~options (Automaton.of_pattern dp)))
+        derived;
+    seen = Hashtbl.create 256;
+    emissions = [];
+    max_total = 0;
+  }
+
+let create ?options automaton = create_pattern ?options (Automaton.pattern automaton)
+
+let fresh st substs =
+  List.filter
+    (fun s ->
+      let key = Substitution.canonical s in
+      if Hashtbl.mem st.seen key then false
+      else begin
+        Hashtbl.add st.seen key ();
+        st.emissions <- s :: st.emissions;
+        true
+      end)
+    substs
+
+let feed st e =
+  let completed =
     List.concat_map
-      (fun (dp, st) ->
-        List.map (retarget ~original:p ~derived:dp) (Engine.emitted st))
-      streams
+      (fun (dp, engine) ->
+        List.map
+          (retarget ~original:st.pattern ~derived:dp)
+          (Engine.feed engine e))
+      st.streams
   in
-  (* Deduplicate across automata: distinct orderings find the same
-     substitution. *)
-  let seen = Hashtbl.create 256 in
-  let raw =
-    List.filter
-      (fun s ->
-        let key = Substitution.canonical s in
-        if Hashtbl.mem seen key then false
-        else begin
-          Hashtbl.add seen key ();
-          true
-        end)
-      raw_all
+  let total =
+    List.fold_left (fun acc (_, s) -> acc + Engine.population s) 0 st.streams
   in
+  if total > st.max_total then st.max_total <- total;
+  fresh st completed
+
+let close st =
+  fresh st
+    (List.concat_map
+       (fun (dp, engine) ->
+         List.map
+           (retarget ~original:st.pattern ~derived:dp)
+           (Engine.close engine))
+       st.streams)
+
+let emitted st = List.rev st.emissions
+
+let population st =
+  List.fold_left (fun acc (_, s) -> acc + Engine.population s) 0 st.streams
+
+let metrics st =
+  let summed =
+    List.fold_left
+      (fun acc (_, s) -> Metrics.merge acc (Engine.metrics s))
+      Metrics.zero st.streams
+  in
+  { summed with Metrics.max_simultaneous_instances = st.max_total }
+
+let n_streams st = List.length st.streams
+
+let run ?(options = Engine.default_options) p events =
+  let st = create_pattern ~options p in
+  Seq.iter (fun e -> ignore (feed st e)) events;
+  ignore (close st);
+  let raw = emitted st in
   let matches =
     if options.Engine.finalize then
       Substitution.finalize ~policy:options.Engine.policy p raw
     else raw
   in
-  let metrics =
-    List.fold_left
-      (fun acc (_, st) -> Metrics.merge acc (Engine.metrics st))
-      Metrics.zero streams
-  in
-  let metrics =
-    { metrics with Metrics.max_simultaneous_instances = !max_total }
-  in
-  { matches; raw; metrics; n_automata = List.length streams }
+  { matches; raw; metrics = metrics st; n_automata = n_streams st }
 
 let run_relation ?options p relation =
   run ?options p (Relation.to_seq relation)
+
+(* The executor registration: injected into [ses_core]'s registry because
+   the dependency points the other way. *)
+
+module Exec = struct
+  type nonrec t = stream
+
+  let name = "brute-force"
+
+  let create = create
+
+  let feed = feed
+
+  let close = close
+
+  let emitted = emitted
+
+  let population = population
+
+  let metrics = metrics
+end
+
+let register () = Executor.register_brute_force (module Exec)

@@ -57,3 +57,40 @@ val run :
 
 val run_relation :
   ?options:Engine.options -> Pattern.t -> Relation.t -> outcome
+
+(** {1 Incremental interface}
+
+    The push-based view, implementing {!Ses_core.Executor.EXECUTOR}: all
+    chain automata advance in lockstep on each [feed]; completions are
+    retargeted to the original pattern's variable ids and deduplicated
+    across automata as they appear. *)
+
+type stream
+
+val create : ?options:Engine.options -> Automaton.t -> stream
+(** Derives the chains from the automaton's pattern (the SES automaton
+    itself is not executed). *)
+
+val create_pattern : ?options:Engine.options -> Pattern.t -> stream
+
+val feed : stream -> Event.t -> Substitution.t list
+(** Raw substitutions first completed on this event (across all chains,
+    deduplicated against everything emitted so far). *)
+
+val close : stream -> Substitution.t list
+
+val emitted : stream -> Substitution.t list
+
+val population : stream -> int
+(** Total live instances across all chain automata — the quantity
+    plotted in Fig. 11. *)
+
+val metrics : stream -> Metrics.snapshot
+
+val n_streams : stream -> int
+
+val register : unit -> unit
+(** Installs this module as {!Ses_core.Executor}'s [`Brute_force]
+    strategy. Idempotent. The registration is explicit (not a module
+    initializer) so it works regardless of which [ses_baseline] modules
+    the final executable happens to link. *)

@@ -27,6 +27,15 @@ type t
 
 val make : Pattern.t -> mode -> t
 
+val strong_clauses :
+  Pattern.t -> (Schema.Field.t * Predicate.op * Value.t) list list option
+(** The per-variable constant-condition conjunctions behind [Strong]
+    (negated variables included): an event passes iff it satisfies every
+    atom of {e some} clause. [None] when a variable carries no constant
+    condition — the filter is then ineffective. Exposed so the store
+    layer can push the same predicate down into its scan (see
+    {!Ses_harness.Stream_runner}). *)
+
 val mode : t -> mode
 
 val effective : t -> bool

@@ -1,0 +1,173 @@
+open Ses_event
+
+type strategy = [ `Auto | `Plain | `Partitioned | `Naive | `Brute_force ]
+
+let strategies : strategy list =
+  [ `Auto; `Plain; `Partitioned; `Naive; `Brute_force ]
+
+let strategy_name = function
+  | `Auto -> "auto"
+  | `Plain -> "plain"
+  | `Partitioned -> "partitioned"
+  | `Naive -> "naive"
+  | `Brute_force -> "brute-force"
+
+let strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "auto" -> Ok `Auto
+  | "plain" | "engine" -> Ok `Plain
+  | "partitioned" -> Ok `Partitioned
+  | "naive" -> Ok `Naive
+  | "brute-force" | "brute_force" | "bf" -> Ok `Brute_force
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown strategy %S (expected auto, plain, partitioned, naive or \
+            brute-force)"
+           other)
+
+module type EXECUTOR = sig
+  type t
+
+  val name : string
+
+  val create : ?options:Engine.options -> Automaton.t -> t
+
+  val feed : t -> Event.t -> Substitution.t list
+
+  val close : t -> Substitution.t list
+
+  val emitted : t -> Substitution.t list
+
+  val population : t -> int
+
+  val metrics : t -> Metrics.snapshot
+end
+
+module Plain : EXECUTOR = struct
+  type t = Engine.stream
+
+  let name = "plain"
+
+  let create = Engine.create
+
+  let feed = Engine.feed
+
+  let close = Engine.close
+
+  let emitted = Engine.emitted
+
+  let population = Engine.population
+
+  let metrics = Engine.metrics
+end
+
+module Partitioned_exec : EXECUTOR = struct
+  type t = Partitioned.stream
+
+  let name = "partitioned"
+
+  let create ?options automaton = Partitioned.create ?options automaton
+
+  let feed = Partitioned.feed
+
+  let close = Partitioned.close
+
+  let emitted = Partitioned.emitted
+
+  let population = Partitioned.population
+
+  let metrics = Partitioned.metrics
+end
+
+module Auto : EXECUTOR = struct
+  type t = Planner.stream
+
+  let name = "auto"
+
+  let create = Planner.create
+
+  let feed = Planner.feed
+
+  let close = Planner.close
+
+  let emitted = Planner.emitted
+
+  let population = Planner.population
+
+  let metrics = Planner.metrics
+end
+
+module Naive_exec : EXECUTOR = struct
+  type t = Naive.stream
+
+  let name = "naive"
+
+  let create = Naive.create
+
+  let feed = Naive.feed
+
+  let close = Naive.close
+
+  let emitted = Naive.emitted
+
+  let population = Naive.population
+
+  let metrics = Naive.metrics
+end
+
+(* The brute-force baseline lives in [ses_baseline], which depends on
+   this library, so its executor is injected rather than referenced:
+   [Ses_baseline.Brute_force.register] installs it. *)
+let brute_force : (module EXECUTOR) option ref = ref None
+
+let register_brute_force m = brute_force := Some m
+
+let of_strategy : strategy -> (module EXECUTOR) = function
+  | `Auto -> (module Auto)
+  | `Plain -> (module Plain)
+  | `Partitioned -> (module Partitioned_exec)
+  | `Naive -> (module Naive_exec)
+  | `Brute_force -> (
+      match !brute_force with
+      | Some m -> m
+      | None ->
+          failwith
+            "Executor: brute-force strategy not registered (call \
+             Ses_baseline.Brute_force.register first)")
+
+type packed = Packed : (module EXECUTOR with type t = 'a) * 'a -> packed
+
+let create ?options strategy automaton =
+  let (module E) = of_strategy strategy in
+  Packed ((module E), E.create ?options automaton)
+
+let name (Packed ((module E), _)) = E.name
+
+let feed (Packed ((module E), t)) e = E.feed t e
+
+let close (Packed ((module E), t)) = E.close t
+
+let emitted (Packed ((module E), t)) = E.emitted t
+
+let population (Packed ((module E), t)) = E.population t
+
+let metrics (Packed ((module E), t)) = E.metrics t
+
+let drive ?(options = Engine.default_options) exec automaton events =
+  Seq.iter (fun e -> ignore (feed exec e)) events;
+  ignore (close exec);
+  let raw = emitted exec in
+  let matches =
+    if options.Engine.finalize then
+      Substitution.finalize ~policy:options.Engine.policy
+        (Automaton.pattern automaton) raw
+    else raw
+  in
+  { Engine.matches; raw; metrics = metrics exec }
+
+let run ?(options = Engine.default_options) strategy automaton events =
+  drive ~options (create ~options strategy automaton) automaton events
+
+let run_relation ?options strategy automaton relation =
+  run ?options strategy automaton (Relation.to_seq relation)

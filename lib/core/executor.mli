@@ -1,0 +1,110 @@
+(** The unified push-based execution interface.
+
+    Every way this library can evaluate a SES pattern — the plain engine
+    (Algorithms 1–2), hash-partitioned instance pools, the planner's
+    automatic lever selection, the Definition 2 oracle, and the Sec. 5.2
+    brute-force baseline — implements the same [EXECUTOR] signature:
+    [create] an executor from an automaton, [feed] it one chronological
+    event at a time (receiving the raw substitutions completed by that
+    event), [close] it to flush accepting instances, and read uniform
+    {!Metrics} at any point. This is the shape a streaming deployment
+    needs (one [feed] per arriving event, O(1) memory in the input), and
+    it lets equivalence tests, the CLI and the benchmarks drive all
+    strategies through one harness.
+
+    [feed] and [close] return {e raw} emissions: finalization
+    (deduplication and the Definition 2 condition 4–5 post-filter) needs
+    the whole candidate set, so it is applied by {!run} — or by the
+    caller, over {!emitted} — once the input ends. *)
+
+open Ses_event
+
+type strategy = [ `Auto | `Plain | `Partitioned | `Naive | `Brute_force ]
+(** [`Auto] runs {!Planner.plan}'s choice of levers; [`Plain] the bare
+    {!Engine}; [`Partitioned] per-key pools (with single-pool fallback);
+    [`Naive] the exhaustive Definition 2 oracle; [`Brute_force] the
+    one-automaton-per-ordering baseline of Sec. 5.2. *)
+
+val strategies : strategy list
+
+val strategy_name : strategy -> string
+
+val strategy_of_string : string -> (strategy, string) result
+
+module type EXECUTOR = sig
+  type t
+
+  val name : string
+
+  val create : ?options:Engine.options -> Automaton.t -> t
+
+  val feed : t -> Event.t -> Substitution.t list
+  (** Pushes one event (chronological order required; implementations
+      raise [Invalid_argument] on violations) and returns the raw
+      substitutions whose instances completed on it. *)
+
+  val close : t -> Substitution.t list
+  (** End of input: flushes accepting instances. *)
+
+  val emitted : t -> Substitution.t list
+  (** All raw emissions so far, oldest first. *)
+
+  val population : t -> int
+  (** Live automaton instances (|Ω|). *)
+
+  val metrics : t -> Metrics.snapshot
+end
+
+val of_strategy : strategy -> (module EXECUTOR)
+(** The registry. [`Brute_force] is injected by [ses_baseline] (a
+    dependent library): raises [Failure] unless
+    [Ses_baseline.Brute_force.register] has been called. *)
+
+val register_brute_force : (module EXECUTOR) -> unit
+
+(** {1 Packed executors}
+
+    A strategy instantiated on an automaton, with the existential [t]
+    hidden — the convenient form for callers that pick the strategy at
+    runtime (CLI flags, mixed-strategy {!Multi} registrations). *)
+
+type packed
+
+val create : ?options:Engine.options -> strategy -> Automaton.t -> packed
+
+val name : packed -> string
+
+val feed : packed -> Event.t -> Substitution.t list
+
+val close : packed -> Substitution.t list
+
+val emitted : packed -> Substitution.t list
+
+val population : packed -> int
+
+val metrics : packed -> Metrics.snapshot
+
+(** {1 The shared batch harness} *)
+
+val drive :
+  ?options:Engine.options ->
+  packed ->
+  Automaton.t ->
+  Event.t Seq.t ->
+  Engine.outcome
+(** Feeds the whole sequence, closes, and finalizes per [options] —
+    the one loop every strategy's batch entry point now shares. *)
+
+val run :
+  ?options:Engine.options ->
+  strategy ->
+  Automaton.t ->
+  Event.t Seq.t ->
+  Engine.outcome
+
+val run_relation :
+  ?options:Engine.options ->
+  strategy ->
+  Automaton.t ->
+  Relation.t ->
+  Engine.outcome

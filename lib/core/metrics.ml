@@ -86,6 +86,13 @@ let zero =
     matches_emitted = 0;
   }
 
+let to_json s =
+  Printf.sprintf
+    "{\"events_seen\":%d,\"events_filtered\":%d,\"instances_created\":%d,\"max_simultaneous_instances\":%d,\"transitions_fired\":%d,\"instances_expired\":%d,\"instances_killed\":%d,\"matches_emitted\":%d}"
+    s.events_seen s.events_filtered s.instances_created
+    s.max_simultaneous_instances s.transitions_fired s.instances_expired
+    s.instances_killed s.matches_emitted
+
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>events seen:        %d@,events filtered:    %d@,instances created:  %d@,max simultaneous:   %d@,transitions fired:  %d@,instances expired:  %d@,instances killed:   %d@,matches emitted:    %d@]"

@@ -45,4 +45,7 @@ val merge : snapshot -> snapshot -> snapshot
 
 val zero : snapshot
 
+val to_json : snapshot -> string
+(** One-line JSON object, for machine-readable benchmark output. *)
+
 val pp : Format.formatter -> snapshot -> unit

@@ -2,7 +2,7 @@
 type entry = {
   name : string;
   automaton : Automaton.t;
-  stream : Engine.stream;
+  exec : Executor.packed;
 }
 
 type t = {
@@ -10,28 +10,36 @@ type t = {
   options : Engine.options;
 }
 
-let create ?(options = Engine.default_options) queries =
-  let names = List.map fst queries in
+let validate names =
   if List.exists (fun n -> n = "") names then
     invalid_arg "Multi.create: empty query name";
   if List.length (List.sort_uniq String.compare names) <> List.length names
-  then invalid_arg "Multi.create: duplicate query name";
-  let stream_options = { options with Engine.finalize = false } in
+  then invalid_arg "Multi.create: duplicate query name"
+
+let create_mixed ?(options = Engine.default_options) queries =
+  validate (List.map (fun (name, _, _) -> name) queries);
   {
     entries =
       List.map
-        (fun (name, automaton) ->
-          { name; automaton; stream = Engine.create ~options:stream_options automaton })
+        (fun (name, automaton, strategy) ->
+          { name; automaton; exec = Executor.create ~options strategy automaton })
         queries;
     options;
   }
 
+let create ?options ?(strategy = `Plain) queries =
+  create_mixed ?options
+    (List.map (fun (name, automaton) -> (name, automaton, strategy)) queries)
+
 let names t = List.map (fun e -> e.name) t.entries
+
+let strategy_names t =
+  List.map (fun e -> (e.name, Executor.name e.exec)) t.entries
 
 let feed t event =
   List.filter_map
     (fun e ->
-      match Engine.feed e.stream event with
+      match Executor.feed e.exec event with
       | [] -> None
       | completed -> Some (e.name, completed))
     t.entries
@@ -39,29 +47,29 @@ let feed t event =
 let close t =
   List.filter_map
     (fun e ->
-      match Engine.close e.stream with
+      match Executor.close e.exec with
       | [] -> None
       | flushed -> Some (e.name, flushed))
     t.entries
 
 let population t =
-  List.fold_left (fun acc e -> acc + Engine.population e.stream) 0 t.entries
+  List.fold_left (fun acc e -> acc + Executor.population e.exec) 0 t.entries
 
 let outcomes t =
   List.map
     (fun e ->
-      let raw = Engine.emitted e.stream in
+      let raw = Executor.emitted e.exec in
       let matches =
         if t.options.Engine.finalize then
           Substitution.finalize ~policy:t.options.Engine.policy
             (Automaton.pattern e.automaton) raw
         else raw
       in
-      (e.name, { Engine.matches; raw; metrics = Engine.metrics e.stream }))
+      (e.name, { Engine.matches; raw; metrics = Executor.metrics e.exec }))
     t.entries
 
-let run ?options queries events =
-  let t = create ?options queries in
+let run ?options ?strategy queries events =
+  let t = create ?options ?strategy queries in
   Seq.iter (fun e -> ignore (feed t e)) events;
   ignore (close t);
   outcomes t

@@ -3,19 +3,35 @@
     Event-processing deployments register many patterns against the same
     stream (the publish/subscribe setting of Cayuga, which the paper cites
     as the home of instance-indexing techniques). [Multi] fans a single
-    chronological feed out to one engine stream per registered query and
+    chronological feed out to one {!Executor} per registered query and
     collects completions per query name. Results are identical to running
-    each automaton separately over the same feed. *)
+    each automaton separately over the same feed. Queries can mix
+    strategies: a partitionable pattern can run per-key pools while its
+    neighbours run the plain engine. *)
 
 open Ses_event
 
 type t
 
-val create : ?options:Engine.options -> (string * Automaton.t) list -> t
-(** Registers named queries. Names must be distinct and non-empty; raises
-    [Invalid_argument] otherwise. The options apply to every query. *)
+val create :
+  ?options:Engine.options ->
+  ?strategy:Executor.strategy ->
+  (string * Automaton.t) list ->
+  t
+(** Registers named queries, all under one strategy (default [`Plain]).
+    Names must be distinct and non-empty; raises [Invalid_argument]
+    otherwise. The options apply to every query. *)
+
+val create_mixed :
+  ?options:Engine.options ->
+  (string * Automaton.t * Executor.strategy) list ->
+  t
+(** Per-query strategies. *)
 
 val names : t -> string list
+
+val strategy_names : t -> (string * string) list
+(** Query name paired with the executor name serving it. *)
 
 val feed : t -> Event.t -> (string * Substitution.t list) list
 (** Pushes one event to every query; returns the raw substitutions whose
@@ -33,6 +49,7 @@ val outcomes : t -> (string * Engine.outcome) list
 
 val run :
   ?options:Engine.options ->
+  ?strategy:Executor.strategy ->
   (string * Automaton.t) list ->
   Event.t Seq.t ->
   (string * Engine.outcome) list

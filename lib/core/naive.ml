@@ -19,25 +19,31 @@ let subsets_within ~min_count ~max_count events =
       && match max_count with Some m -> n <= m | None -> true)
     (go events)
 
-let candidates p relation v =
+let candidates p all_events v =
   let consts = Pattern.constant_conditions_on p v in
   List.filter
     (fun e ->
       List.for_all
         (fun (field, op, c) -> Predicate.eval op (Event.get e field) c)
         consts)
-    (Array.to_list (Relation.events relation))
+    (Array.to_list all_events)
 
-let all_satisfying_1_3 ?(limit = 1_000_000) p relation =
-  let all_events = Relation.events relation in
+let all_satisfying_1_3_events ?(limit = 1_000_000) p all_events =
   let per_var =
     List.init (Pattern.n_vars p) (fun v ->
-        let events = candidates p relation v in
-        if Pattern.is_group p v then
+        let events = candidates p all_events v in
+        if Pattern.is_group p v then begin
+          (* A group variable ranges over subsets of its candidates, and
+             [subsets_within] materializes all 2^n of them — bail before
+             that, not after, or a large input hangs instead of raising. *)
+          let n = List.length events in
+          if n >= Sys.int_size - 2 || 1 lsl n > limit then
+            raise (Too_large limit);
           List.map
             (fun es -> (v, es))
             (subsets_within ~min_count:(Pattern.min_count p v)
                ~max_count:(Pattern.max_count p v) events)
+        end
         else List.map (fun e -> (v, [ e ])) events)
   in
   (* Upfront size estimate to fail fast instead of looping forever. *)
@@ -70,5 +76,64 @@ let all_satisfying_1_3 ?(limit = 1_000_000) p relation =
     (fun a b -> compare (Substitution.canonical a) (Substitution.canonical b))
     !results
 
+let all_satisfying_1_3 ?limit p relation =
+  all_satisfying_1_3_events ?limit p (Relation.events relation)
+
 let matches ?limit ?policy p relation =
   Substitution.finalize ?policy p (all_satisfying_1_3 ?limit p relation)
+
+(* Incremental wrapper: the enumeration needs the whole input, so the
+   stream buffers the events (keeping their original sequence numbers —
+   a store-side filter may have dropped rows, leaving gaps) and
+   enumerates at [close]. *)
+
+type stream = {
+  pattern : Pattern.t;
+  limit : int;
+  mutable events : Event.t list;  (** newest first *)
+  mutable last_ts : Time.t option;
+  mutable raw : Substitution.t list;
+  mutable closed : bool;
+  m : Metrics.t;
+}
+
+let default_limit = 1_000_000
+
+let create ?(options = Engine.default_options) automaton =
+  ignore options;
+  {
+    pattern = Automaton.pattern automaton;
+    limit = default_limit;
+    events = [];
+    last_ts = None;
+    raw = [];
+    closed = false;
+    m = Metrics.create ();
+  }
+
+let feed st e =
+  (match st.last_ts with
+  | Some t when Time.( <. ) (Event.ts e) t ->
+      invalid_arg "Naive.feed: events out of chronological order"
+  | Some _ | None -> ());
+  st.last_ts <- Some (Event.ts e);
+  Metrics.on_event st.m;
+  st.events <- e :: st.events;
+  []
+
+let close st =
+  if st.closed then []
+  else begin
+    st.closed <- true;
+    let all_events = Array.of_list (List.rev st.events) in
+    let raw = all_satisfying_1_3_events ~limit:st.limit st.pattern all_events in
+    List.iter (fun _ -> Metrics.on_match st.m) raw;
+    st.raw <- raw;
+    raw
+  end
+
+let emitted st = st.raw
+
+let population _ = 0
+
+let metrics st = Metrics.snapshot st.m

@@ -28,6 +28,12 @@ val all_satisfying_1_3 :
     non-empty subsets of their candidates. [limit] (default [1_000_000])
     bounds the number of full assignments checked. *)
 
+val all_satisfying_1_3_events :
+  ?limit:int -> Pattern.t -> Event.t array -> Substitution.t list
+(** Same over a bare chronological event array — the form a streaming
+    feed accumulates. Sequence numbers are taken as-is (they may have
+    gaps when a store-side filter dropped rows). *)
+
 val matches :
   ?limit:int ->
   ?policy:Substitution.policy ->
@@ -37,3 +43,32 @@ val matches :
 (** [all_satisfying_1_3] followed by {!Substitution.finalize}. Note this is
     {e not} the paper's algorithm: it reports every maximal (or literal-
     policy) substitution regardless of greedy reachability. *)
+
+(** {1 Incremental interface}
+
+    The push-based view, implementing {!Executor.EXECUTOR} so the oracle
+    runs through the same harness as the real strategies. The enumeration
+    needs the whole input, so [feed] only buffers (and always returns
+    [[]]); the work happens at [close], which returns the raw oracle
+    emissions ({!all_satisfying_1_3} with the default limit). *)
+
+type stream
+
+val create : ?options:Engine.options -> Automaton.t -> stream
+(** Enumerates the automaton's pattern; the automaton itself is unused
+    (the oracle is deliberately automaton-independent). *)
+
+val feed : stream -> Event.t -> Substitution.t list
+(** Buffers the event; raises [Invalid_argument] on out-of-order input
+    (the shared executor contract). *)
+
+val close : stream -> Substitution.t list
+(** Runs the enumeration over the buffered events. May raise
+    {!Too_large}. Idempotent; later calls return [[]]. *)
+
+val emitted : stream -> Substitution.t list
+
+val population : stream -> int
+(** Always 0 — the oracle keeps no automaton instances. *)
+
+val metrics : stream -> Metrics.snapshot

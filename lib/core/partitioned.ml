@@ -82,44 +82,101 @@ let sum_metrics ~max_total streams =
   let summed = List.fold_left add Metrics.zero streams in
   { summed with Metrics.max_simultaneous_instances = max_total }
 
+(* Incremental interface: the instance pool splits lazily — a key's pool
+   is opened the first time one of its events arrives. *)
+
+type pools =
+  | Single of Engine.stream
+  | Keyed of {
+      field : Schema.Field.t;
+      pools : (Value.t, Engine.stream) Hashtbl.t;
+      mutable order : Engine.stream list;  (* creation order, newest first *)
+      mutable total : int;
+      mutable max_total : int;
+    }
+
+type stream = {
+  automaton : Automaton.t;
+  options : Engine.options;
+  pools : pools;
+}
+
+let create ?(options = Engine.default_options) ?key automaton =
+  let key =
+    match key with Some k -> k | None -> partition_key automaton
+  in
+  let pools =
+    match key with
+    | None -> Single (Engine.create ~options automaton)
+    | Some field ->
+        Keyed
+          { field; pools = Hashtbl.create 32; order = []; total = 0; max_total = 0 }
+  in
+  { automaton; options; pools }
+
+let key st =
+  match st.pools with Single _ -> None | Keyed k -> Some k.field
+
+let n_pools st =
+  match st.pools with Single _ -> 1 | Keyed k -> Hashtbl.length k.pools
+
+let ordered_streams st =
+  match st.pools with
+  | Single s -> [ s ]
+  | Keyed k -> List.rev k.order
+
+let feed st e =
+  match st.pools with
+  | Single s -> Engine.feed s e
+  | Keyed k ->
+      let kv = Event.get e k.field in
+      let pool =
+        match Hashtbl.find_opt k.pools kv with
+        | Some pool -> pool
+        | None ->
+            let pool = Engine.create ~options:st.options st.automaton in
+            Hashtbl.add k.pools kv pool;
+            k.order <- pool :: k.order;
+            pool
+      in
+      let before = Engine.population pool in
+      let completed = Engine.feed pool e in
+      k.total <- k.total - before + Engine.population pool;
+      if k.total > k.max_total then k.max_total <- k.total;
+      completed
+
+let close st =
+  match st.pools with
+  | Single s -> Engine.close s
+  | Keyed k ->
+      let flushed =
+        List.concat_map (fun pool -> Engine.close pool) (List.rev k.order)
+      in
+      k.total <- 0;
+      flushed
+
+let emitted st = List.concat_map Engine.emitted (ordered_streams st)
+
+let population st =
+  match st.pools with Single s -> Engine.population s | Keyed k -> k.total
+
+let metrics st =
+  match st.pools with
+  | Single s -> Engine.metrics s
+  | Keyed k -> sum_metrics ~max_total:k.max_total (List.rev k.order)
+
 let run ?(options = Engine.default_options) automaton events =
   let p = Automaton.pattern automaton in
-  match partition_key automaton with
-  | None -> Engine.run ~options automaton events
-  | Some field ->
-      let pools : (Value.t, Engine.stream) Hashtbl.t = Hashtbl.create 32 in
-      let stream_options = { options with Engine.finalize = false } in
-      let total = ref 0 in
-      let max_total = ref 0 in
-      Seq.iter
-        (fun e ->
-          let key = Event.get e field in
-          let st =
-            match Hashtbl.find_opt pools key with
-            | Some st -> st
-            | None ->
-                let st = Engine.create ~options:stream_options automaton in
-                Hashtbl.add pools key st;
-                st
-          in
-          let before = Engine.population st in
-          ignore (Engine.feed st e);
-          total := !total - before + Engine.population st;
-          if !total > !max_total then max_total := !total)
-        events;
-      let streams = Hashtbl.fold (fun _ st acc -> st :: acc) pools [] in
-      List.iter (fun st -> ignore (Engine.close st)) streams;
-      let raw = List.concat_map Engine.emitted streams in
-      let matches =
-        if options.Engine.finalize then
-          Substitution.finalize ~policy:options.Engine.policy p raw
-        else raw
-      in
-      {
-        Engine.matches;
-        raw;
-        metrics = sum_metrics ~max_total:!max_total streams;
-      }
+  let st = create ~options automaton in
+  Seq.iter (fun e -> ignore (feed st e)) events;
+  ignore (close st);
+  let raw = emitted st in
+  let matches =
+    if options.Engine.finalize then
+      Substitution.finalize ~policy:options.Engine.policy p raw
+    else raw
+  in
+  { Engine.matches; raw; metrics = metrics st }
 
 let run_relation ?options automaton relation =
   run ?options automaton (Relation.to_seq relation)

@@ -30,10 +30,10 @@
       bound first are therefore never partitionable.
 
     [partition_key] decides the criterion on the constructed automaton;
-    [run] falls back to the plain engine when it does not hold, so it is
-    always safe to call. When it holds the result is identical to
-    {!Engine.run} up to ordering (both finalize deterministically): raw
-    emissions are pooled and finalized globally. *)
+    both [create] and [run] fall back to a single plain engine stream when
+    it does not hold, so they are always safe to call. When it holds the
+    result is identical to {!Engine.run} up to ordering (both finalize
+    deterministically): raw emissions are pooled and finalized globally. *)
 
 open Ses_event
 
@@ -42,15 +42,50 @@ val partition_key : Automaton.t -> Schema.Field.t option
     non-empty source state carries a condition [v.A = v'.A] with [v'] in
     the source state, if any. *)
 
-val run :
-  ?options:Engine.options -> Automaton.t -> Event.t Seq.t -> Engine.outcome
-(** Runs one engine stream per distinct key value when {!partition_key}
-    applies, otherwise delegates to {!Engine.run}. Metrics are summed
-    across partitions; [max_simultaneous_instances] is the maximum over
+(** {1 Incremental interface}
+
+    The push-based view, implementing {!Executor.EXECUTOR}: per-key
+    engine pools opened lazily as each key value first appears. [feed]
+    routes the event to its key's pool only. *)
+
+type stream
+
+val create :
+  ?options:Engine.options -> ?key:Schema.Field.t option -> Automaton.t -> stream
+(** [?key] overrides detection (the planner passes its already-computed
+    decision); when omitted, {!partition_key} decides. [Some None] forces
+    a single unpartitioned pool. *)
+
+val feed : stream -> Event.t -> Substitution.t list
+(** Raw substitutions whose instances completed on this event. *)
+
+val close : stream -> Substitution.t list
+(** Flushes accepting instances of every pool, oldest pool first. *)
+
+val emitted : stream -> Substitution.t list
+(** All raw emissions so far, grouped by pool in pool-creation order. *)
+
+val population : stream -> int
+(** Total live instances across pools. *)
+
+val n_pools : stream -> int
+(** Number of per-key pools opened so far (1 when unpartitioned). *)
+
+val key : stream -> Schema.Field.t option
+(** The partition key actually in use. *)
+
+val metrics : stream -> Metrics.snapshot
+(** Summed across pools; [max_simultaneous_instances] is the maximum over
     time of the total population. Expiry is lazy — a pool only discards
     expired instances when one of its own events arrives — so that peak
     may exceed the plain engine's even though the per-event work is
     smaller. *)
+
+(** {1 Batch interface} *)
+
+val run :
+  ?options:Engine.options -> Automaton.t -> Event.t Seq.t -> Engine.outcome
+(** [create] + [feed] all + [close] + finalize. *)
 
 val run_relation :
   ?options:Engine.options -> Automaton.t -> Relation.t -> Engine.outcome

@@ -19,17 +19,54 @@ let plan automaton =
     cases = Exclusivity.classify p;
   }
 
+let options_with plan options =
+  {
+    options with
+    Engine.filter = plan.filter;
+    precheck_constants = plan.precheck_constants;
+  }
+
+(* Incremental execution under a plan: the partitioned stream already
+   embeds the single-pool fallback, so the planned stream is a
+   partitioned stream with the plan's levers layered onto the options
+   and the plan's (precomputed) partition decision. *)
+
+type stream = { plan : t; inner : Partitioned.stream }
+
+let create_with ?(options = Engine.default_options) plan automaton =
+  {
+    plan;
+    inner =
+      Partitioned.create ~options:(options_with plan options)
+        ~key:plan.partition automaton;
+  }
+
+let create ?options automaton = create_with ?options (plan automaton) automaton
+
+let plan_of st = st.plan
+
+let feed st e = Partitioned.feed st.inner e
+
+let close st = Partitioned.close st.inner
+
+let emitted st = Partitioned.emitted st.inner
+
+let population st = Partitioned.population st.inner
+
+let metrics st = Partitioned.metrics st.inner
+
 let execute ?(options = Engine.default_options) plan automaton events =
-  let options =
-    {
-      options with
-      Engine.filter = plan.filter;
-      precheck_constants = plan.precheck_constants;
-    }
+  let st = create_with ~options plan automaton in
+  Seq.iter (fun e -> ignore (feed st e)) events;
+  ignore (close st);
+  let raw = emitted st in
+  let matches =
+    if options.Engine.finalize then
+      Substitution.finalize ~policy:options.Engine.policy
+        (Automaton.pattern automaton) raw
+    else raw
   in
-  match plan.partition with
-  | Some _ -> Partitioned.run ~options automaton events
-  | None -> Engine.run ~options automaton events
+  { Engine.matches; raw; metrics = metrics st }
 
 let run ?options automaton events =
   execute ?options (plan automaton) automaton events

@@ -26,15 +26,48 @@ type t = {
 
 val plan : Automaton.t -> t
 
+val options_with : t -> Engine.options -> Engine.options
+(** [options] with the plan's levers layered on: its [filter] and
+    [precheck_constants] fields are overridden by the plan (the caller
+    still supplies the finalize policy). *)
+
+(** {1 Incremental interface}
+
+    The planned execution as a push-based stream, implementing
+    {!Executor.EXECUTOR} — this is the "auto" strategy of the executor
+    registry: a {!Partitioned} stream (which embeds the plain-engine
+    fallback) running under the planned options. *)
+
+type stream
+
+val create : ?options:Engine.options -> Automaton.t -> stream
+(** Plans the automaton and opens the planned stream. *)
+
+val create_with : ?options:Engine.options -> t -> Automaton.t -> stream
+(** Opens a stream under an already-computed plan. *)
+
+val plan_of : stream -> t
+
+val feed : stream -> Ses_event.Event.t -> Substitution.t list
+
+val close : stream -> Substitution.t list
+
+val emitted : stream -> Substitution.t list
+
+val population : stream -> int
+
+val metrics : stream -> Metrics.snapshot
+
+(** {1 Batch interface} *)
+
 val execute :
   ?options:Engine.options ->
   t ->
   Automaton.t ->
   Ses_event.Event.t Seq.t ->
   Engine.outcome
-(** Runs with the planned levers layered onto [options] (which supplies
-    the finalize policy; its [filter]/[precheck_constants] fields are
-    overridden by the plan). *)
+(** Runs incrementally ([create_with] + feed + close) with the planned
+    levers layered onto [options]. *)
 
 val run : ?options:Engine.options -> Automaton.t -> Ses_event.Event.t Seq.t -> Engine.outcome
 (** [execute (plan a) a] — the "just make it fast" entry point. *)

@@ -1,0 +1,97 @@
+open Ses_event
+open Ses_pattern
+open Ses_core
+
+type outcome = {
+  matches : Substitution.t list;
+  raw : Substitution.t list;
+  metrics : Metrics.snapshot;
+  executor : string;
+  events_scanned : int;
+  events_delivered : int;
+  pushed : Ses_store.Selection.predicate option;
+}
+
+let selection_of_pattern p =
+  match Event_filter.strong_clauses p with
+  | None -> None
+  | Some clauses ->
+      let schema = Pattern.schema p in
+      Some
+        (Ses_store.Selection.disj
+           (List.map
+              (fun clause ->
+                Ses_store.Selection.conj
+                  (List.map
+                     (fun (field, op, v) ->
+                       Ses_store.Selection.attr
+                         (Schema.Field.name schema field) op v)
+                     clause))
+              clauses))
+
+let run ?(options = Engine.default_options) ?(strategy = `Auto)
+    ?(push_filter = true) ~query path =
+  Ses_baseline.Brute_force.register ();
+  Ses_store.Csv_stream.with_source path (fun src ->
+      match query (Ses_store.Csv_stream.source_schema src) with
+      | Error _ as e -> e
+      | Ok automaton -> (
+          let pattern = Automaton.pattern automaton in
+          let pushed =
+            if push_filter then selection_of_pattern pattern else None
+          in
+          let install =
+            match pushed with
+            | None -> Ok ()
+            | Some p -> Ses_store.Csv_stream.push_selection src p
+          in
+          match install with
+          | Error _ as e -> e
+          | Ok () -> (
+              let exec = Executor.create ~options strategy automaton in
+              let feed_all () =
+                let rec go () =
+                  match Ses_store.Csv_stream.next src with
+                  | Error _ as e -> e
+                  | Ok None -> Ok ()
+                  | Ok (Some e) ->
+                      ignore (Executor.feed exec e);
+                      go ()
+                in
+                go ()
+              in
+              match feed_all () with
+              | Error _ as e -> e
+              | Ok () ->
+                  ignore (Executor.close exec);
+                  let raw = Executor.emitted exec in
+                  let matches =
+                    if options.Engine.finalize then
+                      Substitution.finalize ~policy:options.Engine.policy
+                        pattern raw
+                    else raw
+                  in
+                  let scanned = Ses_store.Csv_stream.scanned src in
+                  let dropped = Ses_store.Csv_stream.dropped src in
+                  (* Account for store-side drops so the snapshot reads
+                     the same as an in-engine filter would: every scanned
+                     row was "seen", the pushed-down rejections were
+                     "filtered". *)
+                  let m = Executor.metrics exec in
+                  let metrics =
+                    {
+                      m with
+                      Metrics.events_seen = m.Metrics.events_seen + dropped;
+                      events_filtered = m.Metrics.events_filtered + dropped;
+                    }
+                  in
+                  Ok
+                    {
+                      matches;
+                      raw;
+                      metrics;
+                      executor = Executor.name exec;
+                      events_scanned = scanned;
+                      events_delivered = scanned - dropped;
+                      pushed;
+                    })))

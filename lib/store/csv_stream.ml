@@ -19,42 +19,119 @@ let channel_producer ic =
   in
   (next, peek)
 
-let fold path ~init ~f =
+type source = {
+  ic : In_channel.t;
+  next : unit -> char option;
+  peek : unit -> char option;
+  schema : Schema.t;
+  mutable filter : (Event.t -> bool) option;
+  mutable seq : int;  (** next sequence number to assign *)
+  mutable last_ts : int;
+  mutable dropped : int;
+  mutable closed : bool;
+}
+
+let open_source ?selection path =
   match In_channel.open_text path with
   | exception Sys_error msg -> Error msg
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> In_channel.close ic)
-        (fun () ->
-          let next, peek = channel_producer ic in
-          match Csv.read_record ~next ~peek with
-          | Error _ as e -> e
-          | Ok None -> Error "csv: empty input"
-          | Ok (Some header) -> (
-              let header_line =
-                String.concat "," (List.map Csv.escape_field header)
+  | ic -> (
+      let fail msg =
+        In_channel.close ic;
+        Error msg
+      in
+      let next, peek = channel_producer ic in
+      match Csv.read_record ~next ~peek with
+      | Error msg -> fail msg
+      | Ok None -> fail "csv: empty input"
+      | Ok (Some header) -> (
+          let header_line =
+            String.concat "," (List.map Csv.escape_field header)
+          in
+          match Csv.schema_of_header header_line with
+          | Error msg -> fail msg
+          | Ok schema -> (
+              let filter =
+                match selection with
+                | None -> Ok None
+                | Some p -> Result.map Option.some (Selection.compile schema p)
               in
-              match Csv.schema_of_header header_line with
-              | Error _ as e -> e
-              | Ok schema ->
-                  let rec go acc seq last_ts =
-                    match Csv.read_record ~next ~peek with
-                    | Error _ as e -> e
-                    | Ok None -> Ok (schema, acc)
-                    | Ok (Some fields) -> (
-                        match Csv.row_of_fields schema fields with
-                        | Error msg ->
-                            Error (Printf.sprintf "row %d: %s" (seq + 1) msg)
-                        | Ok (payload, ts) ->
-                            if ts < last_ts then
-                              Error
-                                (Printf.sprintf
-                                   "row %d: timestamps out of order (%d after %d)"
-                                   (seq + 1) ts last_ts)
-                            else
-                              go (f acc (Event.make ~seq ~ts payload)) (seq + 1) ts)
-                  in
-                  go init 0 min_int))
+              match filter with
+              | Error msg -> fail msg
+              | Ok filter ->
+                  Ok
+                    {
+                      ic;
+                      next;
+                      peek;
+                      schema;
+                      filter;
+                      seq = 0;
+                      last_ts = min_int;
+                      dropped = 0;
+                      closed = false;
+                    })))
+
+let source_schema src = src.schema
+
+let push_selection src p =
+  Result.map
+    (fun f -> src.filter <- Some f)
+    (Selection.compile src.schema p)
+
+let set_filter src f = src.filter <- Some f
+
+let scanned src = src.seq
+
+let dropped src = src.dropped
+
+let close_source src =
+  if not src.closed then begin
+    src.closed <- true;
+    In_channel.close src.ic
+  end
+
+let rec next src =
+  if src.closed then Ok None
+  else
+    match Csv.read_record ~next:src.next ~peek:src.peek with
+    | Error _ as e -> e
+    | Ok None -> Ok None
+    | Ok (Some fields) -> (
+        match Csv.row_of_fields src.schema fields with
+        | Error msg -> Error (Printf.sprintf "row %d: %s" (src.seq + 1) msg)
+        | Ok (payload, ts) ->
+            if ts < src.last_ts then
+              Error
+                (Printf.sprintf "row %d: timestamps out of order (%d after %d)"
+                   (src.seq + 1) ts src.last_ts)
+            else begin
+              src.last_ts <- ts;
+              let e = Event.make ~seq:src.seq ~ts payload in
+              src.seq <- src.seq + 1;
+              match src.filter with
+              | Some keep when not (keep e) ->
+                  src.dropped <- src.dropped + 1;
+                  next src
+              | Some _ | None -> Ok (Some e)
+            end)
+
+let fold_source src ~init ~f =
+  let rec go acc =
+    match next src with
+    | Error _ as e -> e
+    | Ok None -> Ok acc
+    | Ok (Some e) -> go (f acc e)
+  in
+  go init
+
+let with_source ?selection path k =
+  match open_source ?selection path with
+  | Error _ as e -> e
+  | Ok src -> Fun.protect ~finally:(fun () -> close_source src) (fun () -> k src)
+
+let fold path ~init ~f =
+  with_source path (fun src ->
+      Result.map (fun acc -> (src.schema, acc)) (fold_source src ~init ~f))
 
 let iter path ~f =
   Result.map fst (fold path ~init:() ~f:(fun () e -> f e))

@@ -4,9 +4,61 @@
     file order, assigning sequence numbers as it goes. The feed must be
     chronologically sorted (the engine's input contract); out-of-order
     timestamps are reported as an error. Use this to pipe large archived
-    relations straight into {!Ses_core.Engine.feed} with O(1) memory. *)
+    relations straight into a {!Ses_core.Executor} with O(1) memory.
+
+    A {!Selection.predicate} (or an arbitrary event predicate) can be
+    pushed down into the scan: rejected rows are dropped inside the store
+    layer, before anything downstream sees them. Sequence numbers are
+    assigned to {e every} scanned row, dropped or not, so the delivered
+    events are identical to what a client-side filter over the full scan
+    would produce. *)
 
 open Ses_event
+
+(** {1 Staged source interface} *)
+
+type source
+
+val open_source : ?selection:Selection.predicate -> string -> (source, string) result
+(** Opens the file and parses the header. [?selection] is compiled
+    against the parsed schema (an unknown attribute or type mismatch is
+    an [Error] and the file is closed). *)
+
+val source_schema : source -> Schema.t
+
+val push_selection : source -> Selection.predicate -> (unit, string) result
+(** Installs (replacing any previous filter) a store-side filter compiled
+    against the source's schema. Callers that need the schema to build
+    the predicate — e.g. a pattern parsed against it — use this after
+    {!open_source}. *)
+
+val set_filter : source -> (Event.t -> bool) -> unit
+(** Installs an arbitrary pre-compiled filter. *)
+
+val next : source -> (Event.t option, string) result
+(** The next event passing the filter; [Ok None] at end of input. Errors
+    (malformed row, out-of-order timestamp) carry the 1-based row
+    number. *)
+
+val fold_source : source -> init:'a -> f:('a -> Event.t -> 'a) -> ('a, string) result
+
+val scanned : source -> int
+(** Rows read from the file so far (including dropped ones). *)
+
+val dropped : source -> int
+(** Rows dropped by the pushed-down filter. *)
+
+val close_source : source -> unit
+(** Closes the file; idempotent. [next] afterwards returns [Ok None]. *)
+
+val with_source :
+  ?selection:Selection.predicate ->
+  string ->
+  (source -> ('a, string) result) ->
+  ('a, string) result
+(** Opens, runs the callback, and closes the file (also on exceptions). *)
+
+(** {1 Whole-file convenience} *)
 
 val fold :
   string ->

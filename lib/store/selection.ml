@@ -46,6 +46,25 @@ and compile_all schema ps =
       | (Error _ as e), _ | _, (Error _ as e) -> e)
     ps (Ok [])
 
+let rec pp ppf = function
+  | Attr (name, op, v) ->
+      Format.fprintf ppf "%s %a %a" name Predicate.pp op Value.pp v
+  | Conj [] -> Format.pp_print_string ppf "true"
+  | Disj [] -> Format.pp_print_string ppf "false"
+  | Conj [ p ] | Disj [ p ] -> pp ppf p
+  | Conj ps ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " and ")
+           pp)
+        ps
+  | Disj ps ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " or ")
+           pp)
+        ps
+
 let select r p =
   match compile (Relation.schema r) p with
   | Error _ as e -> e

@@ -22,3 +22,7 @@ val compile : Schema.t -> predicate -> ((Event.t -> bool), string) result
     mismatches. *)
 
 val select : Relation.t -> predicate -> (Relation.t, string) result
+
+val pp : Format.formatter -> predicate -> unit
+(** Human-readable rendering, e.g. [((L = 'C') or (L = 'P'))] — used to
+    report which predicate a streaming run pushed into the scan. *)

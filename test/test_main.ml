@@ -15,6 +15,7 @@ let () =
       ("automaton-props", Test_automaton_props.suite);
       ("substitution", Test_substitution.suite);
       ("engine", Test_engine.suite);
+      ("executor", Test_executor.suite);
       ("event-filter", Test_event_filter.suite);
       ("partitioned", Test_partitioned.suite);
       ("naive", Test_naive.suite);
@@ -28,6 +29,7 @@ let () =
       ("equivalence", Test_equivalence.suite);
       ("lang", Test_lang.suite);
       ("csv", Test_csv.suite);
+      ("csv-stream", Test_csv_stream.suite);
       ("store", Test_store.suite);
       ("gen", Test_gen.suite);
       ("harness", Test_harness.suite);
