@@ -149,6 +149,22 @@ let policy_arg =
     & info [ "policy" ] ~docv:"POLICY"
         ~doc:"Finalization policy for Definition 2's conditions 4-5.")
 
+let store_conv =
+  Arg.enum
+    [
+      ("indexed", Ses_core.Engine.Indexed);
+      ("flat", Ses_core.Engine.Flat);
+    ]
+
+let store_arg =
+  Arg.(
+    value
+    & opt store_conv Ses_core.Engine.Indexed
+    & info [ "store" ] ~docv:"STORE"
+        ~doc:
+          "Instance pool layout: indexed (state-bucketed store, the \
+           default) or flat (the reference list, for comparison).")
+
 let show_metrics_arg =
   Arg.(value & flag & info [ "metrics" ] ~doc:"Print runtime metrics.")
 
@@ -210,12 +226,12 @@ let print_match_results pattern ~raw ~matches ~metrics show_metrics show_raw
   end;
   if show_metrics then Format.printf "%a@." Ses_core.Metrics.pp metrics
 
-let run_match data query query_file strategy stream filter policy show_metrics
-    show_raw table =
+let run_match data query query_file strategy stream filter policy store
+    show_metrics show_raw table =
   Ses_baseline.Brute_force.register ();
   let run_match_body () =
   let options =
-    { Ses_core.Engine.default_options with Ses_core.Engine.filter; policy }
+    { Ses_core.Engine.default_options with Ses_core.Engine.filter; policy; store }
   in
   if stream then begin
     let parsed = ref None in
@@ -274,8 +290,8 @@ let match_cmd =
     (Cmd.info "match" ~doc:"Run a SES pattern over a stored relation")
     Term.(
       const run_match $ data_arg $ query_arg $ query_file_arg $ strategy_arg
-      $ stream_arg $ filter_arg $ policy_arg $ show_metrics_arg $ show_raw_arg
-      $ table_arg)
+      $ stream_arg $ filter_arg $ policy_arg $ store_arg $ show_metrics_arg
+      $ show_raw_arg $ table_arg)
 
 (* dot *)
 

@@ -1,11 +1,16 @@
 open Ses_event
 open Ses_pattern
 
+type store_kind =
+  | Flat
+  | Indexed
+
 type options = {
   filter : Event_filter.mode;
   policy : Substitution.policy;
   finalize : bool;
   precheck_constants : bool;
+  store : store_kind;
 }
 
 let default_options =
@@ -14,6 +19,7 @@ let default_options =
     policy = Substitution.Operational;
     finalize = true;
     precheck_constants = true;
+    store = Indexed;
   }
 
 (* A transition with its condition set split into the constant atoms
@@ -28,13 +34,27 @@ type prepared_transition = {
 
 (* An automaton instance (Definition 4): current state plus match buffer.
    Bindings are kept newest-first; [first_ts] is the timestamp of the
-   earliest bound event (the first one, since events arrive in order). *)
+   earliest bound event (the first one, since events arrive in order).
+   [counts] caches the number of bindings per variable so quantifier
+   checks are O(1); it is copied on extension, never mutated in place.
+   [id] is a per-stream creation stamp: it makes the instance-store
+   bucket order (first_ts, id) total and deterministic. *)
 type instance = {
+  id : int;
   state : Varset.t;
   bindings : Substitution.binding list;
+  counts : int array;
   first_ts : Time.t;
 }
 
+(* A negation guard: the variable whose occurrence kills, with its
+   conditions split like a transition's so the constant part can veto a
+   whole bucket once per event. *)
+type guard = {
+  neg_var : int;
+  guard_conds : Condition.t list;
+  guard_consts : Condition.t list;
+}
 
 type observation =
   | Created of Event.t
@@ -60,6 +80,15 @@ type observation =
     }
   | Emitted of Substitution.t
 
+(* The two population representations behind the [store] option: the
+   reference flat list (the paper's Ω, scanned in full per event) and the
+   state-indexed store. *)
+type flat_pool = { mutable omega : instance list }
+
+type population =
+  | Omega of flat_pool
+  | Store of instance Instance_store.t
+
 type stream = {
   automaton : Automaton.t;
   options : options;
@@ -68,16 +97,21 @@ type stream = {
   strict_minima : (int * int) list;
       (** (variable, min) for variables whose quantifier requires more than
           one binding; checked at acceptance *)
-  negation_guards : (Varset.t * (int * Condition.t list) list) list;
+  negation_guards : (Varset.t * guard list) list;
       (** per boundary: the exact state an instance sits in between the
-          two sets, and for each negated variable guarding that boundary
-          its (id, conditions) — an instance in that state is killed when
-          an event satisfies all conditions of some guard *)
+          two sets, and the guards armed there — an instance in that
+          state is killed when an event satisfies all conditions of some
+          guard *)
   prepared : (Varset.t, prepared_transition list) Hashtbl.t;
   active : (Varset.t, prepared_transition list) Hashtbl.t;
       (** per-event cache: transitions whose constant atoms the current
           event satisfies; cleared at the start of every [feed] *)
-  mutable omega : instance list;
+  states : Varset.t list;  (** automaton states, ascending — bucket order *)
+  fresh : instance;
+      (** the start-state instance opened for every event; it is immutable
+          and never stored, so one allocation serves the whole stream *)
+  pop : population;
+  mutable next_id : int;
   mutable emissions : Substitution.t list;  (** newest first *)
   mutable last_ts : Time.t option;
   mutable observer : (observation -> unit) option;
@@ -134,12 +168,38 @@ let create ?(options = default_options) automaton =
            ( prefix b,
              List.filter_map
                (fun (b', nv) ->
-                 if b' = b then Some (nv, Pattern.conditions_on p nv) else None)
+                 if b' = b then
+                   let conds = Pattern.conditions_on p nv in
+                   Some
+                     {
+                       neg_var = nv;
+                       guard_conds = conds;
+                       guard_consts = List.filter Condition.is_constant conds;
+                     }
+                 else None)
                (Pattern.negations p) ))
          boundaries);
     prepared = prepare automaton;
     active = Hashtbl.create 32;
-    omega = [];
+    states = Automaton.states automaton;
+    fresh =
+      {
+        id = 0;
+        state = Automaton.start automaton;
+        bindings = [];
+        counts = Array.make (Pattern.n_vars p) 0;
+        first_ts = 0;
+      };
+    pop =
+      (match options.store with
+      | Flat -> Omega { omega = [] }
+      | Indexed ->
+          Store
+            (Instance_store.create
+               ~ts_of:(fun inst -> inst.first_ts)
+               ~seq_of:(fun inst -> inst.id)
+               ()));
+    next_id = 1;
     emissions = [];
     last_ts = None;
     observer = None;
@@ -182,7 +242,22 @@ let candidate_transitions st q e =
         Hashtbl.replace st.active q trs;
         trs
 
-(* ConsumeEvent (Algorithm 2): successors of [inst] on event [e]. *)
+(* Whether some negation guard armed at state [q] could kill on event
+   [e]: at least one guard whose constant atoms [e] satisfies. Shared per
+   bucket per event by the indexed store's skip decision. *)
+let guards_may_fire st q e =
+  List.exists
+    (fun (prefix, guards) ->
+      Varset.equal q prefix
+      && List.exists
+           (fun g -> List.for_all (fun c -> const_holds c e) g.guard_consts)
+           guards)
+    st.negation_guards
+
+(* ConsumeEvent (Algorithm 2): successors of [inst] on event [e].
+   Returns the physically identical [ [inst] ] when the instance survives
+   unchanged, which lets the indexed feed keep untouched survivors in
+   bucket order without re-sorting. *)
 let consume st inst e =
   let lookup v =
     List.rev
@@ -195,12 +270,13 @@ let consume st inst e =
     List.filter_map
       (fun pt ->
         let tr = pt.transition in
-        (* Quantifier maximum: a loop must not bind beyond max. *)
+        (* Quantifier maximum: a loop must not bind beyond max. The
+           per-instance binding counts make this an array read. *)
         let below_max =
           match st.max_counts.(tr.var) with
           | None -> true
           | Some m ->
-              (not (Varset.mem tr.var tr.src)) || List.length (lookup tr.var) < m
+              (not (Varset.mem tr.var tr.src)) || inst.counts.(tr.var) < m
         in
         let remaining = if precheck then pt.var_conds else tr.conds in
         let ok =
@@ -213,10 +289,16 @@ let consume st inst e =
         else begin
           Metrics.on_transition st.m;
           Metrics.on_instance_created st.m;
+          let counts = Array.copy inst.counts in
+          counts.(tr.var) <- counts.(tr.var) + 1;
+          let id = st.next_id in
+          st.next_id <- id + 1;
           let successor =
             {
+              id;
               state = tr.tgt;
               bindings = (tr.var, e) :: inst.bindings;
+              counts;
               first_ts = (if is_fresh inst then Event.ts e else inst.first_ts);
             }
           in
@@ -235,11 +317,12 @@ let consume st inst e =
             (fun (prefix, guards) ->
               Varset.equal inst.state prefix
               && List.exists
-                   (fun (nv, conds) ->
+                   (fun g ->
                      List.for_all
                        (fun c ->
-                         Condition.holds_binding c ~var:nv ~event:e lookup)
-                       conds)
+                         Condition.holds_binding c ~var:g.neg_var ~event:e
+                           lookup)
+                       g.guard_conds)
                    guards)
             st.negation_guards
         in
@@ -259,15 +342,7 @@ let consume st inst e =
   | _ :: _ -> fired
 
 let minima_satisfied st inst =
-  List.for_all
-    (fun (v, m) ->
-      let count =
-        List.fold_left
-          (fun acc (v', _) -> if v' = v then acc + 1 else acc)
-          0 inst.bindings
-      in
-      count >= m)
-    st.strict_minima
+  List.for_all (fun (v, m) -> inst.counts.(v) >= m) st.strict_minima
 
 let emit st inst =
   let subst = substitution_of inst in
@@ -275,6 +350,92 @@ let emit st inst =
   Metrics.on_match st.m;
   observe st (Emitted subst);
   subst
+
+let population st =
+  match st.pop with
+  | Omega o -> List.length o.omega
+  | Store s -> Instance_store.size s
+
+(* Algorithm 1's loop body over the flat list: the reference path, kept
+   verbatim for differential testing and for benchmarking the store
+   against it. *)
+let feed_flat st o e =
+  let tau = Automaton.tau st.automaton in
+  let accept = Automaton.accept st.automaton in
+  let completed = ref [] in
+  let survivors = ref [] in
+  List.iter
+    (fun inst ->
+      if expired tau inst e then begin
+        Metrics.on_expired st.m;
+        let accepting =
+          Varset.equal inst.state accept && minima_satisfied st inst
+        in
+        observe st
+          (Expired { event = e; accepting; buffer = substitution_of inst });
+        if accepting then completed := emit st inst :: !completed
+      end
+      else survivors := List.rev_append (consume st inst e) !survivors)
+    (st.fresh :: o.omega);
+  o.omega <- List.rev !survivors;
+  Metrics.sample_population st.m (List.length o.omega);
+  List.rev !completed
+
+(* The same loop over the state-indexed store. Buckets are visited in
+   ascending state order; a bucket is only walked when the event could
+   affect it — some transition survived the constant pre-check, some
+   negation guard could fire, or an observer wants the per-instance
+   [Ignored] narration. Expired instances are popped off the sorted
+   prefix without touching the rest. *)
+let feed_indexed st store e =
+  let tau = Automaton.tau st.automaton in
+  let accept = Automaton.accept st.automaton in
+  let completed = ref [] in
+  let stage_successors insts =
+    List.iter (fun succ -> Instance_store.stage store succ.state succ) insts
+  in
+  stage_successors (consume st st.fresh e);
+  List.iter
+    (fun q ->
+      if Instance_store.bucket_size store q > 0 then begin
+        let dead =
+          Instance_store.pop_expired store q ~expired:(fun inst ->
+              expired tau inst e)
+        in
+        List.iter
+          (fun inst ->
+            Metrics.on_expired st.m;
+            let accepting =
+              Varset.equal q accept && minima_satisfied st inst
+            in
+            observe st
+              (Expired { event = e; accepting; buffer = substitution_of inst });
+            if accepting then completed := emit st inst :: !completed)
+          dead;
+        let scan =
+          candidate_transitions st q e <> []
+          || guards_may_fire st q e
+          || st.observer <> None
+        in
+        if scan && Instance_store.bucket_size store q > 0 then begin
+          let insts = Instance_store.take_all store q in
+          let stayed =
+            List.filter
+              (fun inst ->
+                match consume st inst e with
+                | [ s ] when s == inst -> true
+                | succs ->
+                    stage_successors succs;
+                    false)
+              insts
+          in
+          Instance_store.put_back store q stayed
+        end
+      end)
+    st.states;
+  Instance_store.commit store;
+  Metrics.sample_population st.m (Instance_store.size store);
+  List.rev !completed
 
 let feed st e =
   (match st.last_ts with
@@ -289,58 +450,59 @@ let feed st e =
   end
   else begin
     Hashtbl.reset st.active;
-    let tau = Automaton.tau st.automaton in
-    let accept = Automaton.accept st.automaton in
-    let fresh =
-      { state = Automaton.start st.automaton; bindings = []; first_ts = 0 }
-    in
     Metrics.on_instance_created st.m;
     observe st (Created e);
-    let completed = ref [] in
-    let survivors = ref [] in
-    List.iter
-      (fun inst ->
-        if expired tau inst e then begin
-          Metrics.on_expired st.m;
-          let accepting =
-            Varset.equal inst.state accept && minima_satisfied st inst
-          in
-          observe st
-            (Expired { event = e; accepting; buffer = substitution_of inst });
-          if accepting then completed := emit st inst :: !completed
-        end
-        else survivors := List.rev_append (consume st inst e) !survivors)
-      (fresh :: st.omega);
-    st.omega <- List.rev !survivors;
-    Metrics.sample_population st.m (List.length st.omega);
-    List.rev !completed
+    match st.pop with
+    | Omega o -> feed_flat st o e
+    | Store s -> feed_indexed st s e
   end
 
 let close st =
   let accept = Automaton.accept st.automaton in
-  let flushed =
+  let flush insts =
     List.filter_map
       (fun inst ->
         if Varset.equal inst.state accept && minima_satisfied st inst then
           Some (emit st inst)
         else None)
-      (List.rev st.omega)
+      insts
   in
-  st.omega <- [];
-  flushed
-
-let population st = List.length st.omega
+  match st.pop with
+  | Omega o ->
+      let flushed = flush (List.rev o.omega) in
+      o.omega <- [];
+      flushed
+  | Store s ->
+      (* Only the accepting bucket can flush; everything else just dies. *)
+      let flushed = flush (Instance_store.take_all s accept) in
+      Instance_store.clear s;
+      flushed
 
 let population_by_state st =
-  let counts = Hashtbl.create 16 in
-  List.iter
-    (fun inst ->
-      let n = Option.value ~default:0 (Hashtbl.find_opt counts inst.state) in
-      Hashtbl.replace counts inst.state (n + 1))
-    st.omega;
+  let counts =
+    match st.pop with
+    | Omega o ->
+        let table = Hashtbl.create 16 in
+        List.iter
+          (fun inst ->
+            let n =
+              Option.value ~default:0 (Hashtbl.find_opt table inst.state)
+            in
+            Hashtbl.replace table inst.state (n + 1))
+          o.omega;
+        Hashtbl.fold (fun q n acc -> (q, n) :: acc) table []
+    | Store s ->
+        Instance_store.fold_buckets
+          (fun q insts acc -> (q, List.length insts) :: acc)
+          s []
+  in
+  (* Descending by count; equal counts ordered by state so the listing is
+     deterministic. *)
   List.sort
-    (fun (_, a) (_, b) -> compare b a)
-    (Hashtbl.fold (fun q n acc -> (q, n) :: acc) counts [])
+    (fun (qa, a) (qb, b) ->
+      let c = compare b a in
+      if c <> 0 then c else Varset.compare qa qb)
+    counts
 
 let metrics st = Metrics.snapshot st.m
 

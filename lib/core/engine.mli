@@ -19,6 +19,19 @@
 
 open Ses_event
 
+(** How the pool Ω is represented. [Flat] is the paper's verbatim list,
+    rescanned in full on every event — kept as the reference path for
+    differential testing and benchmarking. [Indexed] (the default) is the
+    {!Instance_store}: instances bucketed by automaton state and sorted
+    by the start of their window, so states the event cannot affect are
+    skipped in O(1) and the τ-expiry sweep stops at the first unexpired
+    instance. The two representations produce the same emissions (as
+    sets; the within-event emission order may differ) and the same
+    metrics. *)
+type store_kind =
+  | Flat
+  | Indexed
+
 type options = {
   filter : Event_filter.mode;  (** Sec. 4.5 optimization; default [No_filter] *)
   policy : Substitution.policy;
@@ -31,6 +44,7 @@ type options = {
           event, shared across all instances, instead of once per
           instance (default [true]; disable to time the paper's verbatim
           loop — the optimization never changes the result, only work) *)
+  store : store_kind;  (** pool representation (default [Indexed]) *)
 }
 
 val default_options : options
@@ -94,10 +108,11 @@ val feed : stream -> Event.t -> Substitution.t list
 val close : stream -> Substitution.t list
 
 val population : stream -> int
-(** Current |Ω|. *)
+(** Current |Ω|; O(1) with the indexed store. *)
 
 val population_by_state : stream -> (Varset.t * int) list
-(** Live instances grouped by their current state, descending by count. *)
+(** Live instances grouped by their current state, descending by count;
+    equal counts are ordered by state, so the listing is deterministic. *)
 
 val metrics : stream -> Metrics.snapshot
 

@@ -1,0 +1,143 @@
+open Ses_event
+
+(* Buckets hold their instances as a list sorted ascending by
+   (ts_of, seq_of); [n] caches the length. The staged table accumulates
+   pending inserts newest-first and is merged bucket by bucket on
+   [commit]. [total] counts committed instances only. *)
+
+type 'a bucket = { mutable items : 'a list; mutable n : int }
+
+type 'a t = {
+  ts_of : 'a -> Time.t;
+  seq_of : 'a -> int;
+  buckets : (Varset.t, 'a bucket) Hashtbl.t;
+  staged : (Varset.t, 'a list ref) Hashtbl.t;
+  mutable total : int;
+}
+
+let create ~ts_of ~seq_of () =
+  {
+    ts_of;
+    seq_of;
+    buckets = Hashtbl.create 32;
+    staged = Hashtbl.create 8;
+    total = 0;
+  }
+
+let size st = st.total
+
+let bucket st q = Hashtbl.find_opt st.buckets q
+
+let bucket_size st q =
+  match bucket st q with None -> 0 | Some b -> b.n
+
+(* Bucket order: ascending (ts_of, seq_of), compared without building
+   tuples — this comparison runs once per instance per merge. *)
+let before st a b =
+  let ta = st.ts_of a and tb = st.ts_of b in
+  let c = Time.compare ta tb in
+  if c <> 0 then c < 0 else st.seq_of a <= st.seq_of b
+
+let pop_expired st q ~expired =
+  match bucket st q with
+  | None -> []
+  | Some b ->
+      let rec split acc = function
+        | x :: rest when expired x -> split (x :: acc) rest
+        | rest -> (acc, rest)
+      in
+      let dead_rev, alive = split [] b.items in
+      (match dead_rev with
+      | [] -> []
+      | _ ->
+          let k = List.length dead_rev in
+          b.items <- alive;
+          b.n <- b.n - k;
+          st.total <- st.total - k;
+          List.rev dead_rev)
+
+let take_all st q =
+  match bucket st q with
+  | None -> []
+  | Some b ->
+      let items = b.items in
+      st.total <- st.total - b.n;
+      b.items <- [];
+      b.n <- 0;
+      items
+
+let put_back st q items =
+  match items with
+  | [] -> ()
+  | _ ->
+      let b =
+        match bucket st q with
+        | Some b -> b
+        | None ->
+            let b = { items = []; n = 0 } in
+            Hashtbl.replace st.buckets q b;
+            b
+      in
+      if b.n <> 0 then invalid_arg "Instance_store.put_back: bucket not empty";
+      let k = List.length items in
+      b.items <- items;
+      b.n <- k;
+      st.total <- st.total + k
+
+let stage st q a =
+  match Hashtbl.find_opt st.staged q with
+  | Some r -> r := a :: !r
+  | None -> Hashtbl.replace st.staged q (ref [ a ])
+
+let merge st xs ys =
+  let rec go acc xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> List.rev_append acc l
+    | x :: xs', y :: ys' ->
+        if before st x y then go (x :: acc) xs' ys else go (y :: acc) xs ys'
+  in
+  go [] xs ys
+
+let commit st =
+  if Hashtbl.length st.staged > 0 then begin
+    Hashtbl.iter
+      (fun q pending ->
+        let incoming =
+          List.sort
+            (fun a b -> if before st a b then -1 else 1)
+            !pending
+        in
+        let k = List.length incoming in
+        let b =
+          match bucket st q with
+          | Some b -> b
+          | None ->
+              let b = { items = []; n = 0 } in
+              Hashtbl.replace st.buckets q b;
+              b
+        in
+        b.items <- merge st b.items incoming;
+        b.n <- b.n + k;
+        st.total <- st.total + k)
+      st.staged;
+    Hashtbl.reset st.staged
+  end
+
+let fold_buckets f st init =
+  let states =
+    Hashtbl.fold
+      (fun q b acc -> if b.n > 0 then q :: acc else acc)
+      st.buckets []
+  in
+  List.fold_left
+    (fun acc q -> f q (Option.get (bucket st q)).items acc)
+    init
+    (List.sort Varset.compare states)
+
+let to_list st =
+  List.rev (fold_buckets (fun _ items acc -> List.rev_append items acc) st [])
+
+let clear st =
+  Hashtbl.reset st.buckets;
+  Hashtbl.reset st.staged;
+  st.total <- 0

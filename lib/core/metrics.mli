@@ -34,7 +34,9 @@ val on_killed : t -> unit
 val on_match : t -> unit
 
 val sample_population : t -> int -> unit
-(** Record the current |Ω|. *)
+(** Record the current |Ω|. Callers are expected to pass a maintained
+    counter (the engine's instance store tracks its size), not to count
+    the population on every event. *)
 
 val snapshot : t -> snapshot
 

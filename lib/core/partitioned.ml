@@ -139,6 +139,9 @@ let feed st e =
             k.order <- pool :: k.order;
             pool
       in
+      (* [Engine.population] is an O(1) counter read on the default
+         indexed store, so maintaining the cross-pool total per event is
+         cheap even with many pools. *)
       let before = Engine.population pool in
       let completed = Engine.feed pool e in
       k.total <- k.total - before + Engine.population pool;

@@ -11,11 +11,23 @@ let canonical subst =
 
 let equal a b = canonical a = canonical b
 
-let subset a b =
-  let cb = canonical b in
-  List.for_all (fun p -> List.mem p cb) (canonical a)
+(* Set inclusion over two canonical forms (sorted, duplicate-free):
+   a single merge pass instead of a List.mem per element. *)
+let rec subset_canon a b =
+  match (a, b) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: a', y :: b' ->
+      let c = compare (x : int * int) y in
+      if c = 0 then subset_canon a' b'
+      else if c > 0 then subset_canon a b'
+      else false
 
-let proper_subset a b = subset a b && not (subset b a)
+let subset a b = subset_canon (canonical a) (canonical b)
+
+let proper_subset a b =
+  let ca = canonical a and cb = canonical b in
+  List.length ca < List.length cb && subset_canon ca cb
 
 let bindings_of subst v =
   List.filter_map (fun (v', e) -> if v' = v then Some e else None) subst
@@ -76,6 +88,20 @@ let satisfies_window p subst = span subst <= Pattern.tau p
 let satisfies_negations p events subst =
   let bindings = bindings_of subst in
   let start_ts = Option.value ~default:0 (min_ts subst) in
+  let n = Array.length events in
+  (* The array is chronologically ordered, so sequence numbers ascend
+     with the index: binary search for the first position past a given
+     sequence number. *)
+  let first_seq_above target =
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if Event.seq events.(mid) <= target then go (mid + 1) hi
+        else go lo mid
+    in
+    go 0 n
+  in
   List.for_all
     (fun (boundary, nv) ->
       let before, after =
@@ -93,16 +119,26 @@ let satisfies_negations p events subst =
         List.fold_left (fun acc (_, e) -> min acc (Event.seq e)) max_int after
       in
       let conds = Pattern.conditions_on p nv in
-      Array.for_all
-        (fun e ->
-          let seq = Event.seq e in
-          seq <= last_before || seq >= first_after
-          || Time.span (Event.ts e) start_ts > Pattern.tau p
-          || not
-               (List.for_all
-                  (fun c -> Condition.holds_binding c ~var:nv ~event:e bindings)
-                  conds))
-        events)
+      (* Only events strictly inside the (last_before, first_after)
+         sequence window can violate the guard; scan just that slice of
+         the array instead of the whole relation. *)
+      let lo = if last_before = min_int then 0 else first_seq_above last_before in
+      let rec ok i =
+        i >= n
+        ||
+        let e = events.(i) in
+        let seq = Event.seq e in
+        seq >= first_after
+        || ((seq <= last_before
+            || Time.span (Event.ts e) start_ts > Pattern.tau p
+            || not
+                 (List.for_all
+                    (fun c ->
+                      Condition.holds_binding c ~var:nv ~event:e bindings)
+                    conds))
+           && ok (i + 1))
+      in
+      ok lo)
     (Pattern.negations p)
 
 let satisfies_1_3 p subst =
@@ -121,57 +157,178 @@ let maximal_within ~candidates subst =
        (fun cand -> same_min_binding subst cand && proper_subset subst cand)
        candidates)
 
-let skip_till_next_within ~candidates subst =
-  let cs = canonical subst in
-  let in_subst v seq = List.mem (v, seq) cs in
-  (* A pair v/e, v'/e' of γ is violated when some candidate binds v' to an
-     event strictly between e and e' that γ itself does not use. *)
+(* Shared by [skip_till_next_within] and the finalize pipeline: for each
+   variable, the chronologically sorted timestamps (with sequence
+   numbers) of every event the candidate set binds to it. Built once per
+   candidate set, then each γ pair-check is a binary search over the
+   variable's array instead of a rescan of every candidate. *)
+let bindings_by_var candidates =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun (v, e) ->
+         let l = Option.value ~default:[] (Hashtbl.find_opt table v) in
+         Hashtbl.replace table v ((Event.ts e, Event.seq e) :: l)))
+    candidates;
+  let sorted = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun v l ->
+      let arr = Array.of_list l in
+      Array.sort compare arr;
+      Hashtbl.replace sorted v arr)
+    table;
+  sorted
+
+(* A pair v/e, v'/e' of γ is violated when some candidate binds v' to an
+   event strictly between e and e' that γ itself does not use. [by_var]
+   indexes the candidate bindings; [in_subst] answers (v, seq) ∈ γ. *)
+let skip_till_pairs_ok ~by_var ~in_subst subst =
   let pair_ok (_, e) (v', e') =
-    not
-      (List.exists
-         (fun cand ->
-           List.exists
-             (fun (v'', e'') ->
-               v'' = v'
-               && Time.( <. ) (Event.ts e) (Event.ts e'')
-               && Time.( <. ) (Event.ts e'') (Event.ts e')
-               && not (in_subst v' (Event.seq e'')))
-             cand)
-         candidates)
+    match Hashtbl.find_opt by_var v' with
+    | None -> true
+    | Some arr ->
+        let t_lo = Event.ts e and t_hi = Event.ts e' in
+        (* First entry with timestamp > t_lo. *)
+        let n = Array.length arr in
+        let rec lower lo hi =
+          if lo >= hi then lo
+          else
+            let mid = (lo + hi) / 2 in
+            if fst arr.(mid) <= t_lo then lower (mid + 1) hi else lower lo mid
+        in
+        let rec scan i =
+          i >= n
+          ||
+          let ts, seq = arr.(i) in
+          (not (Time.( <. ) ts t_hi)) || (in_subst v' seq && scan (i + 1))
+        in
+        scan (lower 0 n)
   in
   List.for_all (fun b -> List.for_all (fun b' -> pair_ok b b') subst) subst
 
-let dedup substs =
-  let seen = Hashtbl.create 64 in
-  List.filter
-    (fun s ->
-      let key = canonical s in
-      if Hashtbl.mem seen key then false
-      else begin
-        Hashtbl.add seen key ();
-        true
-      end)
-    substs
+let skip_till_next_within ~candidates subst =
+  let cs = canonical subst in
+  let in_subst v seq = List.mem (v, seq) cs in
+  skip_till_pairs_ok ~by_var:(bindings_by_var candidates) ~in_subst subst
 
 type policy =
   | Operational
   | Literal
 
+(* Finalization works on an annotated view of each candidate — the
+   canonical form, its size and the minT binding are computed once per
+   substitution instead of once per comparison. *)
+type annotated = {
+  subst : t;
+  canon : (int * int) list;  (** sorted, duplicate-free *)
+  canon_size : int;
+  min_key : (int * int) option;  (** (var, seq) of the minT binding *)
+  min_t : Time.t option;
+}
+
+let annotate s =
+  let canon = canonical s in
+  {
+    subst = s;
+    canon;
+    canon_size = List.length canon;
+    min_key =
+      Option.map (fun (v, e) -> (v, Event.seq e)) (min_binding s);
+    min_t = min_ts s;
+  }
+
+let dedup_annotated substs =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun s ->
+      let a = annotate s in
+      if Hashtbl.mem seen a.canon then None
+      else begin
+        Hashtbl.add seen a.canon ();
+        Some a
+      end)
+    substs
+
+(* Candidates indexed by every (var, seq) binding they contain. Any
+   strict superset of γ contains each of γ's bindings, so the posting
+   list of γ's rarest binding is a complete set of subsumption suspects —
+   in practice a tiny fraction of the candidate set. *)
+let posting_index annotated =
+  let index = Hashtbl.create 256 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun key ->
+          let l = Option.value ~default:[] (Hashtbl.find_opt index key) in
+          Hashtbl.replace index key (a :: l))
+        a.canon)
+    annotated;
+  index
+
+let rarest_posting index a =
+  let shorter l l' =
+    match (l, l') with
+    | None, x | x, None -> x
+    | Some l, Some l' ->
+        Some (if List.length l <= List.length l' then l else l')
+  in
+  List.fold_left
+    (fun best key -> shorter best (Hashtbl.find_opt index key))
+    None a.canon
+
+let subsumed candidates index a =
+  if a.canon_size = 0 then
+    (* The empty substitution is a strict subset of any non-empty one. *)
+    List.exists (fun b -> b.canon_size > 0) candidates
+  else
+    match rarest_posting index a with
+    | None -> false
+    | Some suspects ->
+        List.exists
+          (fun b -> b.canon_size > a.canon_size && subset_canon a.canon b.canon)
+          suspects
+
 let finalize ?(policy = Operational) p substs =
   ignore p;
-  let candidates = dedup substs in
-  let keep =
+  let candidates = dedup_annotated substs in
+  let survivors =
     match policy with
     | Operational ->
-        fun s ->
-          not (List.exists (fun cand -> proper_subset s cand) candidates)
+        let index = posting_index candidates in
+        List.filter (fun a -> not (subsumed candidates index a)) candidates
     | Literal ->
-        fun s ->
-          maximal_within ~candidates s && skip_till_next_within ~candidates s
+        (* Condition 5 compares only substitutions sharing a minT
+           binding: group by it and look for strict supersets inside the
+           group. Condition 4's pair check runs against the per-variable
+           binding index. *)
+        let groups = Hashtbl.create 64 in
+        List.iter
+          (fun a ->
+            let l =
+              Option.value ~default:[] (Hashtbl.find_opt groups a.min_key)
+            in
+            Hashtbl.replace groups a.min_key (a :: l))
+          candidates;
+        let maximal a =
+          List.for_all
+            (fun b ->
+              b.canon_size <= a.canon_size
+              || not (subset_canon a.canon b.canon))
+            (Option.value ~default:[] (Hashtbl.find_opt groups a.min_key))
+        in
+        let by_var = bindings_by_var (List.map (fun a -> a.subst) candidates) in
+        let skip_ok a =
+          let members = Hashtbl.create 16 in
+          List.iter (fun key -> Hashtbl.replace members key ()) a.canon;
+          skip_till_pairs_ok ~by_var
+            ~in_subst:(fun v seq -> Hashtbl.mem members (v, seq))
+            a.subst
+        in
+        List.filter (fun a -> maximal a && skip_ok a) candidates
   in
-  let survivors = List.filter keep candidates in
-  let key s = (min_ts s, canonical s) in
-  List.sort (fun a b -> compare (key a) (key b)) survivors
+  List.map
+    (fun a -> a.subst)
+    (List.sort (fun a b -> compare (a.min_t, a.canon) (b.min_t, b.canon))
+       survivors)
 
 let pp p ppf subst =
   let items =

@@ -21,12 +21,15 @@ type t = binding list
 
 val canonical : t -> (int * int) list
 (** Sorted (variable id, event sequence number) pairs — the set identity of
-    a substitution. *)
+    a substitution. {!finalize} computes this once per candidate (and keeps
+    it alongside the substitution for the whole pass) rather than once per
+    comparison; callers holding many substitutions should do the same. *)
 
 val equal : t -> t -> bool
 
 val subset : t -> t -> bool
-(** Set inclusion of bindings. *)
+(** Set inclusion of bindings — a single merge over the two sorted
+    canonical forms. *)
 
 val proper_subset : t -> t -> bool
 
@@ -73,7 +76,11 @@ val satisfies_negations : Pattern.t -> Event.t array -> t -> bool
     satisfy all of v's conditions under the substitution. For a trailing
     guard (boundary = last set) the "first bound event of later sets"
     is +∞, so the guard covers the remainder of the window. Vacuously
-    true for paper patterns. *)
+    true for paper patterns.
+
+    The (last bound, first after) sequence window is computed once per
+    boundary and the array is scanned only inside it (located by binary
+    search), not end to end per negation. *)
 
 (** {1 Definition 2, conditions 4–5 over a candidate set} *)
 
@@ -110,7 +117,14 @@ type policy =
 val finalize : ?policy:policy -> Pattern.t -> t list -> t list
 (** Deduplicates (by {!canonical}) and applies the chosen policy relative
     to the deduplicated candidate set. The result is sorted by
-    (minT, canonical) for deterministic output. *)
+    (minT, canonical) for deterministic output.
+
+    Each candidate's canonical form and minT binding are computed once.
+    [Operational] subsumption consults a hash index from bindings to the
+    candidates containing them (every strict superset of γ must contain
+    γ's rarest binding), and [Literal] maximality compares only within
+    groups sharing a minT binding — near-linear in practice instead of
+    all-pairs with per-comparison re-sorting. *)
 
 val pp : Pattern.t -> Format.formatter -> t -> unit
 (** Prints like the paper, e.g. [{c/e1, d/e3, p+/e4, p+/e9, b/e12}]. *)

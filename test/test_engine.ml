@@ -216,6 +216,49 @@ let test_precheck_equivalence () =
     a.Engine.metrics.Metrics.transitions_fired
     b.Engine.metrics.Metrics.transitions_fired
 
+let test_store_equivalence () =
+  (* The flat reference pool and the indexed store are observationally
+     identical on the running example: raw, matches, and every counter. *)
+  let flat =
+    run ~options:{ Engine.default_options with Engine.store = Engine.Flat }
+      query_q1 figure_1
+  in
+  let idx =
+    run ~options:{ Engine.default_options with Engine.store = Engine.Indexed }
+      query_q1 figure_1
+  in
+  let sorted o =
+    List.sort compare (substs_repr query_q1 o)
+  in
+  Alcotest.(check (list (list (pair string int))))
+    "same raw" (sorted flat.Engine.raw) (sorted idx.Engine.raw);
+  Alcotest.(check (list (list (pair string int))))
+    "same matches" (sorted flat.Engine.matches) (sorted idx.Engine.matches);
+  Alcotest.(check bool) "same metrics" true
+    (flat.Engine.metrics = idx.Engine.metrics)
+
+let test_population_by_state_ordering () =
+  (* Descending count; ties broken by state, so the histogram is
+     reproducible run to run. *)
+  let p = seq_xy ~within:100 in
+  let st = Engine.create (Automaton.of_pattern p) in
+  Ses_event.Relation.iter
+    (fun e -> ignore (Engine.feed st e))
+    (rel_l [ ("x", 0); ("x", 1); ("x", 2) ]);
+  let h = Engine.population_by_state st in
+  let counts = List.map snd h in
+  Alcotest.(check (list int)) "descending counts"
+    (List.sort (fun a b -> compare b a) counts)
+    counts;
+  let rec ties_ordered = function
+    | (qa, a) :: ((qb, b) :: _ as rest) ->
+        (a <> b || Ses_core.Varset.compare qa qb < 0) && ties_ordered rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ties in state order" true (ties_ordered h);
+  Alcotest.(check int) "sums to population" (Engine.population st)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 h)
+
 let test_metrics_consistency () =
   let outcome = run query_q1 figure_1 in
   let m = outcome.Engine.metrics in
@@ -248,5 +291,8 @@ let suite =
     Alcotest.test_case "finalize toggle" `Quick test_finalize_toggle;
     Alcotest.test_case "constant pre-check equivalence" `Quick
       test_precheck_equivalence;
+    Alcotest.test_case "flat = indexed store" `Quick test_store_equivalence;
+    Alcotest.test_case "population histogram ordering" `Quick
+      test_population_by_state_ordering;
     Alcotest.test_case "metrics consistency" `Quick test_metrics_consistency;
   ]
