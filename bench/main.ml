@@ -28,9 +28,14 @@
    finalization against the quadratic reference (finalize-heavy
    workload), writing the results to BENCH_instance_store.json.
 
+   Part 5 measures domain-parallel execution: the partitioned per-key
+   pools of the completely ID-joined Q1 sharded across 1/2/4 OCaml
+   domains (events/sec each), plus a 4-query set on 1 vs 4 domains,
+   writing the results to BENCH_parallel.json.
+
    Usage: dune exec bench/main.exe
             [-- --quick] [-- --exp N] [-- --no-micro] [-- --no-stream]
-            [-- --store-only] *)
+            [-- --store-only] [-- --parallel-only] *)
 
 open Bechamel
 open Toolkit
@@ -42,6 +47,8 @@ let no_micro = Array.exists (( = ) "--no-micro") Sys.argv
 let no_stream = Array.exists (( = ) "--no-stream") Sys.argv
 
 let store_only = Array.exists (( = ) "--store-only") Sys.argv
+
+let parallel_only = Array.exists (( = ) "--parallel-only") Sys.argv
 
 let only_exp =
   let rec find i =
@@ -264,6 +271,125 @@ let store_bench () =
   output_char oc '\n';
   close_out oc
 
+(* Domain-parallel benchmark: the partitionable (completely ID-joined,
+   singleton-p) Q1 over a many-patient chemotherapy relation — one
+   independent per-key pool per patient, the regime the sharded executor
+   targets — evaluated with the per-key pools on 1, 2 and 4 worker
+   domains, plus a 4-query set on 1 vs 4 domains. Matching output is
+   asserted identical across domain counts; wall-clock speedup is
+   whatever the hardware allows (the JSON records the visible core
+   count so a 1-core container's numbers read as what they are). *)
+
+let parallel_bench () =
+  let module Q = Ses_harness.Queries in
+  let d =
+    Ses_gen.Chemo.generate
+      {
+        Ses_gen.Chemo.default with
+        Ses_gen.Chemo.seed = 23L;
+        patients = (if quick then 40 else 200);
+      }
+  in
+  let n_events = Ses_event.Relation.cardinality d in
+  let automaton () = Ses_core.Automaton.of_pattern Q.q1_complete in
+  let run_with domains =
+    let options =
+      { Ses_core.Engine.default_options with Ses_core.Engine.domains }
+    in
+    time (fun () ->
+        Ses_core.Executor.run_relation ~options `Partitioned (automaton ()) d)
+  in
+  let counts = [ 1; 2; 4 ] in
+  let runs = List.map (fun n -> (n, run_with n)) counts in
+  let baseline =
+    match runs with
+    | (_, (o, _)) :: _ -> o
+    | [] -> assert false
+  in
+  let reference = List.length baseline.Ses_core.Engine.matches in
+  List.iter
+    (fun (n, (o, _)) ->
+      if List.length o.Ses_core.Engine.matches <> reference then
+        Printf.eprintf
+          "warning: parallel mismatch: %d domains found %d matches, 1 domain %d\n"
+          n
+          (List.length o.Ses_core.Engine.matches)
+          reference)
+    runs;
+  let leg (n, ((o : Ses_core.Engine.outcome), s)) =
+    Printf.sprintf
+      "    {\"domains\":%d,\"elapsed_s\":%.6f,\"events_per_sec\":%.0f,\
+       \"matches\":%d,\"max_instances\":%d}"
+      n s
+      (float_of_int n_events /. s)
+      (List.length o.Ses_core.Engine.matches)
+      o.Ses_core.Engine.metrics.Ses_core.Metrics.max_simultaneous_instances
+  in
+  let elapsed_of n = snd (List.assoc n runs) in
+  (* The multi-query set: four registrations sharing one feed, every
+     query on its own domain in the parallel run. All four are
+     per-patient or mutually-exclusive patterns — the overlapping P3/P4
+     would explode combinatorially on a relation this dense. *)
+  let queries () =
+    [
+      ("q1-complete", Ses_core.Automaton.of_pattern Q.q1_complete);
+      ("q1", Ses_core.Automaton.of_pattern Q.q1);
+      ("x1-3", Ses_core.Automaton.of_pattern (Q.exp1_exclusive 3));
+      ("x1-4", Ses_core.Automaton.of_pattern (Q.exp1_exclusive 4));
+    ]
+  in
+  let multi_with domains =
+    let options =
+      { Ses_core.Engine.default_options with Ses_core.Engine.domains }
+    in
+    time (fun () ->
+        Ses_core.Multi.run ~options (queries ())
+          (Ses_event.Relation.to_seq d))
+  in
+  let m1, m1_s = multi_with 1 in
+  let m4, m4_s = multi_with 4 in
+  List.iter2
+    (fun (name, (o1 : Ses_core.Engine.outcome)) (_, (o4 : Ses_core.Engine.outcome)) ->
+      if
+        List.length o1.Ses_core.Engine.matches
+        <> List.length o4.Ses_core.Engine.matches
+      then
+        Printf.eprintf
+          "warning: multi mismatch on %s: 4 domains found %d matches, 1 domain %d\n"
+          name
+          (List.length o4.Ses_core.Engine.matches)
+          (List.length o1.Ses_core.Engine.matches))
+    m1 m4;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"cores_available\": %d,\n\
+      \  \"partitioned\": {\n\
+      \    \"pattern\": \"q1-complete\", \"events\": %d, \"runs\": [\n\
+       %s\n\
+      \    ],\n\
+      \    \"speedup_2_domains\": %.2f, \"speedup_4_domains\": %.2f\n\
+      \  },\n\
+      \  \"multi\": {\n\
+      \    \"queries\": 4, \"events\": %d,\n\
+      \    \"one_domain_s\": %.6f, \"four_domains_s\": %.6f, \"speedup\": %.2f\n\
+      \  }\n\
+       }"
+      (Ses_core.Domain_pool.recommended ())
+      n_events
+      (String.concat ",\n" (List.map leg runs))
+      (elapsed_of 1 /. elapsed_of 2)
+      (elapsed_of 1 /. elapsed_of 4)
+      n_events m1_s m4_s (m1_s /. m4_s)
+  in
+  Printf.printf "Domain-parallel execution (JSON)\n";
+  Printf.printf "--------------------------------\n";
+  Printf.printf "%s\n\n" json;
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc
+
 (* Micro-benchmarks: one Test.make per paper artifact, on the D1 dataset. *)
 
 let micro_tests () =
@@ -358,9 +484,11 @@ let run_micro () =
 
 let () =
   if store_only then store_bench ()
+  else if parallel_only then parallel_bench ()
   else begin
     run_tables ();
     if not no_stream then stream_bench ();
     if not no_micro then run_micro ();
-    store_bench ()
+    store_bench ();
+    parallel_bench ()
   end

@@ -206,6 +206,18 @@ let stream_arg =
            4.5 constant-condition filter is pushed into the scan when the \
            pattern supports it.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the executors that can use them (default 1 = \
+           sequential). With N > 1 the partitioned and auto strategies \
+           shard their per-key pools across N OCaml domains when the \
+           pattern is partitionable; the par-partitioned strategy defaults \
+           to the machine's core count when this is left at 1. Matching \
+           output is identical to the sequential run.")
+
 let print_match_results pattern ~raw ~matches ~metrics show_metrics show_raw
     table =
   Format.printf "pattern: %a@." Ses_pattern.Pattern.pp pattern;
@@ -226,12 +238,22 @@ let print_match_results pattern ~raw ~matches ~metrics show_metrics show_raw
   end;
   if show_metrics then Format.printf "%a@." Ses_core.Metrics.pp metrics
 
-let run_match data query query_file strategy stream filter policy store
+let run_match data query query_file strategy stream domains filter policy store
     show_metrics show_raw table =
   Ses_baseline.Brute_force.register ();
+  if domains < 1 then begin
+    prerr_endline "error: --domains must be at least 1";
+    exit 1
+  end;
   let run_match_body () =
   let options =
-    { Ses_core.Engine.default_options with Ses_core.Engine.filter; policy; store }
+    {
+      Ses_core.Engine.default_options with
+      Ses_core.Engine.filter;
+      policy;
+      store;
+      domains;
+    }
   in
   if stream then begin
     let parsed = ref None in
@@ -290,8 +312,8 @@ let match_cmd =
     (Cmd.info "match" ~doc:"Run a SES pattern over a stored relation")
     Term.(
       const run_match $ data_arg $ query_arg $ query_file_arg $ strategy_arg
-      $ stream_arg $ filter_arg $ policy_arg $ store_arg $ show_metrics_arg
-      $ show_raw_arg $ table_arg)
+      $ stream_arg $ domains_arg $ filter_arg $ policy_arg $ store_arg
+      $ show_metrics_arg $ show_raw_arg $ table_arg)
 
 (* dot *)
 

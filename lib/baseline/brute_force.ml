@@ -135,9 +135,8 @@ let population st =
 
 let metrics st =
   let summed =
-    List.fold_left
-      (fun acc (_, s) -> Metrics.merge acc (Engine.metrics s))
-      Metrics.zero st.streams
+    Metrics.merge_replicas
+      (List.map (fun (_, s) -> Engine.metrics s) st.streams)
   in
   { summed with Metrics.max_simultaneous_instances = st.max_total }
 

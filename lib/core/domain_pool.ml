@@ -1,0 +1,151 @@
+(* A fixed pool of worker domains, each fed through its own bounded
+   FIFO queue.
+
+   The pool is the substrate of the domain-parallel executors: the
+   caller's thread is the single producer, each worker domain is the
+   single consumer of its own queue, so every message sent to worker [i]
+   is processed sequentially and in send order — exactly the discipline
+   key-routed event streams need. Workers own their state (the closures
+   passed to [create] capture it); the mutex/condition handshakes of
+   [quiesce] and the [Domain.join] of [shutdown] publish that state to
+   the caller, so reading it after either call is race-free under the
+   OCaml 5 memory model. *)
+
+type 'a worker = {
+  queue : 'a Queue.t;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  idle : Condition.t;  (* signalled when [pending] drops to 0 *)
+  mutable pending : int;  (* queued + currently being processed *)
+  mutable closed : bool;
+  mutable failure : exn option;  (* first exception raised by [f] *)
+  mutable handle : unit Domain.t option;
+}
+
+type 'a t = {
+  workers : 'a worker array;
+  capacity : int;
+  mutable stopped : bool;
+}
+
+let default_capacity = 1024
+
+let make_worker () =
+  {
+    queue = Queue.create ();
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    idle = Condition.create ();
+    pending = 0;
+    closed = false;
+    failure = None;
+    handle = None;
+  }
+
+(* The worker loop: pop, process outside the lock, account. After a
+   failure the worker keeps draining its queue without processing — the
+   producer must never deadlock on a full queue — and the stored
+   exception is re-raised on the caller's side by [send], [quiesce] or
+   [shutdown]. *)
+let worker_loop w f =
+  let rec loop () =
+    Mutex.lock w.mutex;
+    while Queue.is_empty w.queue && not w.closed do
+      Condition.wait w.not_empty w.mutex
+    done;
+    if Queue.is_empty w.queue then Mutex.unlock w.mutex (* closed: exit *)
+    else begin
+      let x = Queue.pop w.queue in
+      Condition.signal w.not_full;
+      let broken = w.failure <> None in
+      Mutex.unlock w.mutex;
+      let failed = if broken then None else (try f x; None with e -> Some e) in
+      Mutex.lock w.mutex;
+      (match failed with
+      | Some e when w.failure = None -> w.failure <- Some e
+      | Some _ | None -> ());
+      w.pending <- w.pending - 1;
+      if w.pending = 0 then Condition.broadcast w.idle;
+      Mutex.unlock w.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(capacity = default_capacity) ~domains f =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains < 1";
+  if capacity < 1 then invalid_arg "Domain_pool.create: capacity < 1";
+  let workers = Array.init domains (fun _ -> make_worker ()) in
+  Array.iteri
+    (fun i w -> w.handle <- Some (Domain.spawn (fun () -> worker_loop w (f i))))
+    workers;
+  { workers; capacity; stopped = false }
+
+let size pool = Array.length pool.workers
+
+let check_failure w =
+  match w.failure with
+  | Some e ->
+      Mutex.unlock w.mutex;
+      raise e
+  | None -> ()
+
+let send pool i x =
+  if pool.stopped then invalid_arg "Domain_pool.send: pool is shut down";
+  let w = pool.workers.(i) in
+  Mutex.lock w.mutex;
+  check_failure w;
+  while Queue.length w.queue >= pool.capacity do
+    Condition.wait w.not_full w.mutex
+  done;
+  check_failure w;
+  Queue.push x w.queue;
+  w.pending <- w.pending + 1;
+  Condition.signal w.not_empty;
+  Mutex.unlock w.mutex
+
+(* Wait until every queue is drained and every worker is between
+   messages. On return the workers' state is stable (the producer is the
+   only enqueuer) and its reads are synchronized through the mutexes. *)
+let quiesce pool =
+  if not pool.stopped then
+    Array.iter
+      (fun w ->
+        Mutex.lock w.mutex;
+        while w.pending > 0 && w.failure = None do
+          Condition.wait w.idle w.mutex
+        done;
+        check_failure w;
+        Mutex.unlock w.mutex)
+      pool.workers
+
+let shutdown pool =
+  if not pool.stopped then begin
+    pool.stopped <- true;
+    Array.iter
+      (fun w ->
+        Mutex.lock w.mutex;
+        w.closed <- true;
+        Condition.broadcast w.not_empty;
+        Mutex.unlock w.mutex)
+      pool.workers;
+    Array.iter
+      (fun w ->
+        match w.handle with
+        | Some d ->
+            Domain.join d;
+            w.handle <- None
+        | None -> ())
+      pool.workers;
+    match
+      Array.fold_left
+        (fun acc w -> match acc with Some _ -> acc | None -> w.failure)
+        None pool.workers
+    with
+    | Some e -> raise e
+    | None -> ()
+  end
+
+let recommended () = max 1 (Domain.recommended_domain_count ())

@@ -1,0 +1,47 @@
+(** A fixed pool of OCaml 5 worker domains behind bounded
+    single-producer/single-consumer queues.
+
+    [create ~domains f] spawns [domains] workers; worker [i] processes
+    the messages sent to it with [f i], sequentially and in send order.
+    This is the execution substrate of the domain-parallel executors:
+    {!Partitioned} routes each partition key to a fixed worker (so a
+    key's events are still consumed one at a time, in order, preserving
+    the engine's semantics), and {!Multi} assigns whole queries to
+    workers and broadcasts the feed.
+
+    Workers keep their state in the closures passed to [create]. After
+    {!quiesce} or {!shutdown} returns, that state may be read (and after
+    [shutdown], mutated) from the calling thread without races: both
+    calls establish the necessary happens-before edges. *)
+
+type 'a t
+
+val create : ?capacity:int -> domains:int -> (int -> 'a -> unit) -> 'a t
+(** [create ~domains f] spawns the workers. [capacity] bounds each
+    worker's queue (default 1024): {!send} blocks when the consumer
+    falls that far behind, so an unbounded event source cannot exhaust
+    memory. Raises [Invalid_argument] when [domains] or [capacity]
+    is < 1. *)
+
+val size : 'a t -> int
+(** Number of worker domains. *)
+
+val send : 'a t -> int -> 'a -> unit
+(** [send pool i x] enqueues [x] for worker [i]; blocks while the
+    queue is full. If the worker's processing function has raised, that
+    exception is re-raised here (and by {!quiesce}/{!shutdown}) — the
+    worker keeps draining its queue without processing so the producer
+    never deadlocks. Single producer: concurrent sends to the same pool
+    from several threads are not supported. Raises [Invalid_argument]
+    after {!shutdown}. *)
+
+val quiesce : 'a t -> unit
+(** Blocks until every queue is empty and every worker is idle. A no-op
+    after {!shutdown}. Re-raises the first worker exception, if any. *)
+
+val shutdown : 'a t -> unit
+(** Drains every queue, then joins all worker domains. Idempotent.
+    Re-raises the first worker exception, if any. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count], clamped to at least 1. *)

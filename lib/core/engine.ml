@@ -11,6 +11,7 @@ type options = {
   finalize : bool;
   precheck_constants : bool;
   store : store_kind;
+  domains : int;
 }
 
 let default_options =
@@ -20,6 +21,7 @@ let default_options =
     finalize = true;
     precheck_constants = true;
     store = Indexed;
+    domains = 1;
   }
 
 (* A transition with its condition set split into the constant atoms
@@ -161,7 +163,7 @@ let create ?(options = default_options) automaton =
            (List.concat_map (Pattern.set_vars p) (List.init (b + 1) Fun.id))
        in
        let boundaries =
-         List.sort_uniq compare (List.map fst (Pattern.negations p))
+         List.sort_uniq Int.compare (List.map fst (Pattern.negations p))
        in
        List.map
          (fun b ->
@@ -500,7 +502,7 @@ let population_by_state st =
      deterministic. *)
   List.sort
     (fun (qa, a) (qb, b) ->
-      let c = compare b a in
+      let c = Int.compare b a in
       if c <> 0 then c else Varset.compare qa qb)
     counts
 

@@ -45,6 +45,12 @@ type options = {
           instance (default [true]; disable to time the paper's verbatim
           loop — the optimization never changes the result, only work) *)
   store : store_kind;  (** pool representation (default [Indexed]) *)
+  domains : int;
+      (** worker domains for the executors that can use them (default 1
+          = fully sequential). The plain engine is inherently sequential
+          and ignores this; {!Partitioned} shards its per-key pools
+          across this many domains when the pattern is partitionable,
+          and {!Multi} spreads its queries across them. *)
 }
 
 val default_options : options

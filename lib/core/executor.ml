@@ -1,14 +1,16 @@
 open Ses_event
 
-type strategy = [ `Auto | `Plain | `Partitioned | `Naive | `Brute_force ]
+type strategy =
+  [ `Auto | `Plain | `Partitioned | `Par_partitioned | `Naive | `Brute_force ]
 
 let strategies : strategy list =
-  [ `Auto; `Plain; `Partitioned; `Naive; `Brute_force ]
+  [ `Auto; `Plain; `Partitioned; `Par_partitioned; `Naive; `Brute_force ]
 
 let strategy_name = function
   | `Auto -> "auto"
   | `Plain -> "plain"
   | `Partitioned -> "partitioned"
+  | `Par_partitioned -> "par-partitioned"
   | `Naive -> "naive"
   | `Brute_force -> "brute-force"
 
@@ -17,13 +19,14 @@ let strategy_of_string s =
   | "auto" -> Ok `Auto
   | "plain" | "engine" -> Ok `Plain
   | "partitioned" -> Ok `Partitioned
+  | "par-partitioned" | "par_partitioned" | "parallel" -> Ok `Par_partitioned
   | "naive" -> Ok `Naive
   | "brute-force" | "brute_force" | "bf" -> Ok `Brute_force
   | other ->
       Error
         (Printf.sprintf
-           "unknown strategy %S (expected auto, plain, partitioned, naive or \
-            brute-force)"
+           "unknown strategy %S (expected auto, plain, partitioned, \
+            par-partitioned, naive or brute-force)"
            other)
 
 module type EXECUTOR = sig
@@ -68,6 +71,33 @@ module Partitioned_exec : EXECUTOR = struct
   let name = "partitioned"
 
   let create ?options automaton = Partitioned.create ?options automaton
+
+  let feed = Partitioned.feed
+
+  let close = Partitioned.close
+
+  let emitted = Partitioned.emitted
+
+  let population = Partitioned.population
+
+  let metrics = Partitioned.metrics
+end
+
+(* [`Partitioned] with parallelism made unconditional: when the caller
+   did not ask for a specific domain count through the options, shard
+   across the machine's recommended count. Everything else — key
+   detection, single-pool fallback — is [Partitioned.create]. *)
+module Par_partitioned_exec : EXECUTOR = struct
+  type t = Partitioned.stream
+
+  let name = "par-partitioned"
+
+  let create ?(options = Engine.default_options) automaton =
+    let domains =
+      if options.Engine.domains > 1 then options.Engine.domains
+      else Domain_pool.recommended ()
+    in
+    Partitioned.create ~options:{ options with Engine.domains } automaton
 
   let feed = Partitioned.feed
 
@@ -127,6 +157,7 @@ let of_strategy : strategy -> (module EXECUTOR) = function
   | `Auto -> (module Auto)
   | `Plain -> (module Plain)
   | `Partitioned -> (module Partitioned_exec)
+  | `Par_partitioned -> (module Par_partitioned_exec)
   | `Naive -> (module Naive_exec)
   | `Brute_force -> (
       match !brute_force with

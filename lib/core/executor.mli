@@ -19,11 +19,21 @@
 
 open Ses_event
 
-type strategy = [ `Auto | `Plain | `Partitioned | `Naive | `Brute_force ]
+type strategy =
+  [ `Auto | `Plain | `Partitioned | `Par_partitioned | `Naive | `Brute_force ]
 (** [`Auto] runs {!Planner.plan}'s choice of levers; [`Plain] the bare
     {!Engine}; [`Partitioned] per-key pools (with single-pool fallback);
-    [`Naive] the exhaustive Definition 2 oracle; [`Brute_force] the
-    one-automaton-per-ordering baseline of Sec. 5.2. *)
+    [`Par_partitioned] per-key pools sharded across worker domains —
+    [options.domains] of them when > 1, else the machine's recommended
+    count (see {!Partitioned} for the sharded-mode contract: [feed]
+    returns [[]], reads quiesce, fall back to one sequential pool on
+    non-partitionable patterns); [`Naive] the exhaustive Definition 2
+    oracle; [`Brute_force] the one-automaton-per-ordering baseline of
+    Sec. 5.2.
+
+    [`Auto] and [`Partitioned] also shard when [options.domains > 1]:
+    the domain count rides on {!Engine.options} so the planner, the
+    stream runner and the CLI pick it up with no call-site changes. *)
 
 val strategies : strategy list
 

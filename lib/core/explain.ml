@@ -88,7 +88,7 @@ let explain ?options automaton relation =
   let metrics = Engine.metrics st in
   let table_to_list table =
     List.sort
-      (fun (_, a) (_, b) -> compare b a)
+      (fun (_, a) (_, b) -> Int.compare b a)
       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
   in
   {

@@ -61,18 +61,69 @@ let snapshot (m : t) : snapshot =
     matches_emitted = m.matches_emitted;
   }
 
-let merge a b =
-  {
-    events_seen = max a.events_seen b.events_seen;
-    events_filtered = max a.events_filtered b.events_filtered;
-    instances_created = a.instances_created + b.instances_created;
-    max_simultaneous_instances =
-      a.max_simultaneous_instances + b.max_simultaneous_instances;
-    transitions_fired = a.transitions_fired + b.transitions_fired;
-    instances_expired = a.instances_expired + b.instances_expired;
-    instances_killed = a.instances_killed + b.instances_killed;
-    matches_emitted = a.matches_emitted + b.matches_emitted;
-  }
+(* Shard accounting: the snapshots come from executors that split one
+   input among themselves (per-key pools, domain shards), so every
+   counter is a sum — each event, instance and transition is counted by
+   exactly one shard — except [max_simultaneous_instances], whose
+   shard-local peaks need not coincide in time: the max of the peaks is
+   the only value that is both deterministic and a lower bound on the
+   true global peak. *)
+let merge snapshots =
+  List.fold_left
+    (fun acc s ->
+      {
+        events_seen = acc.events_seen + s.events_seen;
+        events_filtered = acc.events_filtered + s.events_filtered;
+        instances_created = acc.instances_created + s.instances_created;
+        max_simultaneous_instances =
+          max acc.max_simultaneous_instances s.max_simultaneous_instances;
+        transitions_fired = acc.transitions_fired + s.transitions_fired;
+        instances_expired = acc.instances_expired + s.instances_expired;
+        instances_killed = acc.instances_killed + s.instances_killed;
+        matches_emitted = acc.matches_emitted + s.matches_emitted;
+      })
+    {
+      events_seen = 0;
+      events_filtered = 0;
+      instances_created = 0;
+      max_simultaneous_instances = 0;
+      transitions_fired = 0;
+      instances_expired = 0;
+      instances_killed = 0;
+      matches_emitted = 0;
+    }
+    snapshots
+
+(* Replica accounting (the paper's Sec. 5.2 bookkeeping for the
+   brute-force baseline): every replica consumes the whole input, so the
+   input-side counters take the max (they are equal across replicas)
+   while the work-side counters sum — including the instance peaks,
+   since the replicated automata run simultaneously. *)
+let merge_replicas snapshots =
+  List.fold_left
+    (fun acc s ->
+      {
+        events_seen = max acc.events_seen s.events_seen;
+        events_filtered = max acc.events_filtered s.events_filtered;
+        instances_created = acc.instances_created + s.instances_created;
+        max_simultaneous_instances =
+          acc.max_simultaneous_instances + s.max_simultaneous_instances;
+        transitions_fired = acc.transitions_fired + s.transitions_fired;
+        instances_expired = acc.instances_expired + s.instances_expired;
+        instances_killed = acc.instances_killed + s.instances_killed;
+        matches_emitted = acc.matches_emitted + s.matches_emitted;
+      })
+    {
+      events_seen = 0;
+      events_filtered = 0;
+      instances_created = 0;
+      max_simultaneous_instances = 0;
+      transitions_fired = 0;
+      instances_expired = 0;
+      instances_killed = 0;
+      matches_emitted = 0;
+    }
+    snapshots
 
 let zero =
   {

@@ -40,10 +40,22 @@ val sample_population : t -> int -> unit
 
 val snapshot : t -> snapshot
 
-val merge : snapshot -> snapshot -> snapshot
-(** Pointwise sum; maxima are added, which is the paper's accounting for
-    the brute-force baseline (total simultaneous instances across the
-    parallel automata). *)
+val merge : snapshot list -> snapshot
+(** Combines the snapshots of executors that {e split} one input among
+    themselves (per-key pools, domain shards): every counter is summed —
+    each event, instance and transition is counted by exactly one
+    shard — except [max_simultaneous_instances], which takes the max of
+    the shard-local peaks. The peaks need not coincide in time, so the
+    merged value is a deterministic lower bound on the true global peak;
+    it is exact when a single shard dominates (and always exact for one
+    shard). [merge [] = zero]. *)
+
+val merge_replicas : snapshot list -> snapshot
+(** Combines the snapshots of executors that each consume the {e whole}
+    input (the Sec. 5.2 brute-force chains): [events_seen] and
+    [events_filtered] take the max (they agree across replicas), the
+    work-side counters sum, and the instance peaks sum — the paper's
+    accounting for automata that run simultaneously. *)
 
 val zero : snapshot
 

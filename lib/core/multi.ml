@@ -1,3 +1,4 @@
+open Ses_event
 
 type entry = {
   name : string;
@@ -5,9 +6,31 @@ type entry = {
   exec : Executor.packed;
 }
 
+(* In parallel mode every query is pinned to one worker domain
+   (round-robin by registration order) and the feed is broadcast: each
+   worker runs its queries' executors sequentially over the whole
+   stream, exactly as the sequential mode does — only on its own domain.
+   Executors are created with [domains = 1] so a partitioned query never
+   nests a second domain pool under a Multi worker. *)
+(* As in {!Partitioned}'s sharded mode, events are shipped in batches:
+   the broadcast buffers up to [batch_size] events and hands every
+   worker the same array, amortising the queue handshake. *)
+let batch_size = 64
+
+type parallel = {
+  pool : Event.t array Domain_pool.t;
+  groups : entry list array;  (* registration order within a group *)
+  mutable pending : Event.t list;  (* newest first *)
+  mutable pending_len : int;
+  mutable flushed : bool;
+}
+
+type runtime = Sequential | Parallel of parallel
+
 type t = {
   entries : entry list;
   options : Engine.options;
+  runtime : runtime;
 }
 
 let validate names =
@@ -18,14 +41,41 @@ let validate names =
 
 let create_mixed ?(options = Engine.default_options) queries =
   validate (List.map (fun (name, _, _) -> name) queries);
-  {
-    entries =
-      List.map
-        (fun (name, automaton, strategy) ->
-          { name; automaton; exec = Executor.create ~options strategy automaton })
-        queries;
-    options;
-  }
+  let domains = min options.Engine.domains (List.length queries) in
+  let exec_options =
+    if domains > 1 then { options with Engine.domains = 1 } else options
+  in
+  let entries =
+    List.map
+      (fun (name, automaton, strategy) ->
+        {
+          name;
+          automaton;
+          exec = Executor.create ~options:exec_options strategy automaton;
+        })
+      queries
+  in
+  let runtime =
+    if domains <= 1 then Sequential
+    else begin
+      let groups = Array.make domains [] in
+      List.iteri
+        (fun i e -> groups.(i mod domains) <- e :: groups.(i mod domains))
+        entries;
+      Array.iteri (fun i g -> groups.(i) <- List.rev g) groups;
+      let pool =
+        Domain_pool.create ~domains (fun i events ->
+            Array.iter
+              (fun event ->
+                List.iter
+                  (fun e -> ignore (Executor.feed e.exec event))
+                  groups.(i))
+              events)
+      in
+      Parallel { pool; groups; pending = []; pending_len = 0; flushed = false }
+    end
+  in
+  { entries; options; runtime }
 
 let create ?options ?(strategy = `Plain) queries =
   create_mixed ?options
@@ -36,26 +86,78 @@ let names t = List.map (fun e -> e.name) t.entries
 let strategy_names t =
   List.map (fun e -> (e.name, Executor.name e.exec)) t.entries
 
+let n_domains t =
+  match t.runtime with
+  | Sequential -> 1
+  | Parallel p -> Domain_pool.size p.pool
+
+let flush_pending (p : parallel) =
+  if p.pending_len > 0 then begin
+    let arr = Array.of_list (List.rev p.pending) in
+      p.pending <- [];
+      p.pending_len <- 0;
+      for i = 0 to Domain_pool.size p.pool - 1 do
+        Domain_pool.send p.pool i arr
+      done
+  end
+
 let feed t event =
-  List.filter_map
-    (fun e ->
-      match Executor.feed e.exec event with
-      | [] -> None
-      | completed -> Some (e.name, completed))
-    t.entries
+  match t.runtime with
+  | Sequential ->
+      List.filter_map
+        (fun e ->
+          match Executor.feed e.exec event with
+          | [] -> None
+          | completed -> Some (e.name, completed))
+        t.entries
+  | Parallel p ->
+      if p.flushed then invalid_arg "Multi.feed: query set is closed";
+      (* Broadcast: every worker receives every event and drives its own
+         queries. Per-event completions surface at [close]/[outcomes]. *)
+      p.pending <- event :: p.pending;
+      p.pending_len <- p.pending_len + 1;
+      if p.pending_len >= batch_size then flush_pending p;
+      []
 
 let close t =
-  List.filter_map
-    (fun e ->
-      match Executor.close e.exec with
-      | [] -> None
-      | flushed -> Some (e.name, flushed))
-    t.entries
+  match t.runtime with
+  | Sequential ->
+      List.filter_map
+        (fun e ->
+          match Executor.close e.exec with
+          | [] -> None
+          | flushed -> Some (e.name, flushed))
+        t.entries
+  | Parallel p ->
+      (* Join the workers first: afterwards the executors are owned by
+         the calling thread again and flush sequentially, in
+         registration order, as the sequential mode does. *)
+      if not p.flushed then flush_pending p;
+      Domain_pool.shutdown p.pool;
+      if p.flushed then []
+      else begin
+        p.flushed <- true;
+        List.filter_map
+          (fun e ->
+            match Executor.close e.exec with
+            | [] -> None
+            | flushed -> Some (e.name, flushed))
+          t.entries
+      end
+
+let quiesce t =
+  match t.runtime with
+  | Sequential -> ()
+  | Parallel p ->
+      if not p.flushed then flush_pending p;
+      Domain_pool.quiesce p.pool
 
 let population t =
+  quiesce t;
   List.fold_left (fun acc e -> acc + Executor.population e.exec) 0 t.entries
 
 let outcomes t =
+  quiesce t;
   List.map
     (fun e ->
       let raw = Executor.emitted e.exec in
@@ -67,6 +169,13 @@ let outcomes t =
       in
       (e.name, { Engine.matches; raw; metrics = Executor.metrics e.exec }))
     t.entries
+
+(* Every query consumes the whole feed, so the cross-query view uses the
+   replica accounting: input counters agree (max), work counters and the
+   simultaneous-instance peaks sum. *)
+let merged_metrics t =
+  quiesce t;
+  Metrics.merge_replicas (List.map (fun e -> Executor.metrics e.exec) t.entries)
 
 let run ?options ?strategy queries events =
   let t = create ?options ?strategy queries in

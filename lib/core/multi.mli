@@ -7,7 +7,19 @@
     collects completions per query name. Results are identical to running
     each automaton separately over the same feed. Queries can mix
     strategies: a partitionable pattern can run per-key pools while its
-    neighbours run the plain engine. *)
+    neighbours run the plain engine.
+
+    {b Domain-parallel mode.} When [options.domains > 1] (clamped to the
+    number of queries), the queries are pinned round-robin to that many
+    {!Domain_pool} worker domains and [feed] broadcasts each event to
+    every worker; each query is still evaluated by one domain, strictly
+    sequentially, so per-query results are identical to the sequential
+    mode. Operationally (mirroring {!Partitioned}'s sharded mode):
+    [feed] returns [[]] — completions surface at [close]/{!outcomes} —
+    [population]/{!outcomes} quiesce the workers first, [close] joins
+    the domains and forbids further feeding, and worker exceptions
+    re-raise at the next call. Executors inside a parallel Multi are
+    created with [domains = 1]: queries do not nest domain pools. *)
 
 open Ses_event
 
@@ -33,6 +45,9 @@ val names : t -> string list
 val strategy_names : t -> (string * string) list
 (** Query name paired with the executor name serving it. *)
 
+val n_domains : t -> int
+(** Worker domains in use (1 in sequential mode). *)
+
 val feed : t -> Event.t -> (string * Substitution.t list) list
 (** Pushes one event to every query; returns the raw substitutions whose
     instances completed on this event, grouped by query name (queries with
@@ -46,6 +61,12 @@ val population : t -> int
 
 val outcomes : t -> (string * Engine.outcome) list
 (** Per-query finalized outcomes (callable after [close]). *)
+
+val merged_metrics : t -> Metrics.snapshot
+(** The cross-query view, via {!Metrics.merge_replicas}: every query
+    consumes the whole feed, so the input counters take the max and the
+    work counters (including the instance peaks) sum. Deterministic in
+    both sequential and domain-parallel mode. *)
 
 val run :
   ?options:Engine.options ->

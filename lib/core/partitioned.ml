@@ -23,7 +23,7 @@ let pinned key (tr : Automaton.transition) =
     tr.conds
 
 let candidate_fields p =
-  List.sort_uniq compare
+  List.sort_uniq Schema.Field.compare
     (List.filter_map
        (fun (c : Condition.t) ->
          match c.rhs with
@@ -64,35 +64,43 @@ let partition_key automaton =
       List.for_all (pinned field) non_start && negation_pinned p field)
     (candidate_fields p)
 
-let sum_metrics ~max_total streams =
-  let add acc st =
-    let m = Engine.metrics st in
-    {
-      Metrics.events_seen = acc.Metrics.events_seen + m.Metrics.events_seen;
-      events_filtered = acc.Metrics.events_filtered + m.Metrics.events_filtered;
-      instances_created =
-        acc.Metrics.instances_created + m.Metrics.instances_created;
-      max_simultaneous_instances = 0;
-      transitions_fired = acc.Metrics.transitions_fired + m.Metrics.transitions_fired;
-      instances_expired = acc.Metrics.instances_expired + m.Metrics.instances_expired;
-      instances_killed = acc.Metrics.instances_killed + m.Metrics.instances_killed;
-      matches_emitted = acc.Metrics.matches_emitted + m.Metrics.matches_emitted;
-    }
-  in
-  let summed = List.fold_left add Metrics.zero streams in
-  { summed with Metrics.max_simultaneous_instances = max_total }
-
 (* Incremental interface: the instance pool splits lazily — a key's pool
-   is opened the first time one of its events arrives. *)
+   is opened the first time one of its events arrives. [keyed] is the
+   unit of both the sequential layout (one [keyed] holds every key) and
+   the domain-sharded layout (one [keyed] per worker domain, holding the
+   keys hashed to it); in the sharded case it is touched only by its
+   owning worker while the pool runs. *)
+
+type keyed = {
+  field : Schema.Field.t;
+  pools : (Value.t, Engine.stream) Hashtbl.t;
+  mutable order : Engine.stream list;  (* creation order, newest first *)
+  mutable total : int;
+  mutable max_total : int;
+}
+
+let make_keyed field =
+  { field; pools = Hashtbl.create 32; order = []; total = 0; max_total = 0 }
+
+(* Events travel to the workers in per-shard batches: a mutex/condition
+   handshake per event would cost more than the engine work it ships, so
+   the producer buffers up to [batch_size] events per shard and sends
+   them as one message. The buffers belong to the producer thread;
+   workers only ever see full batches. *)
+let batch_size = 64
+
+type batch = { mutable events : Event.t list; mutable len : int }
+(* newest first; reversed into an array on flush *)
 
 type pools =
   | Single of Engine.stream
-  | Keyed of {
+  | Keyed of keyed
+  | Sharded of {
       field : Schema.Field.t;
-      pools : (Value.t, Engine.stream) Hashtbl.t;
-      mutable order : Engine.stream list;  (* creation order, newest first *)
-      mutable total : int;
-      mutable max_total : int;
+      shards : keyed array;
+      batches : batch array;  (* producer-side, one per shard *)
+      pool : Event.t array Domain_pool.t;
+      mutable flushed : bool;  (* the domains have been joined *)
     }
 
 type stream = {
@@ -101,6 +109,49 @@ type stream = {
   pools : pools;
 }
 
+let feed_keyed ~options ~automaton (k : keyed) e =
+  let kv = Event.get e k.field in
+  let pool =
+    match Hashtbl.find_opt k.pools kv with
+    | Some pool -> pool
+    | None ->
+        let pool = Engine.create ~options automaton in
+        Hashtbl.add k.pools kv pool;
+        k.order <- pool :: k.order;
+        pool
+  in
+  (* [Engine.population] is an O(1) counter read on the default
+     indexed store, so maintaining the cross-pool total per event is
+     cheap even with many pools. *)
+  let before = Engine.population pool in
+  let completed = Engine.feed pool e in
+  k.total <- k.total - before + Engine.population pool;
+  if k.total > k.max_total then k.max_total <- k.total;
+  completed
+
+let close_keyed (k : keyed) =
+  let flushed =
+    List.concat_map (fun pool -> Engine.close pool) (List.rev k.order)
+  in
+  k.total <- 0;
+  flushed
+
+let keyed_streams (k : keyed) = List.rev k.order
+
+let keyed_metrics (k : keyed) =
+  {
+    (Metrics.merge (List.map Engine.metrics (keyed_streams k))) with
+    Metrics.max_simultaneous_instances = k.max_total;
+  }
+
+(* Deterministic key→shard routing: [Hashtbl.hash] is structural and
+   stable within a program run, so the same key always lands on the same
+   worker and each worker sees a fixed, order-preserved subsequence of
+   the input. Per-pool execution is then byte-identical to the
+   sequential layout — the pools are fully independent, and every pool
+   still consumes exactly its key's events, in order. *)
+let shard_index ~shards kv = Hashtbl.hash kv mod shards
+
 let create ?(options = Engine.default_options) ?key automaton =
   let key =
     match key with Some k -> k | None -> partition_key automaton
@@ -108,65 +159,122 @@ let create ?(options = Engine.default_options) ?key automaton =
   let pools =
     match key with
     | None -> Single (Engine.create ~options automaton)
+    | Some field when options.Engine.domains <= 1 -> Keyed (make_keyed field)
     | Some field ->
-        Keyed
-          { field; pools = Hashtbl.create 32; order = []; total = 0; max_total = 0 }
+        let shards =
+          Array.init options.Engine.domains (fun _ -> make_keyed field)
+        in
+        let batches =
+          Array.init options.Engine.domains (fun _ -> { events = []; len = 0 })
+        in
+        (* Workers discard per-event completions: raw emissions stay in
+           each engine stream and are collected by [emitted]/[close]
+           after a synchronization point. *)
+        let pool =
+          Domain_pool.create ~domains:options.Engine.domains (fun i es ->
+              Array.iter
+                (fun e -> ignore (feed_keyed ~options ~automaton shards.(i) e))
+                es)
+        in
+        Sharded { field; shards; batches; pool; flushed = false }
   in
   { automaton; options; pools }
 
 let key st =
-  match st.pools with Single _ -> None | Keyed k -> Some k.field
+  match st.pools with
+  | Single _ -> None
+  | Keyed k -> Some k.field
+  | Sharded s -> Some s.field
+
+let n_domains st =
+  match st.pools with
+  | Single _ | Keyed _ -> 1
+  | Sharded s -> Array.length s.shards
 
 let n_pools st =
-  match st.pools with Single _ -> 1 | Keyed k -> Hashtbl.length k.pools
-
-let ordered_streams st =
   match st.pools with
-  | Single s -> [ s ]
-  | Keyed k -> List.rev k.order
+  | Single _ -> 1
+  | Keyed k -> Hashtbl.length k.pools
+  | Sharded s ->
+      Array.fold_left
+        (fun acc (k : keyed) -> acc + Hashtbl.length k.pools)
+        0 s.shards
+
+let flush_batch pool batches i =
+  let b = batches.(i) in
+  if b.len > 0 then begin
+    let arr = Array.of_list (List.rev b.events) in
+    b.events <- [];
+    b.len <- 0;
+    Domain_pool.send pool i arr
+  end
+
+let flush_all pool batches =
+  Array.iteri (fun i _ -> flush_batch pool batches i) batches
 
 let feed st e =
   match st.pools with
   | Single s -> Engine.feed s e
-  | Keyed k ->
-      let kv = Event.get e k.field in
-      let pool =
-        match Hashtbl.find_opt k.pools kv with
-        | Some pool -> pool
-        | None ->
-            let pool = Engine.create ~options:st.options st.automaton in
-            Hashtbl.add k.pools kv pool;
-            k.order <- pool :: k.order;
-            pool
-      in
-      (* [Engine.population] is an O(1) counter read on the default
-         indexed store, so maintaining the cross-pool total per event is
-         cheap even with many pools. *)
-      let before = Engine.population pool in
-      let completed = Engine.feed pool e in
-      k.total <- k.total - before + Engine.population pool;
-      if k.total > k.max_total then k.max_total <- k.total;
-      completed
+  | Keyed k -> feed_keyed ~options:st.options ~automaton:st.automaton k e
+  | Sharded s ->
+      if s.flushed then
+        invalid_arg "Partitioned.feed: stream is closed"
+      else begin
+        let kv = Event.get e s.field in
+        let i = shard_index ~shards:(Array.length s.shards) kv in
+        let b = s.batches.(i) in
+        b.events <- e :: b.events;
+        b.len <- b.len + 1;
+        if b.len >= batch_size then flush_batch s.pool s.batches i;
+        (* Completions are reported at [close]/[emitted]: the worker
+           consumes the event asynchronously. *)
+        []
+      end
 
 let close st =
   match st.pools with
   | Single s -> Engine.close s
-  | Keyed k ->
-      let flushed =
-        List.concat_map (fun pool -> Engine.close pool) (List.rev k.order)
-      in
-      k.total <- 0;
-      flushed
+  | Keyed k -> close_keyed k
+  | Sharded s ->
+      if not s.flushed then flush_all s.pool s.batches;
+      Domain_pool.shutdown s.pool;
+      if s.flushed then []
+      else begin
+        s.flushed <- true;
+        List.concat_map close_keyed (Array.to_list s.shards)
+      end
+
+let ordered_streams st =
+  match st.pools with
+  | Single s -> [ s ]
+  | Keyed k -> keyed_streams k
+  | Sharded s ->
+      (* A no-op once the pool is shut down; otherwise pushes any
+         buffered events and blocks until the workers drain, making
+         shard state safe to read. *)
+      if not s.flushed then flush_all s.pool s.batches;
+      Domain_pool.quiesce s.pool;
+      List.concat_map keyed_streams (Array.to_list s.shards)
 
 let emitted st = List.concat_map Engine.emitted (ordered_streams st)
 
 let population st =
-  match st.pools with Single s -> Engine.population s | Keyed k -> k.total
+  match st.pools with
+  | Single s -> Engine.population s
+  | Keyed k -> k.total
+  | Sharded s ->
+      if not s.flushed then flush_all s.pool s.batches;
+      Domain_pool.quiesce s.pool;
+      Array.fold_left (fun acc (k : keyed) -> acc + k.total) 0 s.shards
 
 let metrics st =
   match st.pools with
   | Single s -> Engine.metrics s
-  | Keyed k -> sum_metrics ~max_total:k.max_total (List.rev k.order)
+  | Keyed k -> keyed_metrics k
+  | Sharded s ->
+      if not s.flushed then flush_all s.pool s.batches;
+      Domain_pool.quiesce s.pool;
+      Metrics.merge (List.map keyed_metrics (Array.to_list s.shards))
 
 let run ?(options = Engine.default_options) automaton events =
   let p = Automaton.pattern automaton in

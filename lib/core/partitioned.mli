@@ -46,7 +46,33 @@ val partition_key : Automaton.t -> Schema.Field.t option
 
     The push-based view, implementing {!Executor.EXECUTOR}: per-key
     engine pools opened lazily as each key value first appears. [feed]
-    routes the event to its key's pool only. *)
+    routes the event to its key's pool only.
+
+    {2 Domain-sharded execution}
+
+    When [options.domains > 1] and the pattern is partitionable, the
+    per-key pools are sharded across that many {!Domain_pool} worker
+    domains: each key hashes to a fixed worker, whose bounded queue
+    preserves arrival order, so every pool still consumes exactly its
+    key's events, sequentially and in order — the per-pool execution is
+    byte-identical to the sequential layout and the matching semantics
+    are untouched. The differences are operational:
+
+    - [feed] hands the event to its shard's queue and returns [[]];
+      completions are collected by [close]/[emitted] instead (finalize
+      needs the whole candidate set anyway, so batch callers — {!run},
+      {!Executor.drive} — are unaffected).
+    - [emitted], [population] and [metrics] first quiesce the workers
+      (block until every queue drains), so mid-stream reads are exact
+      but momentarily stall the pipeline.
+    - A worker exception (e.g. out-of-order events) is re-raised by the
+      next [feed], [close] or read, not at the offending [feed].
+    - [close] joins the worker domains, flushes every pool and returns
+      the accepted substitutions; the stream cannot be fed afterwards
+      (raises [Invalid_argument]).
+
+    Non-partitionable patterns fall back to the single sequential pool
+    regardless of [options.domains]. *)
 
 type stream
 
@@ -54,22 +80,30 @@ val create :
   ?options:Engine.options -> ?key:Schema.Field.t option -> Automaton.t -> stream
 (** [?key] overrides detection (the planner passes its already-computed
     decision); when omitted, {!partition_key} decides. [Some None] forces
-    a single unpartitioned pool. *)
+    a single unpartitioned pool. [options.domains > 1] runs the keyed
+    pools on worker domains as described above. *)
 
 val feed : stream -> Event.t -> Substitution.t list
-(** Raw substitutions whose instances completed on this event. *)
+(** Raw substitutions whose instances completed on this event ([[]] in
+    the domain-sharded mode — see above). *)
 
 val close : stream -> Substitution.t list
-(** Flushes accepting instances of every pool, oldest pool first. *)
+(** Flushes accepting instances of every pool, oldest pool first (per
+    shard, in shard order, when domain-sharded — joining the worker
+    domains first). *)
 
 val emitted : stream -> Substitution.t list
-(** All raw emissions so far, grouped by pool in pool-creation order. *)
+(** All raw emissions so far, grouped by pool in pool-creation order
+    (per shard when domain-sharded). *)
 
 val population : stream -> int
 (** Total live instances across pools. *)
 
 val n_pools : stream -> int
 (** Number of per-key pools opened so far (1 when unpartitioned). *)
+
+val n_domains : stream -> int
+(** Worker domains in use (1 when sequential). *)
 
 val key : stream -> Schema.Field.t option
 (** The partition key actually in use. *)
@@ -79,7 +113,9 @@ val metrics : stream -> Metrics.snapshot
     time of the total population. Expiry is lazy — a pool only discards
     expired instances when one of its own events arrives — so that peak
     may exceed the plain engine's even though the per-event work is
-    smaller. *)
+    smaller. In the domain-sharded mode the snapshots merge with
+    {!Metrics.merge}: the peak is the max of the per-shard peaks, a
+    deterministic lower bound on the sequential layout's global peak. *)
 
 (** {1 Batch interface} *)
 

@@ -65,6 +65,13 @@ module Field = struct
     | Timestamp, Timestamp -> true
     | (Attr _ | Timestamp), _ -> false
 
+  let compare a b =
+    match a, b with
+    | Attr i, Attr j -> Int.compare i j
+    | Attr _, Timestamp -> -1
+    | Timestamp, Attr _ -> 1
+    | Timestamp, Timestamp -> 0
+
   let type_of (s : schema) = function
     | Attr i -> s.types.(i)
     | Timestamp -> Value.Tint

@@ -40,6 +40,12 @@ module Field : sig
 
   val equal : t -> t -> bool
 
+  val compare : t -> t -> int
+  (** Attributes in schema order, then the timestamp. A dedicated
+      comparison (rather than the polymorphic [compare]) so orderings
+      over fields stay well-defined if the representation ever grows
+      non-comparable payloads. *)
+
   val type_of : schema -> t -> Value.ty
   (** Timestamps are typed as integers. *)
 

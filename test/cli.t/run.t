@@ -85,3 +85,20 @@ Diagnostics explain where the search effort went:
     -> no event can ever bind b
   states entered:
     cp+d: 196
+
+Domain-sharded execution: a complete ID-join query is partitionable, so
+per-key pools shard across worker domains — the output stays
+byte-identical to the sequential run at any domain count:
+
+  $ cat > q1c.ses <<'QUERY'
+  > PATTERN (c, p, d) -> (b)
+  > WHERE c.L = 'C' AND p.L = 'P' AND d.L = 'D' AND b.L = 'B'
+  >   AND c.ID = p.ID AND c.ID = d.ID AND c.ID = b.ID
+  >   AND p.ID = d.ID AND p.ID = b.ID AND d.ID = b.ID
+  > WITHIN 11 DAYS
+  > QUERY
+
+  $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1c.ses > seq.out
+  $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1c.ses \
+  >   --strategy par-partitioned --domains 4 > par.out
+  $ diff seq.out par.out

@@ -1,0 +1,274 @@
+(* Parallel-equivalence properties: the domain-sharded Partitioned
+   executor and the domain-parallel Multi runtime must be
+   observationally identical to their sequential counterparts — same
+   finalized matches (in order), same raw emissions (as a multiset),
+   and merged metrics that agree on every layout-invariant counter
+   (see [invariant] below for the two that are accounting artefacts of
+   the layout).
+
+   The default random-relation spec already exercises τ-expiry (gaps of
+   up to several time units against τ ∈ [5, 20]); the deterministic
+   negation case covers kills. *)
+
+open Ses_event
+open Ses_pattern
+open Ses_core
+open Ses_gen
+open Helpers
+
+(* Every pair of variables gets an ID equality: the complete join graph
+   pins all transitions to the ID field, so patterns with at least two
+   variables are partitionable and the sharded path actually runs. *)
+let part_spec =
+  { Random_workload.default_pattern with Random_workload.p_id_join = 1.0 }
+
+let with_workload seed f =
+  let rng = Prng.create (Int64.of_int seed) in
+  let pat = Random_workload.pattern rng part_spec in
+  let r = Random_workload.relation rng Random_workload.default_relation in
+  f pat r
+
+let canon substs = List.map Substitution.canonical substs
+let canon_sorted substs = List.sort compare (canon substs)
+
+(* The layout-invariant counters. [max_simultaneous_instances] is a
+   shard-local max (a lower bound on the global peak), and
+   [instances_expired] is lazy-scan accounting: the plain engine
+   collects τ-expired instances whenever any event advances time, while
+   a per-key pool only scans when one of its own key's events arrives —
+   instances that linger unscanned until close are enforced as expired
+   (they never fire) but not counted. Both are therefore compared by
+   inequality, not equality. *)
+let invariant (m : Metrics.snapshot) =
+  {
+    m with
+    Metrics.max_simultaneous_instances = 0;
+    Metrics.instances_expired = 0;
+  }
+
+let run_par ~domains automaton r =
+  Partitioned.run_relation
+    ~options:{ Engine.default_options with Engine.domains }
+    automaton r
+
+let domain_grid = [ 1; 2; 4 ]
+
+(* Group variables are the exception: the group-loop transition binds a
+   further event while only the group variable itself is bound, and no
+   reflexive ID condition exists to pin it, so those patterns correctly
+   fall back to the unpartitioned engine. *)
+let generator_is_partitionable =
+  QCheck.Test.make ~count:60
+    ~name:"complete ID-join patterns are partitionable"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_workload seed (fun pat _ ->
+          Pattern.n_vars pat < 2
+          || Pattern.group_vars pat <> []
+          || Partitioned.partition_key (Automaton.of_pattern pat) <> None))
+
+let sharded_output_equals_sequential =
+  QCheck.Test.make ~count:60
+    ~name:"sharded partitioned output = sequential output"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_workload seed (fun pat r ->
+          let automaton = Automaton.of_pattern pat in
+          let seq = Engine.run_relation automaton r in
+          List.for_all
+            (fun domains ->
+              let par = run_par ~domains automaton r in
+              (* Finalize sorts by (min timestamp, canonical form), so
+                 the match lists agree element by element, not just as
+                 sets. Raw emission order differs across layouts. *)
+              canon par.Engine.matches = canon seq.Engine.matches
+              && canon_sorted par.Engine.raw = canon_sorted seq.Engine.raw)
+            domain_grid))
+
+let sharded_metrics_merge_to_sequential =
+  QCheck.Test.make ~count:60
+    ~name:"sharded merged metrics = sequential metrics (summed counters)"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_workload seed (fun pat r ->
+          let automaton = Automaton.of_pattern pat in
+          let seq = Engine.run_relation automaton r in
+          List.for_all
+            (fun domains ->
+              let par = run_par ~domains automaton r in
+              invariant par.Engine.metrics = invariant seq.Engine.metrics
+              && par.Engine.metrics.Metrics.instances_expired
+                 <= seq.Engine.metrics.Metrics.instances_expired)
+            domain_grid))
+
+(* Hash routing is stable within (and across) runs, so a sharded run is
+   fully deterministic: repeating it yields byte-identical metrics —
+   including the shard-local instance peak — and identical output. *)
+let sharded_run_is_deterministic =
+  QCheck.Test.make ~count:40 ~name:"sharded run is deterministic"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_workload seed (fun pat r ->
+          let automaton = Automaton.of_pattern pat in
+          let once = run_par ~domains:4 automaton r in
+          let again = run_par ~domains:4 automaton r in
+          canon once.Engine.matches = canon again.Engine.matches
+          && once.Engine.metrics = again.Engine.metrics))
+
+(* Deterministic sharded run with an ID-pinned negation guard and a
+   τ-expiring instance: id 2 is killed by its own x event, id 1's x
+   arrives only after its match completed, and id 4's first a expires
+   before its b shows up (30 - 3 > τ = 20) while its second a still
+   matches. *)
+let neg_pattern =
+  Pattern.make_full_exn ~schema:Helpers.schema
+    ~sets:[ [ v "a" ]; [ v "b" ] ]
+    ~negations:[ (0, v "x") ]
+    ~where:
+      ([ label "a" "a"; label "b" "b"; label "x" "x" ]
+      @ Pattern.Spec.
+          [
+            fields "a" "ID" Predicate.Eq "b" "ID";
+            fields "x" "ID" Predicate.Eq "a" "ID";
+          ])
+    ~within:20
+
+let neg_relation =
+  rel
+    [
+      (1, "a", 0, 0);
+      (2, "a", 0, 1);
+      (3, "a", 0, 2);
+      (4, "a", 0, 3);
+      (2, "x", 0, 5);
+      (1, "b", 0, 8);
+      (2, "b", 0, 9);
+      (3, "b", 0, 10);
+      (4, "a", 0, 12);
+      (1, "x", 0, 15);
+      (4, "b", 0, 30);
+    ]
+
+let test_negation_and_expiry_sharded () =
+  let automaton = Automaton.of_pattern neg_pattern in
+  Alcotest.(check bool) "negation pattern is partitionable" true
+    (Partitioned.partition_key automaton <> None);
+  let seq = Engine.run_relation automaton neg_relation in
+  check_substs neg_pattern
+    [
+      [ ("a", 1); ("b", 6) ];
+      [ ("a", 3); ("b", 8) ];
+      [ ("a", 9); ("b", 11) ];
+    ]
+    seq.Engine.matches;
+  Alcotest.(check bool) "kill exercised" true
+    (seq.Engine.metrics.Metrics.instances_killed >= 1);
+  Alcotest.(check bool) "expiry exercised" true
+    (seq.Engine.metrics.Metrics.instances_expired >= 1);
+  List.iter
+    (fun domains ->
+      let options = { Engine.default_options with Engine.domains } in
+      (* The incremental interface, to also pin down that the sharded
+         layout really engaged [domains] worker domains. *)
+      let st = Partitioned.create ~options automaton in
+      Alcotest.(check int)
+        (Printf.sprintf "n_domains at %d" domains)
+        domains (Partitioned.n_domains st);
+      Seq.iter
+        (fun e -> ignore (Partitioned.feed st e))
+        (Relation.to_seq neg_relation);
+      ignore (Partitioned.close st);
+      let raw = Partitioned.emitted st in
+      let matches = Substitution.finalize neg_pattern raw in
+      Alcotest.(check bool)
+        (Printf.sprintf "matches at %d domains" domains)
+        true
+        (canon matches = canon seq.Engine.matches);
+      let m = Partitioned.metrics st in
+      Alcotest.(check bool)
+        (Printf.sprintf "summed counters at %d domains" domains)
+        true
+        (invariant m = invariant seq.Engine.metrics);
+      Alcotest.(check bool)
+        (Printf.sprintf "expiry bound at %d domains" domains)
+        true
+        (m.Metrics.instances_expired
+        <= seq.Engine.metrics.Metrics.instances_expired))
+    [ 2; 4 ]
+
+let multi_parallel_equals_sequential =
+  QCheck.Test.make ~count:40 ~name:"parallel multi = sequential multi"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int seed) in
+      let p1 = Random_workload.pattern rng Random_workload.default_pattern in
+      let p2 = Random_workload.pattern rng Random_workload.default_pattern in
+      let p3 = Random_workload.pattern rng part_spec in
+      let r = Random_workload.relation rng Random_workload.default_relation in
+      let queries =
+        [
+          ("q1", Automaton.of_pattern p1);
+          ("q2", Automaton.of_pattern p2);
+          ("q3", Automaton.of_pattern p3);
+        ]
+      in
+      let run domains =
+        Multi.run
+          ~options:{ Engine.default_options with Engine.domains }
+          queries (Relation.to_seq r)
+      in
+      let seq = run 1 in
+      List.for_all
+        (fun domains ->
+          let par = run domains in
+          List.for_all2
+            (fun (n1, (o1 : Engine.outcome)) (n2, (o2 : Engine.outcome)) ->
+              n1 = n2
+              && canon o1.Engine.matches = canon o2.Engine.matches
+              && canon_sorted o1.Engine.raw = canon_sorted o2.Engine.raw
+              (* Each query runs on exactly one domain, so even the
+                 per-query instance peak is bit-identical. *)
+              && o1.Engine.metrics = o2.Engine.metrics)
+            seq par)
+        [ 2; 4 ])
+
+(* Merged cross-query metrics are deterministic across domain counts:
+   replica accounting does not depend on which worker ran which
+   query. *)
+let test_multi_merged_metrics () =
+  let queries =
+    [
+      ("q1", Automaton.of_pattern query_q1);
+      ("q1-singleton", Automaton.of_pattern query_q1_singleton);
+    ]
+  in
+  let run domains =
+    let t =
+      Multi.create ~options:{ Engine.default_options with Engine.domains }
+        queries
+    in
+    Seq.iter (fun e -> ignore (Multi.feed t e)) (Relation.to_seq figure_1);
+    ignore (Multi.close t);
+    (Multi.n_domains t, Multi.merged_metrics t)
+  in
+  let d1, m1 = run 1 in
+  let d2, m2 = run 2 in
+  Alcotest.(check int) "sequential mode" 1 d1;
+  Alcotest.(check int) "parallel mode" 2 d2;
+  Alcotest.(check bool) "merged metrics identical" true (m1 = m2)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      generator_is_partitionable;
+      sharded_output_equals_sequential;
+      sharded_metrics_merge_to_sequential;
+      sharded_run_is_deterministic;
+      multi_parallel_equals_sequential;
+    ]
+  @ [
+      Alcotest.test_case "negation + expiry, sharded" `Quick
+        test_negation_and_expiry_sharded;
+      Alcotest.test_case "multi merged metrics deterministic" `Quick
+        test_multi_merged_metrics;
+    ]
