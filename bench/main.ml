@@ -33,9 +33,15 @@
    domains (events/sec each), plus a 4-query set on 1 vs 4 domains,
    writing the results to BENCH_parallel.json.
 
+   Part 6 measures the telemetry layer: Q1 over the chemotherapy
+   workload with the no-op sink (the disabled probes' branch cost —
+   the number to compare against pre-telemetry baselines) and with a
+   recording sink, writing both and the recorded profile to
+   BENCH_telemetry.json.
+
    Usage: dune exec bench/main.exe
             [-- --quick] [-- --exp N] [-- --no-micro] [-- --no-stream]
-            [-- --store-only] [-- --parallel-only] *)
+            [-- --store-only] [-- --parallel-only] [-- --telemetry-only] *)
 
 open Bechamel
 open Toolkit
@@ -49,6 +55,8 @@ let no_stream = Array.exists (( = ) "--no-stream") Sys.argv
 let store_only = Array.exists (( = ) "--store-only") Sys.argv
 
 let parallel_only = Array.exists (( = ) "--parallel-only") Sys.argv
+
+let telemetry_only = Array.exists (( = ) "--telemetry-only") Sys.argv
 
 let only_exp =
   let rec find i =
@@ -390,6 +398,85 @@ let parallel_bench () =
   output_char oc '\n';
   close_out oc
 
+(* Telemetry overhead: Q1 (group loop, ~19k events at 150 patients)
+   through the plain engine, (a) with the default no-op sink — every
+   probe is one untaken branch, so this leg is the pre-telemetry
+   baseline modulo that branch — and (b) with a recording sink. Three
+   repetitions each, best wall-clock kept; the recorded profile rides
+   along in the JSON so the numbers can be cross-checked against the
+   probe counts. *)
+
+let telemetry_bench () =
+  let module Q = Ses_harness.Queries in
+  let d =
+    Ses_gen.Chemo.generate
+      {
+        Ses_gen.Chemo.default with
+        Ses_gen.Chemo.seed = 11L;
+        patients = (if quick then 20 else 150);
+      }
+  in
+  let n_events = Ses_event.Relation.cardinality d in
+  let run_with telemetry =
+    Ses_core.Executor.run_relation
+      ~options:
+        { Ses_core.Engine.default_options with Ses_core.Engine.telemetry }
+      `Plain
+      (Ses_core.Automaton.of_pattern Q.q1)
+      d
+  in
+  let reps = 3 in
+  let best f =
+    let rec go n acc best_s =
+      if n = 0 then (Option.get acc, best_s)
+      else
+        let r, s = time f in
+        go (n - 1) (Some r) (Float.min best_s s)
+    in
+    go reps None infinity
+  in
+  let disabled, disabled_s = best (fun () -> run_with None) in
+  let recorder = ref (Ses_core.Telemetry.create ()) in
+  let recording, recording_s =
+    best (fun () ->
+        (* a fresh recorder per repetition, so the kept profile belongs
+           to exactly one run *)
+        recorder := Ses_core.Telemetry.create ();
+        run_with (Some !recorder))
+  in
+  let n_disabled = List.length disabled.Ses_core.Engine.matches in
+  let n_recording = List.length recording.Ses_core.Engine.matches in
+  if n_disabled <> n_recording then
+    Printf.eprintf
+      "warning: telemetry mismatch: recording run found %d matches, no-op %d\n"
+      n_recording n_disabled;
+  let profile = Ses_core.Telemetry.snapshot !recorder in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"workload\": {\"pattern\": \"q1\", \"events\": %d, \"matches\": %d},\n\
+      \  \"reps\": %d,\n\
+      \  \"disabled\": {\"elapsed_s\": %.6f, \"events_per_sec\": %.0f},\n\
+      \  \"recording\": {\"elapsed_s\": %.6f, \"events_per_sec\": %.0f,\n\
+      \                \"overhead_pct\": %.2f},\n\
+      \  \"profile\":\n\
+       %s\n\
+       }"
+      n_events n_disabled reps disabled_s
+      (float_of_int n_events /. disabled_s)
+      recording_s
+      (float_of_int n_events /. recording_s)
+      ((recording_s -. disabled_s) /. disabled_s *. 100.)
+      (Ses_core.Telemetry.to_json profile)
+  in
+  Printf.printf "Telemetry overhead (JSON)\n";
+  Printf.printf "-------------------------\n";
+  Printf.printf "%s\n\n" json;
+  let oc = open_out "BENCH_telemetry.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc
+
 (* Micro-benchmarks: one Test.make per paper artifact, on the D1 dataset. *)
 
 let micro_tests () =
@@ -485,10 +572,12 @@ let run_micro () =
 let () =
   if store_only then store_bench ()
   else if parallel_only then parallel_bench ()
+  else if telemetry_only then telemetry_bench ()
   else begin
     run_tables ();
     if not no_stream then stream_bench ();
     if not no_micro then run_micro ();
     store_bench ();
-    parallel_bench ()
+    parallel_bench ();
+    telemetry_bench ()
   end

@@ -206,6 +206,18 @@ let stream_arg =
            4.5 constant-condition filter is pushed into the scan when the \
            pattern supports it.")
 
+let telemetry_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Record runtime telemetry (spans, histograms, gauges) during the \
+           run and write the profile afterwards: to stdout when FILE is \
+           omitted or \"-\", else to FILE. A FILE ending in .prom gets \
+           Prometheus text exposition format, anything else JSON. Without \
+           this flag every probe is a disabled branch.")
+
 let domains_arg =
   Arg.(
     value & opt int 1
@@ -239,12 +251,15 @@ let print_match_results pattern ~raw ~matches ~metrics show_metrics show_raw
   if show_metrics then Format.printf "%a@." Ses_core.Metrics.pp metrics
 
 let run_match data query query_file strategy stream domains filter policy store
-    show_metrics show_raw table =
+    telemetry show_metrics show_raw table =
   Ses_baseline.Brute_force.register ();
   if domains < 1 then begin
     prerr_endline "error: --domains must be at least 1";
     exit 1
   end;
+  let recorder =
+    Option.map (fun _ -> Ses_core.Telemetry.create ()) telemetry
+  in
   let run_match_body () =
   let options =
     {
@@ -253,6 +268,7 @@ let run_match data query query_file strategy stream domains filter policy store
       policy;
       store;
       domains;
+      telemetry = recorder;
     }
   in
   if stream then begin
@@ -298,14 +314,29 @@ let run_match data query query_file strategy stream domains filter policy store
         (Ses_core.Executor.strategy_name strategy)
   end
   in
-  try run_match_body ()
-  with Ses_core.Naive.Too_large n ->
-    prerr_endline
-      (Printf.sprintf
-         "error: the naive oracle would enumerate more than %d assignments \
-          on this input; use a smaller relation or another --strategy"
-         n);
-    exit 1
+  (try run_match_body ()
+   with Ses_core.Naive.Too_large n ->
+     prerr_endline
+       (Printf.sprintf
+          "error: the naive oracle would enumerate more than %d assignments \
+           on this input; use a smaller relation or another --strategy"
+          n);
+     exit 1);
+  match telemetry, recorder with
+  | Some dest, Some tl ->
+      (* All executors have closed (and joined their domains) by now, so
+         the snapshot reads quiesced probes. *)
+      let profile = Ses_core.Telemetry.snapshot tl in
+      let text =
+        if Filename.check_suffix dest ".prom" then
+          Ses_core.Telemetry.to_prometheus profile
+        else Ses_core.Telemetry.to_json profile ^ "\n"
+      in
+      if dest = "-" then print_string text
+      else
+        Out_channel.with_open_text dest (fun oc ->
+            Out_channel.output_string oc text)
+  | _ -> ()
 
 let match_cmd =
   Cmd.v
@@ -313,7 +344,7 @@ let match_cmd =
     Term.(
       const run_match $ data_arg $ query_arg $ query_file_arg $ strategy_arg
       $ stream_arg $ domains_arg $ filter_arg $ policy_arg $ store_arg
-      $ show_metrics_arg $ show_raw_arg $ table_arg)
+      $ telemetry_arg $ show_metrics_arg $ show_raw_arg $ table_arg)
 
 (* dot *)
 

@@ -26,6 +26,7 @@ type 'a worker = {
 type 'a t = {
   workers : 'a worker array;
   capacity : int;
+  depth : Telemetry.Gauge.t option;  (* queue depth sampled on send *)
   mutable stopped : bool;
 }
 
@@ -74,14 +75,30 @@ let worker_loop w f =
   in
   loop ()
 
-let create ?(capacity = default_capacity) ~domains f =
+let create ?(capacity = default_capacity) ?telemetry ~domains f =
   if domains < 1 then invalid_arg "Domain_pool.create: domains < 1";
   if capacity < 1 then invalid_arg "Domain_pool.create: capacity < 1";
   let workers = Array.init domains (fun _ -> make_worker ()) in
   Array.iteri
-    (fun i w -> w.handle <- Some (Domain.spawn (fun () -> worker_loop w (f i))))
+    (fun i w ->
+      (* Each worker writes its span through its own forked recorder
+         (spans are single-writer); the handle is resolved before
+         [Domain.spawn], whose happens-before covers the publication. *)
+      let run =
+        match telemetry with
+        | None -> f i
+        | Some tl ->
+            let sp =
+              Telemetry.span (Telemetry.fork tl) (Printf.sprintf "worker.%d" i)
+            in
+            fun x -> Telemetry.Span.record sp (fun () -> f i x)
+      in
+      w.handle <- Some (Domain.spawn (fun () -> worker_loop w run)))
     workers;
-  { workers; capacity; stopped = false }
+  let depth =
+    Option.map (fun tl -> Telemetry.gauge tl "pool.queue_depth") telemetry
+  in
+  { workers; capacity; depth; stopped = false }
 
 let size pool = Array.length pool.workers
 
@@ -103,6 +120,9 @@ let send pool i x =
   check_failure w;
   Queue.push x w.queue;
   w.pending <- w.pending + 1;
+  (match pool.depth with
+  | None -> ()
+  | Some g -> Telemetry.Gauge.observe g (Queue.length w.queue));
   Condition.signal w.not_empty;
   Mutex.unlock w.mutex
 

@@ -16,12 +16,23 @@
 
 type 'a t
 
-val create : ?capacity:int -> domains:int -> (int -> 'a -> unit) -> 'a t
+val create :
+  ?capacity:int ->
+  ?telemetry:Telemetry.t ->
+  domains:int ->
+  (int -> 'a -> unit) ->
+  'a t
 (** [create ~domains f] spawns the workers. [capacity] bounds each
     worker's queue (default 1024): {!send} blocks when the consumer
     falls that far behind, so an unbounded event source cannot exhaust
     memory. Raises [Invalid_argument] when [domains] or [capacity]
-    is < 1. *)
+    is < 1.
+
+    With [telemetry], worker [i] times each message it processes into a
+    [worker.i] span (through its own {!Telemetry.fork}, so the
+    single-writer discipline holds), and {!send} samples the receiving
+    queue's depth into a [pool.queue_depth] gauge. A custom
+    {!Telemetry.create} clock must be safe to call from any domain. *)
 
 val size : 'a t -> int
 (** Number of worker domains. *)

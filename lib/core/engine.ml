@@ -12,6 +12,7 @@ type options = {
   precheck_constants : bool;
   store : store_kind;
   domains : int;
+  telemetry : Telemetry.sink;
 }
 
 let default_options =
@@ -22,6 +23,7 @@ let default_options =
     precheck_constants = true;
     store = Indexed;
     domains = 1;
+    telemetry = None;
   }
 
 (* A transition with its condition set split into the constant atoms
@@ -91,6 +93,16 @@ type population =
   | Omega of flat_pool
   | Store of instance Instance_store.t
 
+(* Telemetry handles, resolved once per stream so an enabled probe is a
+   field read, and a disabled stream pays one branch on [probes]. *)
+type probes = {
+  filter_span : Telemetry.Span.t;
+  transition_span : Telemetry.Span.t;
+  expiry_span : Telemetry.Span.t;
+  bucket_scan : Telemetry.Histogram.t;
+  population_gauge : Telemetry.Gauge.t;
+}
+
 type stream = {
   automaton : Automaton.t;
   options : options;
@@ -113,6 +125,7 @@ type stream = {
       (** the start-state instance opened for every event; it is immutable
           and never stored, so one allocation serves the whole stream *)
   pop : population;
+  probes : probes option;
   mutable next_id : int;
   mutable emissions : Substitution.t list;  (** newest first *)
   mutable last_ts : Time.t option;
@@ -201,6 +214,17 @@ let create ?(options = default_options) automaton =
                ~ts_of:(fun inst -> inst.first_ts)
                ~seq_of:(fun inst -> inst.id)
                ()));
+    probes =
+      Option.map
+        (fun tl ->
+          {
+            filter_span = Telemetry.span tl "filter";
+            transition_span = Telemetry.span tl "transition";
+            expiry_span = Telemetry.span tl "expiry";
+            bucket_scan = Telemetry.histogram tl "store.bucket_scan";
+            population_gauge = Telemetry.gauge tl "population";
+          })
+        options.telemetry;
     next_id = 1;
     emissions = [];
     last_ts = None;
@@ -366,6 +390,14 @@ let feed_flat st o e =
   let accept = Automaton.accept st.automaton in
   let completed = ref [] in
   let survivors = ref [] in
+  (* The flat loop interleaves expiry and consumption per instance, so
+     one transition span covers the whole sweep (the probe map in
+     docs/architecture.md notes the asymmetry with the indexed path). *)
+  let tok =
+    match st.probes with
+    | None -> 0
+    | Some p -> Telemetry.Span.start p.transition_span
+  in
   List.iter
     (fun inst ->
       if expired tau inst e then begin
@@ -380,7 +412,13 @@ let feed_flat st o e =
       else survivors := List.rev_append (consume st inst e) !survivors)
     (st.fresh :: o.omega);
   o.omega <- List.rev !survivors;
-  Metrics.sample_population st.m (List.length o.omega);
+  let n = List.length o.omega in
+  Metrics.sample_population st.m n;
+  (match st.probes with
+  | None -> ()
+  | Some p ->
+      Telemetry.Span.stop p.transition_span tok;
+      Telemetry.Gauge.observe p.population_gauge n);
   List.rev !completed
 
 (* The same loop over the state-indexed store. Buckets are visited in
@@ -400,10 +438,18 @@ let feed_indexed st store e =
   List.iter
     (fun q ->
       if Instance_store.bucket_size store q > 0 then begin
+        let tok =
+          match st.probes with
+          | None -> 0
+          | Some p -> Telemetry.Span.start p.expiry_span
+        in
         let dead =
           Instance_store.pop_expired store q ~expired:(fun inst ->
               expired tau inst e)
         in
+        (match st.probes with
+        | None -> ()
+        | Some p -> Telemetry.Span.stop p.expiry_span tok);
         List.iter
           (fun inst ->
             Metrics.on_expired st.m;
@@ -420,6 +466,14 @@ let feed_indexed st store e =
           || st.observer <> None
         in
         if scan && Instance_store.bucket_size store q > 0 then begin
+          let tok =
+            match st.probes with
+            | None -> 0
+            | Some p ->
+                Telemetry.Histogram.observe p.bucket_scan
+                  (Instance_store.bucket_size store q);
+                Telemetry.Span.start p.transition_span
+          in
           let insts = Instance_store.take_all store q in
           let stayed =
             List.filter
@@ -431,12 +485,19 @@ let feed_indexed st store e =
                     false)
               insts
           in
-          Instance_store.put_back store q stayed
+          Instance_store.put_back store q stayed;
+          match st.probes with
+          | None -> ()
+          | Some p -> Telemetry.Span.stop p.transition_span tok
         end
       end)
     st.states;
   Instance_store.commit store;
-  Metrics.sample_population st.m (Instance_store.size store);
+  let n = Instance_store.size store in
+  Metrics.sample_population st.m n;
+  (match st.probes with
+  | None -> ()
+  | Some p -> Telemetry.Gauge.observe p.population_gauge n);
   List.rev !completed
 
 let feed st e =
@@ -446,7 +507,16 @@ let feed st e =
   | Some _ | None -> ());
   st.last_ts <- Some (Event.ts e);
   Metrics.on_event st.m;
-  if not (Event_filter.keep st.filter e) then begin
+  let kept =
+    match st.probes with
+    | None -> Event_filter.keep st.filter e
+    | Some p ->
+        let tok = Telemetry.Span.start p.filter_span in
+        let kept = Event_filter.keep st.filter e in
+        Telemetry.Span.stop p.filter_span tok;
+        kept
+  in
+  if not kept then begin
     Metrics.on_filtered st.m;
     []
   end
@@ -515,11 +585,16 @@ let run ?(options = default_options) automaton events =
   Seq.iter (fun e -> ignore (feed st e)) events;
   ignore (close st);
   let raw = emitted st in
-  let matches =
+  let finalize () =
     if options.finalize then
       Substitution.finalize ~policy:options.policy
         (Automaton.pattern automaton) raw
     else raw
+  in
+  let matches =
+    match options.telemetry with
+    | None -> finalize ()
+    | Some tl -> Telemetry.Span.record (Telemetry.span tl "finalize") finalize
   in
   { matches; raw; metrics = Metrics.snapshot st.m }
 

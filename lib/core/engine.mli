@@ -51,6 +51,13 @@ type options = {
           and ignores this; {!Partitioned} shards its per-key pools
           across this many domains when the pattern is partitionable,
           and {!Multi} spreads its queries across them. *)
+  telemetry : Telemetry.sink;
+      (** instrumentation recorder (default [None] = no-op: every probe
+          on the hot path costs one branch). The engine plants [filter],
+          [transition], [expiry] and [finalize] spans, a
+          [store.bucket_scan] histogram and a [population] gauge; the
+          executors layered above add their own probes to the same
+          recorder. *)
 }
 
 val default_options : options

@@ -146,6 +146,56 @@ module Naive_exec : EXECUTOR = struct
   let metrics = Naive.metrics
 end
 
+(* Uniform instrumentation over any strategy: an [ingest] span and an
+   [event_ns] histogram per pushed event, resolved once at [create] from
+   [options.telemetry] (one interval read feeds both). Applied by
+   [of_strategy] so every strategy — including the injected brute-force
+   baseline — reports through the same probe names. *)
+module Instrument (E : EXECUTOR) : EXECUTOR = struct
+  type probes = {
+    ingest : Telemetry.Span.t;
+    event_ns : Telemetry.Histogram.t;
+  }
+
+  type t = {
+    inner : E.t;
+    probes : probes option;
+  }
+
+  let name = E.name
+
+  let create ?(options = Engine.default_options) automaton =
+    let inner = E.create ~options automaton in
+    let probes =
+      Option.map
+        (fun tl ->
+          {
+            ingest = Telemetry.span tl "ingest";
+            event_ns = Telemetry.histogram tl "event_ns";
+          })
+        options.Engine.telemetry
+    in
+    { inner; probes }
+
+  let feed t e =
+    match t.probes with
+    | None -> E.feed t.inner e
+    | Some p ->
+        let tok = Telemetry.Span.start p.ingest in
+        let out = E.feed t.inner e in
+        Telemetry.Histogram.observe p.event_ns
+          (Telemetry.Span.stop_elapsed p.ingest tok);
+        out
+
+  let close t = E.close t.inner
+
+  let emitted t = E.emitted t.inner
+
+  let population t = E.population t.inner
+
+  let metrics t = E.metrics t.inner
+end
+
 (* The brute-force baseline lives in [ses_baseline], which depends on
    this library, so its executor is injected rather than referenced:
    [Ses_baseline.Brute_force.register] installs it. *)
@@ -153,15 +203,23 @@ let brute_force : (module EXECUTOR) option ref = ref None
 
 let register_brute_force m = brute_force := Some m
 
+module Auto_i = Instrument (Auto)
+module Plain_i = Instrument (Plain)
+module Partitioned_i = Instrument (Partitioned_exec)
+module Par_partitioned_i = Instrument (Par_partitioned_exec)
+module Naive_i = Instrument (Naive_exec)
+
 let of_strategy : strategy -> (module EXECUTOR) = function
-  | `Auto -> (module Auto)
-  | `Plain -> (module Plain)
-  | `Partitioned -> (module Partitioned_exec)
-  | `Par_partitioned -> (module Par_partitioned_exec)
-  | `Naive -> (module Naive_exec)
+  | `Auto -> (module Auto_i)
+  | `Plain -> (module Plain_i)
+  | `Partitioned -> (module Partitioned_i)
+  | `Par_partitioned -> (module Par_partitioned_i)
+  | `Naive -> (module Naive_i)
   | `Brute_force -> (
       match !brute_force with
-      | Some m -> m
+      | Some m ->
+          let module M = (val m : EXECUTOR) in
+          (module Instrument (M))
       | None ->
           failwith
             "Executor: brute-force strategy not registered (call \
@@ -189,11 +247,16 @@ let drive ?(options = Engine.default_options) exec automaton events =
   Seq.iter (fun e -> ignore (feed exec e)) events;
   ignore (close exec);
   let raw = emitted exec in
-  let matches =
+  let finalize () =
     if options.Engine.finalize then
       Substitution.finalize ~policy:options.Engine.policy
         (Automaton.pattern automaton) raw
     else raw
+  in
+  let matches =
+    match options.Engine.telemetry with
+    | None -> finalize ()
+    | Some tl -> Telemetry.Span.record (Telemetry.span tl "finalize") finalize
   in
   { Engine.matches; raw; metrics = metrics exec }
 

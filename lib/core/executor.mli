@@ -68,7 +68,12 @@ end
 val of_strategy : strategy -> (module EXECUTOR)
 (** The registry. [`Brute_force] is injected by [ses_baseline] (a
     dependent library): raises [Failure] unless
-    [Ses_baseline.Brute_force.register] has been called. *)
+    [Ses_baseline.Brute_force.register] has been called.
+
+    Every returned module is wrapped in a uniform instrumentation layer:
+    when [options.telemetry] carries a recorder, each [feed] is timed
+    into an [ingest] span and an [event_ns] histogram, so all five
+    strategies report per-event cost through the same probe names. *)
 
 val register_brute_force : (module EXECUTOR) -> unit
 

@@ -46,9 +46,16 @@ val merge : snapshot list -> snapshot
     each event, instance and transition is counted by exactly one
     shard — except [max_simultaneous_instances], which takes the max of
     the shard-local peaks. The peaks need not coincide in time, so the
-    merged value is a deterministic lower bound on the true global peak;
-    it is exact when a single shard dominates (and always exact for one
-    shard). [merge [] = zero]. *)
+    merged value is a deterministic {e lower bound} on the true global
+    peak, which is in turn at most the {e sum} of the shard peaks:
+
+    {v max_i peak_i  ≤  true global peak  ≤  Σ_i peak_i v}
+
+    It is exact when a single shard dominates (and always exact for one
+    shard). For the true cross-shard peak, attach a {!Telemetry} recorder:
+    the sharded executors maintain a shared atomic [population.global]
+    gauge whose peak is measured, not reconstructed — reports can then
+    show both numbers. [merge [] = zero]. *)
 
 val merge_replicas : snapshot list -> snapshot
 (** Combines the snapshots of executors that each consume the {e whole}

@@ -20,6 +20,7 @@ let batch_size = 64
 type parallel = {
   pool : Event.t array Domain_pool.t;
   groups : entry list array;  (* registration order within a group *)
+  batch_hist : Telemetry.Histogram.t option;  (* broadcast batch sizes *)
   mutable pending : Event.t list;  (* newest first *)
   mutable pending_len : int;
   mutable flushed : bool;
@@ -48,10 +49,24 @@ let create_mixed ?(options = Engine.default_options) queries =
   let entries =
     List.map
       (fun (name, automaton, strategy) ->
+        (* In parallel mode each query's executor records through its own
+           forked child: queries pinned to different workers must not
+           share plain-mutable span/histogram state. *)
+        let entry_options =
+          if domains <= 1 then exec_options
+          else
+            match exec_options.Engine.telemetry with
+            | None -> exec_options
+            | Some tl ->
+                {
+                  exec_options with
+                  Engine.telemetry = Some (Telemetry.fork tl);
+                }
+        in
         {
           name;
           automaton;
-          exec = Executor.create ~options:exec_options strategy automaton;
+          exec = Executor.create ~options:entry_options strategy automaton;
         })
       queries
   in
@@ -64,7 +79,8 @@ let create_mixed ?(options = Engine.default_options) queries =
         entries;
       Array.iteri (fun i g -> groups.(i) <- List.rev g) groups;
       let pool =
-        Domain_pool.create ~domains (fun i events ->
+        Domain_pool.create ?telemetry:options.Engine.telemetry ~domains
+          (fun i events ->
             Array.iter
               (fun event ->
                 List.iter
@@ -72,7 +88,20 @@ let create_mixed ?(options = Engine.default_options) queries =
                   groups.(i))
               events)
       in
-      Parallel { pool; groups; pending = []; pending_len = 0; flushed = false }
+      let batch_hist =
+        Option.map
+          (fun tl -> Telemetry.histogram tl "pool.batch_events")
+          options.Engine.telemetry
+      in
+      Parallel
+        {
+          pool;
+          groups;
+          batch_hist;
+          pending = [];
+          pending_len = 0;
+          flushed = false;
+        }
     end
   in
   { entries; options; runtime }
@@ -93,6 +122,9 @@ let n_domains t =
 
 let flush_pending (p : parallel) =
   if p.pending_len > 0 then begin
+    (match p.batch_hist with
+    | None -> ()
+    | Some h -> Telemetry.Histogram.observe h p.pending_len);
     let arr = Array.of_list (List.rev p.pending) in
       p.pending <- [];
       p.pending_len <- 0;

@@ -77,10 +77,22 @@ type keyed = {
   mutable order : Engine.stream list;  (* creation order, newest first *)
   mutable total : int;
   mutable max_total : int;
+  pop_global : Telemetry.Gauge.t option;
+      (* the cross-shard population gauge, shared by every [keyed] of a
+         stream: atomic delta-adds from each shard make its peak the
+         true global |Ω| peak (at event granularity), where the merged
+         [max_total]s only bound it from below. *)
 }
 
-let make_keyed field =
-  { field; pools = Hashtbl.create 32; order = []; total = 0; max_total = 0 }
+let make_keyed ?pop_global field =
+  {
+    field;
+    pools = Hashtbl.create 32;
+    order = [];
+    total = 0;
+    max_total = 0;
+    pop_global;
+  }
 
 (* Events travel to the workers in per-shard batches: a mutex/condition
    handshake per event would cost more than the engine work it ships, so
@@ -100,6 +112,7 @@ type pools =
       shards : keyed array;
       batches : batch array;  (* producer-side, one per shard *)
       pool : Event.t array Domain_pool.t;
+      batch_hist : Telemetry.Histogram.t option;  (* batch sizes on flush *)
       mutable flushed : bool;  (* the domains have been joined *)
     }
 
@@ -125,14 +138,21 @@ let feed_keyed ~options ~automaton (k : keyed) e =
      cheap even with many pools. *)
   let before = Engine.population pool in
   let completed = Engine.feed pool e in
-  k.total <- k.total - before + Engine.population pool;
+  let delta = Engine.population pool - before in
+  k.total <- k.total + delta;
   if k.total > k.max_total then k.max_total <- k.total;
+  (match k.pop_global with
+  | None -> ()
+  | Some g -> Telemetry.Gauge.add g delta);
   completed
 
 let close_keyed (k : keyed) =
   let flushed =
     List.concat_map (fun pool -> Engine.close pool) (List.rev k.order)
   in
+  (match k.pop_global with
+  | None -> ()
+  | Some g -> Telemetry.Gauge.add g (-k.total));
   k.total <- 0;
   flushed
 
@@ -156,27 +176,58 @@ let create ?(options = Engine.default_options) ?key automaton =
   let key =
     match key with Some k -> k | None -> partition_key automaton
   in
+  (* Resolved only for the keyed layouts: a [Single] fallback already
+     reports exact |Ω| through the engine's own [population] gauge. *)
+  let pop_global () =
+    Option.map
+      (fun tl -> Telemetry.gauge tl "population.global")
+      options.Engine.telemetry
+  in
   let pools =
     match key with
     | None -> Single (Engine.create ~options automaton)
-    | Some field when options.Engine.domains <= 1 -> Keyed (make_keyed field)
+    | Some field when options.Engine.domains <= 1 ->
+        Keyed (make_keyed ?pop_global:(pop_global ()) field)
     | Some field ->
+        let pop_global = pop_global () in
         let shards =
-          Array.init options.Engine.domains (fun _ -> make_keyed field)
+          Array.init options.Engine.domains (fun _ ->
+              make_keyed ?pop_global field)
+        in
+        (* Spans and histograms are single-writer, so each shard's engine
+           streams record through their own forked child; only the atomic
+           [pop_global] gauge is shared across domains. *)
+        let shard_opts =
+          Array.init options.Engine.domains (fun _ ->
+              match options.Engine.telemetry with
+              | None -> options
+              | Some tl ->
+                  {
+                    options with
+                    Engine.telemetry = Some (Telemetry.fork tl);
+                  })
         in
         let batches =
           Array.init options.Engine.domains (fun _ -> { events = []; len = 0 })
+        in
+        let batch_hist =
+          Option.map
+            (fun tl -> Telemetry.histogram tl "pool.batch_events")
+            options.Engine.telemetry
         in
         (* Workers discard per-event completions: raw emissions stay in
            each engine stream and are collected by [emitted]/[close]
            after a synchronization point. *)
         let pool =
-          Domain_pool.create ~domains:options.Engine.domains (fun i es ->
+          Domain_pool.create ?telemetry:options.Engine.telemetry
+            ~domains:options.Engine.domains (fun i es ->
               Array.iter
-                (fun e -> ignore (feed_keyed ~options ~automaton shards.(i) e))
+                (fun e ->
+                  ignore
+                    (feed_keyed ~options:shard_opts.(i) ~automaton shards.(i) e))
                 es)
         in
-        Sharded { field; shards; batches; pool; flushed = false }
+        Sharded { field; shards; batches; pool; batch_hist; flushed = false }
   in
   { automaton; options; pools }
 
@@ -200,17 +251,20 @@ let n_pools st =
         (fun acc (k : keyed) -> acc + Hashtbl.length k.pools)
         0 s.shards
 
-let flush_batch pool batches i =
+let flush_batch ?hist pool batches i =
   let b = batches.(i) in
   if b.len > 0 then begin
+    (match hist with
+    | None -> ()
+    | Some h -> Telemetry.Histogram.observe h b.len);
     let arr = Array.of_list (List.rev b.events) in
     b.events <- [];
     b.len <- 0;
     Domain_pool.send pool i arr
   end
 
-let flush_all pool batches =
-  Array.iteri (fun i _ -> flush_batch pool batches i) batches
+let flush_all ?hist pool batches =
+  Array.iteri (fun i _ -> flush_batch ?hist pool batches i) batches
 
 let feed st e =
   match st.pools with
@@ -225,7 +279,7 @@ let feed st e =
         let b = s.batches.(i) in
         b.events <- e :: b.events;
         b.len <- b.len + 1;
-        if b.len >= batch_size then flush_batch s.pool s.batches i;
+        if b.len >= batch_size then flush_batch ?hist:s.batch_hist s.pool s.batches i;
         (* Completions are reported at [close]/[emitted]: the worker
            consumes the event asynchronously. *)
         []
@@ -236,7 +290,7 @@ let close st =
   | Single s -> Engine.close s
   | Keyed k -> close_keyed k
   | Sharded s ->
-      if not s.flushed then flush_all s.pool s.batches;
+      if not s.flushed then flush_all ?hist:s.batch_hist s.pool s.batches;
       Domain_pool.shutdown s.pool;
       if s.flushed then []
       else begin
@@ -252,7 +306,7 @@ let ordered_streams st =
       (* A no-op once the pool is shut down; otherwise pushes any
          buffered events and blocks until the workers drain, making
          shard state safe to read. *)
-      if not s.flushed then flush_all s.pool s.batches;
+      if not s.flushed then flush_all ?hist:s.batch_hist s.pool s.batches;
       Domain_pool.quiesce s.pool;
       List.concat_map keyed_streams (Array.to_list s.shards)
 
@@ -263,7 +317,7 @@ let population st =
   | Single s -> Engine.population s
   | Keyed k -> k.total
   | Sharded s ->
-      if not s.flushed then flush_all s.pool s.batches;
+      if not s.flushed then flush_all ?hist:s.batch_hist s.pool s.batches;
       Domain_pool.quiesce s.pool;
       Array.fold_left (fun acc (k : keyed) -> acc + k.total) 0 s.shards
 
@@ -272,7 +326,7 @@ let metrics st =
   | Single s -> Engine.metrics s
   | Keyed k -> keyed_metrics k
   | Sharded s ->
-      if not s.flushed then flush_all s.pool s.batches;
+      if not s.flushed then flush_all ?hist:s.batch_hist s.pool s.batches;
       Domain_pool.quiesce s.pool;
       Metrics.merge (List.map keyed_metrics (Array.to_list s.shards))
 

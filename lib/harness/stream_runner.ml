@@ -29,6 +29,36 @@ let selection_of_pattern p =
                      clause))
               clauses))
 
+(* Per-field selectivity telemetry over a pushed-down selection: each
+   atom actually evaluated bumps [csv.select.<field>.tested] and, when
+   it holds, [csv.select.<field>.passed]. Handles are memoized per field
+   name, so the per-row cost is one small Hashtbl lookup per atom — and
+   only on instrumented runs. *)
+let traced_selection tl schema p =
+  let handles = Hashtbl.create 8 in
+  let resolve name =
+    match Hashtbl.find_opt handles name with
+    | Some h -> h
+    | None ->
+        let h =
+          ( Telemetry.counter tl (Printf.sprintf "csv.select.%s.tested" name),
+            Telemetry.counter tl (Printf.sprintf "csv.select.%s.passed" name) )
+        in
+        Hashtbl.add handles name h;
+        h
+  in
+  let trace name passed =
+    let tested, ok = resolve name in
+    Telemetry.Counter.incr tested;
+    if passed then Telemetry.Counter.incr ok
+  in
+  Ses_store.Selection.compile_traced ~trace schema p
+
+(* Sample the delivery rate into a [stream.rows_per_sec] gauge every
+   [rate_window] delivered events — frequent enough to catch phases,
+   rare enough to stay off the hot path. *)
+let rate_window = 1024
+
 let run ?(options = Engine.default_options) ?(strategy = `Auto)
     ?(push_filter = true) ~query path =
   Ses_baseline.Brute_force.register ();
@@ -43,19 +73,49 @@ let run ?(options = Engine.default_options) ?(strategy = `Auto)
           let install =
             match pushed with
             | None -> Ok ()
-            | Some p -> Ses_store.Csv_stream.push_selection src p
+            | Some p -> (
+                match options.Engine.telemetry with
+                | None -> Ses_store.Csv_stream.push_selection src p
+                | Some tl ->
+                    Result.map
+                      (Ses_store.Csv_stream.set_filter src)
+                      (traced_selection tl
+                         (Ses_store.Csv_stream.source_schema src)
+                         p))
           in
           match install with
           | Error _ as e -> e
           | Ok () -> (
               let exec = Executor.create ~options strategy automaton in
+              let rate =
+                Option.map
+                  (fun tl ->
+                    (tl, Telemetry.gauge tl "stream.rows_per_sec"))
+                  options.Engine.telemetry
+              in
               let feed_all () =
+                let mark =
+                  ref (match rate with None -> 0 | Some (tl, _) -> Telemetry.now tl)
+                in
+                let delivered = ref 0 in
                 let rec go () =
                   match Ses_store.Csv_stream.next src with
                   | Error _ as e -> e
                   | Ok None -> Ok ()
                   | Ok (Some e) ->
                       ignore (Executor.feed exec e);
+                      (match rate with
+                      | None -> ()
+                      | Some (tl, g) ->
+                          incr delivered;
+                          if !delivered mod rate_window = 0 then begin
+                            let t = Telemetry.now tl in
+                            let dt = t - !mark in
+                            if dt > 0 then
+                              Telemetry.Gauge.observe g
+                                (rate_window * 1_000_000_000 / dt);
+                            mark := t
+                          end);
                       go ()
                 in
                 go ()
@@ -65,11 +125,19 @@ let run ?(options = Engine.default_options) ?(strategy = `Auto)
               | Ok () ->
                   ignore (Executor.close exec);
                   let raw = Executor.emitted exec in
-                  let matches =
+                  let finalize () =
                     if options.Engine.finalize then
                       Substitution.finalize ~policy:options.Engine.policy
                         pattern raw
                     else raw
+                  in
+                  let matches =
+                    match options.Engine.telemetry with
+                    | None -> finalize ()
+                    | Some tl ->
+                        Telemetry.Span.record
+                          (Telemetry.span tl "finalize")
+                          finalize
                   in
                   let scanned = Ses_store.Csv_stream.scanned src in
                   let dropped = Ses_store.Csv_stream.dropped src in

@@ -18,7 +18,7 @@ let time_range lo hi =
       Attr ("T", Predicate.Le, Value.Int hi);
     ]
 
-let rec compile schema = function
+let rec compile_gen trace schema = function
   | Attr (name, op, v) -> (
       match Schema.Field.resolve schema name with
       | Error _ as e -> e
@@ -28,23 +28,36 @@ let rec compile schema = function
             Error
               (Format.asprintf "selection: %s has type %a, not comparable to %a"
                  name Value.pp_ty field_ty Value.pp v)
-          else Ok (fun e -> Predicate.eval op (Event.get e field) v))
+          else
+            let eval e = Predicate.eval op (Event.get e field) v in
+            Ok
+              (match trace with
+              | None -> eval
+              | Some t ->
+                  fun e ->
+                    let r = eval e in
+                    t name r;
+                    r))
   | Conj ps -> (
-      match compile_all schema ps with
+      match compile_all trace schema ps with
       | Error _ as e -> e
       | Ok fs -> Ok (fun e -> List.for_all (fun f -> f e) fs))
   | Disj ps -> (
-      match compile_all schema ps with
+      match compile_all trace schema ps with
       | Error _ as e -> e
       | Ok fs -> Ok (fun e -> List.exists (fun f -> f e) fs))
 
-and compile_all schema ps =
+and compile_all trace schema ps =
   List.fold_right
     (fun p acc ->
-      match acc, compile schema p with
+      match acc, compile_gen trace schema p with
       | Ok fs, Ok f -> Ok (f :: fs)
       | (Error _ as e), _ | _, (Error _ as e) -> e)
     ps (Ok [])
+
+let compile schema p = compile_gen None schema p
+
+let compile_traced ~trace schema p = compile_gen (Some trace) schema p
 
 let rec pp ppf = function
   | Attr (name, op, v) ->

@@ -21,6 +21,17 @@ val compile : Schema.t -> predicate -> ((Event.t -> bool), string) result
 (** Resolves attribute names; fails on unknown attributes or type
     mismatches. *)
 
+val compile_traced :
+  trace:(string -> bool -> unit) ->
+  Schema.t ->
+  predicate ->
+  ((Event.t -> bool), string) result
+(** Like {!compile}, but calls [trace name passed] on every atomic
+    comparison actually evaluated (conjunction and disjunction
+    short-circuit, so atoms skipped by earlier ones do not report) —
+    the hook per-field selectivity telemetry hangs on, without this
+    library knowing anything about the instrumentation layer. *)
+
 val select : Relation.t -> predicate -> (Relation.t, string) result
 
 val pp : Format.formatter -> predicate -> unit

@@ -102,3 +102,54 @@ byte-identical to the sequential run at any domain count:
   $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1c.ses \
   >   --strategy par-partitioned --domains 4 > par.out
   $ diff seq.out par.out
+
+Telemetry: a recording run exports a runtime profile. Probe names and
+counts are deterministic — durations are not — so only the stable
+fields are checked:
+
+  $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1.ses \
+  >   --telemetry=prof.json > /dev/null
+  $ sed -n 's/^    "\([^"]*\)": {"count":\([0-9]*\),.*/\1 \2/p' prof.json
+  expiry 245
+  filter 264
+  finalize 1
+  ingest 264
+  transition 181
+  event_ns 264
+  store.bucket_scan 181
+  $ sed -n 's/^    "\([^"]*\)": {"samples":\([0-9]*\),.*/\1 \2/p' prof.json
+  population 72
+
+The brute-force baseline across 4 worker domains runs one engine per
+ordering (6 for q1), which multiplies the engine-level probes — while
+the per-event ingest accounting stays at one span per input event:
+
+  $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1.ses \
+  >   --strategy brute-force --domains 4 --telemetry=bf.json > bf.out
+  $ grep '^matches:' bf.out
+  matches: 8
+  $ sed -n 's/^    "\([^"]*\)": {"count":\([0-9]*\),.*/\1 \2/p' bf.json
+  expiry 1536
+  filter 1584
+  finalize 1
+  ingest 264
+  transition 263
+  event_ns 264
+  store.bucket_scan 263
+
+The flat reference store has no state-indexed buckets to scan (the
+histogram stays empty) and fuses expiry into the per-instance sweep,
+which the transition span covers whole:
+
+  $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1.ses \
+  >   --store flat --telemetry=flat.json > flat.out
+  $ grep '^matches:' flat.out
+  matches: 8
+  $ sed -n 's/^    "\([^"]*\)": {"count":\([0-9]*\),.*/\1 \2/p' flat.json
+  expiry 0
+  filter 264
+  finalize 1
+  ingest 264
+  transition 72
+  event_ns 264
+  store.bucket_scan 0

@@ -75,10 +75,42 @@ let test_merge_replicas_identity () =
   Alcotest.check snapshot "merge_replicas of one snapshot is itself" a
     (Metrics.merge_replicas [ a ])
 
+(* Synthetic per-shard population time series (levels sampled per time
+   step): [Metrics.merge]'s peak — the max over shard-local peaks — is a
+   lower bound on the true global peak (the max over time of the summed
+   levels), which the summed shard peaks in turn bound from above. This
+   is the sandwich documented on [Metrics.merge]; the telemetry layer's
+   atomic [population.global] gauge exists to measure the middle term. *)
+let merge_peak_bounds =
+  QCheck.Test.make ~count:200
+    ~name:"merge peak <= true global peak <= summed shard peaks"
+    QCheck.(list_of_size Gen.(1 -- 4) (small_list small_nat))
+    (fun series ->
+      QCheck.assume (series <> []);
+      let horizon =
+        List.fold_left (fun acc s -> max acc (List.length s)) 0 series
+      in
+      let level s t =
+        match List.nth_opt s t with Some v -> v | None -> 0
+      in
+      let peaks = List.map (fun s -> List.fold_left max 0 s) series in
+      let true_peak = ref 0 in
+      for t = 0 to horizon - 1 do
+        let total = List.fold_left (fun acc s -> acc + level s t) 0 series in
+        if total > !true_peak then true_peak := total
+      done;
+      let of_peak peak =
+        { Metrics.zero with Metrics.max_simultaneous_instances = peak }
+      in
+      let merged = Metrics.merge (List.map of_peak peaks) in
+      merged.Metrics.max_simultaneous_instances <= !true_peak
+      && !true_peak <= List.fold_left ( + ) 0 peaks)
+
 let suite =
   [
     Alcotest.test_case "merge: sums with max peak" `Quick
       test_merge_sums_and_max;
+    QCheck_alcotest.to_alcotest merge_peak_bounds;
     Alcotest.test_case "merge: identities" `Quick test_merge_identity;
     Alcotest.test_case "merge_replicas: max inputs, summed work" `Quick
       test_merge_replicas;

@@ -1,0 +1,37 @@
+#!/bin/sh
+# CI lint: no new polymorphic comparison sites in lib/.
+#
+# Bare [compare] (and the explicit [Stdlib.compare]) over records and
+# variants ties behaviour to structural layout: reordering record fields
+# or constructors silently changes sort orders and dedup keys. Library
+# code must compare through per-type functions (Field.compare,
+# Time.compare, Value.compare, ...) or pin the type at the call site.
+#
+# The greppable proxies are the compare family; bare structural (=) on
+# records cannot be detected lexically and stays a review concern. Known
+# audited sites — the ones kept after the order-sensitivity review, each
+# either type-pinned or applied to canonical tuple forms — live in
+# tools/poly_compare_allowlist.txt as "path:line text" entries (line
+# numbers stripped, so the list survives unrelated edits). Add a site
+# only together with a justifying comment in the code.
+set -u
+cd "$(dirname "$0")/.."
+
+allow=tools/poly_compare_allowlist.txt
+
+found=$(grep -rn -E '(^|[^._[:alnum:]])(Stdlib\.)?compare([^_[:alnum:]]|$)' \
+    lib --include='*.ml' \
+  | grep -v -E '[A-Z][[:alnum:]_]*\.compare' \
+  | grep -v -E 'let compare|compare_|~cmp' \
+  | sed 's/:[0-9][0-9]*:/:/')
+
+new=$(printf '%s\n' "$found" | grep -v -x -F -f "$allow" | grep -v '^$' || true)
+
+if [ -n "$new" ]; then
+  echo "error: new polymorphic compare sites in lib/ — use a per-type" >&2
+  echo "compare, or extend tools/poly_compare_allowlist.txt with a" >&2
+  echo "justifying comment at the site:" >&2
+  printf '%s\n' "$new" >&2
+  exit 1
+fi
+echo "poly-compare lint: ok"
