@@ -253,6 +253,7 @@ let print_match_results pattern ~raw ~matches ~metrics show_metrics show_raw
 let run_match data query query_file strategy stream domains filter policy store
     telemetry show_metrics show_raw table =
   Ses_baseline.Brute_force.register ();
+  Ses_analysis.Analyzer.register ();
   if domains < 1 then begin
     prerr_endline "error: --domains must be at least 1";
     exit 1
@@ -383,27 +384,143 @@ let window_cmd =
 
 (* analyze *)
 
-let run_analyze data query query_file =
-  let relation = load_relation data in
-  let schema = Ses_event.Relation.schema relation in
-  let pattern = load_pattern schema query query_file in
-  let tau = Ses_pattern.Pattern.tau pattern in
-  let w = Ses_event.Relation.window_size relation tau in
-  let automaton = Ses_core.Automaton.of_pattern pattern in
-  Format.printf "pattern: %a@." Ses_pattern.Pattern.pp pattern;
-  Format.printf "automaton: %d states, %d transitions, %d orderings@."
-    (Ses_core.Automaton.n_states automaton)
-    (Ses_core.Automaton.n_transitions automaton)
-    (Ses_core.Automaton.n_paths automaton);
-  Format.printf "window size W = %d@." w;
-  print_endline (Ses_harness.Bounds.describe pattern ~w);
-  Format.printf "execution plan:@.%s" (Ses_core.Planner.describe (Ses_core.Planner.plan automaton))
+let query_text query query_file =
+  match query, query_file with
+  | Some q, None -> q
+  | None, Some f -> read_file f
+  | Some _, Some _ ->
+      prerr_endline "error: pass either --query or --query-file, not both";
+      exit 1
+  | None, None ->
+      prerr_endline "error: a query is required (--query or --query-file)";
+      exit 1
+
+let diagnostics_json diags result =
+  let open Ses_analysis in
+  let counts =
+    Printf.sprintf "\"errors\":%d,\"warnings\":%d,\"infos\":%d"
+      (Diagnostic.count Diagnostic.Error diags)
+      (Diagnostic.count Diagnostic.Warning diags)
+      (Diagnostic.count Diagnostic.Info diags)
+  in
+  let analysis =
+    match result with
+    | None -> ""
+    | Some (r : Analyzer.result) ->
+        Printf.sprintf
+          ",\"pruned_transitions\":%d,\"pruned_states\":%d,\"never_matches\":%b"
+          r.Analyzer.pruned_transitions r.Analyzer.pruned_states
+          r.Analyzer.never_matches
+  in
+  Printf.sprintf "{\"diagnostics\":%s,%s%s}"
+    (Diagnostic.list_to_json diags)
+    counts analysis
+
+let print_diagnostics diags =
+  let open Ses_analysis in
+  if diags = [] then print_endline "diagnostics: none"
+  else begin
+    Format.printf "diagnostics: %d error(s), %d warning(s), %d info(s)@."
+      (Diagnostic.count Diagnostic.Error diags)
+      (Diagnostic.count Diagnostic.Warning diags)
+      (Diagnostic.count Diagnostic.Info diags);
+    List.iter (fun d -> Format.printf "  %a@." Diagnostic.pp d) diags
+  end
+
+let run_analyze data schema_spec query query_file json dot =
+  let open Ses_analysis in
+  Analyzer.register ();
+  let schema, relation =
+    match data, schema_spec with
+    | Some d, None ->
+        let r = load_relation d in
+        (Ses_event.Relation.schema r, Some r)
+    | None, Some s -> (or_die (Ses_event.Schema.of_string s), None)
+    | Some _, Some _ ->
+        prerr_endline "error: pass either --data or --schema, not both";
+        exit 1
+    | None, None ->
+        prerr_endline "error: a schema is required (--data or --schema)";
+        exit 1
+  in
+  let text = query_text query query_file in
+  match Analyzer.analyze_query schema text with
+  | Error diags ->
+      if json then print_endline (diagnostics_json diags None)
+      else print_diagnostics diags;
+      exit 1
+  | Ok result ->
+      let pattern = result.Analyzer.pattern in
+      let diags = result.Analyzer.diagnostics in
+      if dot then begin
+        let dead tr = List.memq tr result.Analyzer.dead in
+        print_string
+          (Ses_core.Dot.of_automaton ~dead result.Analyzer.original)
+      end
+      else if json then print_endline (diagnostics_json diags (Some result))
+      else begin
+        let automaton = result.Analyzer.original in
+        Format.printf "pattern: %a@." Ses_pattern.Pattern.pp pattern;
+        Format.printf "automaton: %d states, %d transitions, %d orderings@."
+          (Ses_core.Automaton.n_states automaton)
+          (Ses_core.Automaton.n_transitions automaton)
+          (Ses_core.Automaton.n_paths automaton);
+        print_diagnostics diags;
+        if result.Analyzer.pruned_transitions > 0 then
+          Format.printf "pruned: %d transition(s), %d state(s)@."
+            result.Analyzer.pruned_transitions result.Analyzer.pruned_states;
+        (match relation with
+        | None -> ()
+        | Some relation ->
+            let tau = Ses_pattern.Pattern.tau pattern in
+            let w = Ses_event.Relation.window_size relation tau in
+            Format.printf "window size W = %d@." w;
+            print_endline (Ses_harness.Bounds.describe pattern ~w));
+        Format.printf "execution plan:@.%s"
+          (Ses_core.Planner.describe
+             (Ses_core.Planner.plan automaton))
+      end;
+      if Diagnostic.has_errors diags then exit 1
+
+let data_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "d"; "data" ] ~docv:"FILE"
+        ~doc:"Input relation (CSV); supplies the schema and window stats.")
+
+let schema_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "schema" ] ~docv:"SPEC"
+        ~doc:
+          "Event schema as NAME:TYPE,... with types int, float and string; \
+           analyze the query without loading a relation.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the diagnostics as a JSON object.")
+
+let dot_arg =
+  Arg.(
+    value & flag
+    & info [ "dot" ]
+        ~doc:
+          "Print the automaton as Graphviz DOT with transitions the \
+           analyzer would prune rendered dashed and gray, instead of the \
+           report.")
 
 let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Classify a pattern (Theorems 1-3) and print instance bounds")
-    Term.(const run_analyze $ data_arg $ query_arg $ query_file_arg)
+       ~doc:
+         "Statically analyze a pattern: diagnostics, satisfiability, \
+          pruning, and the Theorem 1-3 instance bounds")
+    Term.(
+      const run_analyze $ data_opt_arg $ schema_arg $ query_arg
+      $ query_file_arg $ json_arg $ dot_arg)
 
 (* explain *)
 

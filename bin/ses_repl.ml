@@ -10,8 +10,8 @@
      ses> let q1 = PATTERN (c, p+, d) -> (b) WHERE ... WITHIN 11 DAYS
      ses> run q1
 
-   Commands: help, load, schema, count, window, let, list, show, plan,
-   run, trace, dot, quit. *)
+   Commands: help, load, schema, count, window, let, list, show, analyze,
+   plan, run, trace, dot, quit. *)
 
 type state = {
   mutable relation : Ses_event.Relation.t option;
@@ -28,6 +28,7 @@ let help_text =
   \                           end a line with \\ to continue)\n\
   \  list                     defined patterns\n\
   \  show <name>              pattern, automaton size, complexity cases\n\
+  \  analyze <name>           static diagnostics and pruning summary\n\
   \  plan <name>              execution plan the library would pick\n\
   \  run <name>               match the pattern against the relation\n\
   \  trace <name> [n]         execution narrative (first n steps)\n\
@@ -91,7 +92,24 @@ let cmd_let st rest =
             | Error e -> Error e
             | Ok p ->
                 st.patterns <- (name, p) :: List.remove_assoc name st.patterns;
-                Ok (Format.asprintf "%s = %a" name Ses_pattern.Pattern.pp p)))
+                let result = Ses_analysis.Analyzer.analyze_pattern p in
+                let worth_reporting =
+                  List.filter
+                    (fun (d : Ses_analysis.Diagnostic.t) ->
+                      match d.severity with
+                      | Error | Warning -> true
+                      | Info -> false)
+                    result.Ses_analysis.Analyzer.diagnostics
+                in
+                let buf = Buffer.create 128 in
+                Buffer.add_string buf
+                  (Format.asprintf "%s = %a" name Ses_pattern.Pattern.pp p);
+                List.iter
+                  (fun d ->
+                    Buffer.add_string buf
+                      ("\n" ^ Ses_analysis.Diagnostic.to_string d))
+                  worth_reporting;
+                Ok (Buffer.contents buf)))
 
 let cmd_list st =
   match st.patterns with
@@ -115,6 +133,24 @@ let cmd_show st name =
         (Ses_core.Automaton.n_transitions a)
         (Ses_core.Automaton.n_paths a)
         cases)
+    (pattern_of st name)
+
+let cmd_analyze st name =
+  Result.map
+    (fun p ->
+      let open Ses_analysis in
+      let result = Analyzer.analyze_pattern p in
+      let buf = Buffer.create 128 in
+      (match result.Analyzer.diagnostics with
+      | [] -> Buffer.add_string buf "diagnostics: none"
+      | diags ->
+          Buffer.add_string buf
+            (String.concat "\n" (List.map Diagnostic.to_string diags)));
+      if result.Analyzer.pruned_transitions > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "\npruned: %d transition(s), %d state(s)"
+             result.Analyzer.pruned_transitions result.Analyzer.pruned_states);
+      Buffer.contents buf)
     (pattern_of st name)
 
 let cmd_plan st name =
@@ -190,6 +226,7 @@ let execute st line =
   | "let", rest -> cmd_let st rest
   | "list", _ -> cmd_list st
   | "show", name when name <> "" -> cmd_show st name
+  | "analyze", name when name <> "" -> cmd_analyze st name
   | "plan", name when name <> "" -> cmd_plan st name
   | "run", name when name <> "" -> cmd_run st name
   | "trace", rest when rest <> "" -> (
@@ -201,7 +238,7 @@ let execute st line =
           | None -> fail "usage: trace <name> [steps]")
       | _ -> fail "usage: trace <name> [steps]")
   | "dot", name when name <> "" -> cmd_dot st name
-  | ("show" | "plan" | "run" | "trace" | "dot"), _ ->
+  | ("show" | "analyze" | "plan" | "run" | "trace" | "dot"), _ ->
       fail "this command expects a pattern name"
   | other, _ -> fail "unknown command %S (try: help)" other
 
@@ -219,6 +256,7 @@ let read_logical_line interactive =
   collect []
 
 let () =
+  Ses_analysis.Analyzer.register ();
   let interactive = Unix.isatty Unix.stdin in
   if interactive then print_endline "ses repl — type 'help' for commands";
   let st = { relation = None; patterns = [] } in

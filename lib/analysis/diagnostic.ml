@@ -1,0 +1,81 @@
+open Ses_pattern
+
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type t = {
+  severity : severity;
+  code : string;
+  message : string;
+  span : Span.t option;
+}
+
+let make ?span severity code message = { severity; code; message; span }
+
+let error ?span code message = make ?span Error code message
+
+let warning ?span code message = make ?span Warning code message
+
+let info ?span code message = make ?span Info code message
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare_severity a b = Int.compare (rank a) (rank b)
+
+let sort ds = List.stable_sort (fun a b -> compare_severity a.severity b.severity) ds
+
+let has_errors ds = List.exists (fun d -> match d.severity with Error -> true | Warning | Info -> false) ds
+
+let count sev ds =
+  List.length (List.filter (fun d -> compare_severity d.severity sev = 0) ds)
+
+let pp ppf d =
+  (match d.span with
+  | Some span -> Format.fprintf ppf "%s: " (Span.to_string span)
+  | None -> ());
+  Format.fprintf ppf "%s[%s]: %s" (severity_label d.severity) d.code d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json d =
+  let span_json =
+    match d.span with
+    | None -> ""
+    | Some s ->
+        Printf.sprintf
+          ",\"span\":{\"start_line\":%d,\"start_col\":%d,\"end_line\":%d,\"end_col\":%d}"
+          s.Span.start_line s.Span.start_col s.Span.end_line s.Span.end_col
+  in
+  Printf.sprintf "{\"severity\":%s,\"code\":%s,\"message\":%s%s}"
+    (json_string (severity_label d.severity))
+    (json_string d.code)
+    (json_string d.message)
+    span_json
+
+let list_to_json ds =
+  "[" ^ String.concat "," (List.map to_json ds) ^ "]"

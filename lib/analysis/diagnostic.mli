@@ -1,0 +1,59 @@
+(** Typed diagnostics produced by the static analyzer.
+
+    The severity taxonomy:
+    - [Error] — the pattern can never produce a match (unsatisfiable
+      variable conditions, a global contradiction, temporal constraints
+      that cannot fit the window, or no surviving path to the accepting
+      state). Execution is still sound — it just finds nothing — so
+      errors are reported, never enforced.
+    - [Warning] — almost certainly a mistake, but the pattern may still
+      match: vacuous negation guards, unconstrained variables, dead
+      transitions, states that cannot reach the accepting state.
+    - [Info] — facts worth knowing that require no action: subsumed
+      conditions, constants the analyzer inferred for the event filter. *)
+
+open Ses_pattern
+
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type t = {
+  severity : severity;
+  code : string;  (** stable kebab-case identifier, e.g. ["dead-transition"] *)
+  message : string;
+  span : Span.t option;  (** location in the query text, when known *)
+}
+
+val make : ?span:Span.t -> severity -> string -> string -> t
+
+val error : ?span:Span.t -> string -> string -> t
+
+val warning : ?span:Span.t -> string -> string -> t
+
+val info : ?span:Span.t -> string -> string -> t
+
+val severity_label : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val compare_severity : severity -> severity -> int
+(** Errors before warnings before infos. *)
+
+val sort : t list -> t list
+(** Stable sort by severity: errors first, infos last. *)
+
+val has_errors : t list -> bool
+
+val count : severity -> t list -> int
+
+val pp : Format.formatter -> t -> unit
+(** ["line 2, columns 7-16: error[code]: message"]. *)
+
+val to_string : t -> string
+
+val to_json : t -> string
+(** One JSON object: severity, code, message and the span (when any). *)
+
+val list_to_json : t list -> string
+(** A JSON array of {!to_json} objects. *)

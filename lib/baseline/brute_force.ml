@@ -18,7 +18,12 @@ let spec_of_condition p (c : Condition.t) =
     | Condition.Const v -> Pattern.Spec.Const v
     | Condition.Var (v', f') -> Pattern.Spec.Field (bare v', field_name f')
   in
-  { Pattern.Spec.left = (bare c.var, field_name c.field); op = c.op; right }
+  {
+    Pattern.Spec.left = (bare c.var, field_name c.field);
+    op = c.op;
+    right;
+    span = Condition.span c;
+  }
 
 let sequence_pattern p ordering =
   let sets = List.map (fun v -> [ Pattern.variable p v ]) ordering in

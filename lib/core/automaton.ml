@@ -133,6 +133,45 @@ let concat n1 n2 =
     out = index_transitions (transitions n1 @ renamed_transitions);
   }
 
+(* Result-preserving reduction: drop the given transitions, then any
+   state no longer reachable from the start state (such states hold no
+   instance, ever, so removing them and their outgoing transitions is
+   pure bookkeeping). The start and accepting states are always kept.
+   Returns the automaton itself — physically — when nothing is dead, so
+   downstream consumers can detect "analysis changed nothing" with [==]. *)
+let prune a ~dead =
+  let all =
+    List.concat_map
+      (fun q -> Option.value ~default:[] (Hashtbl.find_opt a.out q))
+      a.state_list
+  in
+  let kept = List.filter (fun tr -> not (dead tr)) all in
+  if List.length kept = List.length all then a
+  else begin
+    let out = index_transitions kept in
+    let reachable = Hashtbl.create 64 in
+    let rec visit q =
+      if not (Hashtbl.mem reachable q) then begin
+        Hashtbl.add reachable q ();
+        List.iter
+          (fun tr -> visit tr.tgt)
+          (Option.value ~default:[] (Hashtbl.find_opt out q))
+      end
+    in
+    visit a.start_state;
+    let keep_state q =
+      Hashtbl.mem reachable q
+      || Varset.equal q a.start_state
+      || Varset.equal q a.accept_state
+    in
+    let kept = List.filter (fun tr -> Hashtbl.mem reachable tr.src) kept in
+    {
+      a with
+      state_list = List.filter keep_state a.state_list;
+      out = index_transitions kept;
+    }
+  end
+
 let of_pattern p =
   let segments = List.init (Pattern.n_sets p) (of_set_pattern p) in
   match segments with

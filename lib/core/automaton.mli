@@ -38,6 +38,21 @@ val of_pattern : Pattern.t -> t
 (** Left fold of {!concat} over the per-set automata, i.e.
     ((N1 N2) N3) … Nm. *)
 
+val prune : t -> dead:(transition -> bool) -> t
+(** [prune a ~dead] removes the transitions on which [dead] holds, then
+    every state no longer reachable from the start state together with
+    its outgoing transitions (an unreachable state never holds an
+    instance, so this is pure bookkeeping). The start and accepting
+    states are always kept. Transition order within a state is
+    preserved. When no transition is dead the result is [a] itself
+    (physical identity), letting callers detect an unchanged automaton
+    with [==].
+
+    Soundness: this is result-preserving {e only} for transitions that
+    can never fire. Removing a fireable transition would change which
+    instances are consumed under the engine's replace-on-fire semantics
+    even if it never leads to an accepting run. *)
+
 (** {1 Accessors} *)
 
 val pattern : t -> Pattern.t

@@ -6,7 +6,7 @@ let escape s =
        (function '"' -> "\\\"" | '\n' -> "\\n" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
-let of_automaton ?(conditions = true) a =
+let of_automaton ?(conditions = true) ?(dead = fun _ -> false) a =
   let p = Automaton.pattern a in
   let name_of = Pattern.var_name p in
   let state_name q = Format.asprintf "%a" (Varset.pp ~name_of) q in
@@ -56,10 +56,13 @@ let of_automaton ?(conditions = true) a =
             tr.conds
         else name_of tr.var
       in
-      out "  \"%s\" -> \"%s\" [label=\"%s\"];\n"
+      let attrs =
+        if dead tr then "style=dashed, color=gray, fontcolor=gray, " else ""
+      in
+      out "  \"%s\" -> \"%s\" [%slabel=\"%s\"];\n"
         (escape (state_name tr.src))
         (escape (state_name tr.tgt))
-        (escape label))
+        attrs (escape label))
     (Automaton.transitions a);
   out "}\n";
   Buffer.contents buf

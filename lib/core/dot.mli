@@ -1,10 +1,13 @@
 (** Graphviz export of SES automata, for rendering figures like the
     paper's Figure 5. *)
 
-val of_automaton : ?conditions:bool -> Automaton.t -> string
+val of_automaton :
+  ?conditions:bool -> ?dead:(Automaton.transition -> bool) -> Automaton.t -> string
 (** DOT source. With [conditions] (default [true]) edges are labelled with
     the bound variable and its condition set; otherwise only with the
     variable. The start state gets an incoming arrow from a hidden node and
     the accepting state a double circle, as in the paper's drawings.
     Negation guards render as dashed octagons attached to the boundary
-    state they arm. *)
+    state they arm. Transitions on which [dead] holds (default: none)
+    render dashed and gray — used by [ses analyze --dot] to show what the
+    static analyzer would prune. *)

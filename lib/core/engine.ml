@@ -7,6 +7,8 @@ type store_kind =
 
 type options = {
   filter : Event_filter.mode;
+  filter_extras :
+    (int * (Schema.Field.t * Predicate.op * Value.t) list) list;
   policy : Substitution.policy;
   finalize : bool;
   precheck_constants : bool;
@@ -18,6 +20,7 @@ type options = {
 let default_options =
   {
     filter = Event_filter.No_filter;
+    filter_extras = [];
     policy = Substitution.Operational;
     finalize = true;
     precheck_constants = true;
@@ -161,7 +164,7 @@ let create ?(options = default_options) automaton =
   {
     automaton;
     options;
-    filter = Event_filter.make p options.filter;
+    filter = Event_filter.make ~extra:options.filter_extras p options.filter;
     max_counts =
       Array.init (Pattern.n_vars p) (fun v -> Pattern.max_count p v);
     strict_minima =

@@ -34,6 +34,13 @@ type store_kind =
 
 type options = {
   filter : Event_filter.mode;  (** Sec. 4.5 optimization; default [No_filter] *)
+  filter_extras :
+    (int * (Schema.Field.t * Predicate.op * Value.t) list) list;
+      (** inferred constant constraints per variable id, conjoined into
+          the event filter's clauses (see {!Event_filter.make}); supplied
+          by the static analyzer via {!Planner}, default [[]]. Must be
+          implied by the pattern — extras that are not implied change
+          results. *)
   policy : Substitution.policy;
       (** conditions 4–5 post-filter (default [Operational]) *)
   finalize : bool;

@@ -16,19 +16,25 @@ let satisfies e (field, op, c) = Predicate.eval op (Event.get e field) c
 (* Negated variables are included: an event that can only trigger a
    negation guard still affects execution (it kills instances), so
    filtering it out would change results. *)
-let per_var_constants p =
+let per_var_constants ?(extra = []) p =
   let all_vars =
     List.init (Pattern.n_vars p) Fun.id
     @ List.map snd (Pattern.negations p)
   in
-  List.map (Pattern.constant_conditions_on p) all_vars
+  List.map
+    (fun v ->
+      let inferred =
+        List.concat_map (fun (v', atoms) -> if v' = v then atoms else []) extra
+      in
+      Pattern.constant_conditions_on p v @ inferred)
+    all_vars
 
-let strong_clauses p =
-  let per_var = per_var_constants p in
+let strong_clauses ?extra p =
+  let per_var = per_var_constants ?extra p in
   if List.for_all (fun cs -> cs <> []) per_var then Some per_var else None
 
-let make p mode =
-  let per_var = per_var_constants p in
+let make ?extra p mode =
+  let per_var = per_var_constants ?extra p in
   let all_constrained = List.for_all (fun cs -> cs <> []) per_var in
   let predicate =
     match mode with

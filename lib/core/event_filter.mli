@@ -25,10 +25,24 @@ type mode =
 
 type t
 
-val make : Pattern.t -> mode -> t
+val make :
+  ?extra:(int * (Schema.Field.t * Predicate.op * Value.t) list) list ->
+  Pattern.t ->
+  mode ->
+  t
+(** [extra] supplies inferred constant constraints per variable id
+    (positive or negated), conjoined with the variable's own [v.A φ C]
+    conditions. They must be {e implied}: sound only when every event a
+    run could bind to that variable necessarily satisfies them (e.g.
+    constants propagated through equality chains by the static
+    analyzer). A variable with no syntactic constant condition but an
+    inferred one counts as constrained, so extras can turn a degenerate
+    filter into an effective one. *)
 
 val strong_clauses :
-  Pattern.t -> (Schema.Field.t * Predicate.op * Value.t) list list option
+  ?extra:(int * (Schema.Field.t * Predicate.op * Value.t) list) list ->
+  Pattern.t ->
+  (Schema.Field.t * Predicate.op * Value.t) list list option
 (** The per-variable constant-condition conjunctions behind [Strong]
     (negated variables included): an event passes iff it satisfies every
     atom of {e some} clause. [None] when a variable carries no constant

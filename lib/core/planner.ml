@@ -1,30 +1,70 @@
 open Ses_pattern
 
+type analysis = {
+  automaton : Automaton.t;
+  filter_extras :
+    (int * (Ses_event.Schema.Field.t * Ses_event.Predicate.op * Ses_event.Value.t) list)
+    list;
+  pruned_transitions : int;
+  pruned_states : int;
+  never_matches : bool;
+}
+
+(* The static analyzer lives in [Ses_analysis], which depends on this
+   library; it injects itself here (like the brute-force baseline's
+   executor registration) so planning picks up pruning and inferred
+   filter constraints whenever the analyzer is linked and registered. *)
+let analyzer : (Automaton.t -> analysis) option ref = ref None
+
+let set_analyzer f = analyzer := Some f
+
+let analyze automaton = Option.map (fun f -> f automaton) !analyzer
+
 type t = {
   filter : Event_filter.mode;
   partition : Ses_event.Schema.Field.t option;
   precheck_constants : bool;
   cases : Exclusivity.case list;
+  analysis : analysis option;
 }
 
 let plan automaton =
   let p = Automaton.pattern automaton in
-  let strong = Event_filter.make p Event_filter.Strong in
+  let analysis = analyze automaton in
+  let planning_automaton =
+    match analysis with Some a -> a.automaton | None -> automaton
+  in
+  let extra =
+    match analysis with Some a -> a.filter_extras | None -> []
+  in
+  let strong = Event_filter.make ~extra p Event_filter.Strong in
   {
     filter =
       (if Event_filter.effective strong then Event_filter.Strong
        else Event_filter.No_filter);
-    partition = Partitioned.partition_key automaton;
+    partition = Partitioned.partition_key planning_automaton;
     precheck_constants = true;
     cases = Exclusivity.classify p;
+    analysis;
   }
 
 let options_with plan options =
   {
     options with
     Engine.filter = plan.filter;
+    filter_extras =
+      (match plan.analysis with Some a -> a.filter_extras | None -> []);
     precheck_constants = plan.precheck_constants;
   }
+
+(* The plan's pruned automaton replaces the caller's only when it stems
+   from the same pattern — a plan reused across automata falls back to
+   the automaton it is given. *)
+let effective_automaton plan automaton =
+  match plan.analysis with
+  | Some a when Automaton.pattern a.automaton == Automaton.pattern automaton ->
+      a.automaton
+  | Some _ | None -> automaton
 
 (* Incremental execution under a plan: the partitioned stream already
    embeds the single-pool fallback, so the planned stream is a
@@ -38,7 +78,8 @@ let create_with ?(options = Engine.default_options) plan automaton =
     plan;
     inner =
       Partitioned.create ~options:(options_with plan options)
-        ~key:plan.partition automaton;
+        ~key:plan.partition
+        (effective_automaton plan automaton);
   }
 
 let create ?options automaton = create_with ?options (plan automaton) automaton
@@ -83,6 +124,28 @@ let describe plan =
   | None -> Buffer.add_string buf "partitioning: not applicable\n");
   Buffer.add_string buf
     (Printf.sprintf "constant pre-check: %b\n" plan.precheck_constants);
+  (* Analysis lines appear only when the analyzer changed something, so
+     the description of an already-clean plan is unaffected by whether
+     an analyzer is registered. *)
+  (match plan.analysis with
+  | None -> ()
+  | Some a ->
+      if a.never_matches then
+        Buffer.add_string buf "analysis: pattern can never match\n";
+      if a.pruned_transitions > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "analysis: pruned %d dead transition%s, %d state%s\n"
+             a.pruned_transitions
+             (if a.pruned_transitions = 1 then "" else "s")
+             a.pruned_states
+             (if a.pruned_states = 1 then "" else "s"));
+      let n_extras = List.length a.filter_extras in
+      if n_extras > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "analysis: inferred filter constraints for %d variable%s\n"
+             n_extras
+             (if n_extras = 1 then "" else "s")));
   List.iteri
     (fun i case ->
       Buffer.add_string buf

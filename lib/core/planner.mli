@@ -11,25 +11,63 @@
 
 open Ses_pattern
 
+(** What the static analyzer (when registered) contributes to a plan:
+    a result-preserving reduction of the automaton and constant
+    constraints implied by the pattern's equality chains. *)
+type analysis = {
+  automaton : Automaton.t;
+      (** the pruned automaton; physically the input automaton when the
+          analyzer found nothing to remove *)
+  filter_extras :
+    (int * (Ses_event.Schema.Field.t * Ses_event.Predicate.op * Ses_event.Value.t) list)
+    list;
+      (** inferred constant constraints per variable id, fed to
+          {!Event_filter.make} and {!Engine.options.filter_extras} *)
+  pruned_transitions : int;
+  pruned_states : int;
+  never_matches : bool;
+      (** the analyzer proved the pattern unsatisfiable: execution is
+          still sound (it finds nothing), planning merely reports it *)
+}
+
+val set_analyzer : (Automaton.t -> analysis) -> unit
+(** Registers the static analyzer, like
+    {!Ses_baseline.Brute_force.register} registers the baseline
+    executor: [Ses_analysis] depends on this library, so it injects its
+    planning hook here. Subsequent {!plan} calls consult it. *)
+
+val analyze : Automaton.t -> analysis option
+(** Runs the registered analyzer, if any. *)
+
 type t = {
   filter : Event_filter.mode;
-      (** [Strong] when the pattern's constant conditions make any filter
-          effective, [No_filter] otherwise *)
+      (** [Strong] when the pattern's constant conditions (together with
+          any analyzer-inferred ones) make the filter effective,
+          [No_filter] otherwise *)
   partition : Ses_event.Schema.Field.t option;
-      (** the {!Partitioned} key, when its criterion holds *)
+      (** the {!Partitioned} key, when its criterion holds — evaluated
+          on the pruned automaton when an analyzer is registered, so
+          pruning can unlock partitioning *)
   precheck_constants : bool;  (** always [true]; listed for transparency *)
   cases : Exclusivity.case list;
       (** per event set pattern, Sec. 4.4 — [Exclusive] predicts a
           constant pool, [Overlapping] factorial branching,
           [Overlapping_with_groups] window-dependent growth *)
+  analysis : analysis option;
+      (** the analyzer's contribution; [None] when none is registered *)
 }
 
 val plan : Automaton.t -> t
 
 val options_with : t -> Engine.options -> Engine.options
-(** [options] with the plan's levers layered on: its [filter] and
-    [precheck_constants] fields are overridden by the plan (the caller
-    still supplies the finalize policy). *)
+(** [options] with the plan's levers layered on: its [filter],
+    [filter_extras] and [precheck_constants] fields are overridden by
+    the plan (the caller still supplies the finalize policy). *)
+
+val effective_automaton : t -> Automaton.t -> Automaton.t
+(** The automaton a planned execution actually runs: the analyzer's
+    pruned automaton when the plan carries one for the same pattern, the
+    given automaton otherwise. *)
 
 (** {1 Incremental interface}
 

@@ -35,6 +35,64 @@ val conjunction_satisfiable : op * Value.t -> op * Value.t -> bool
     admit values of one common type; with incompatible types the result is
     [false]. *)
 
+(** Typed abstract domains for conjunctions of constant comparisons.
+
+    [Domain.of_atoms ty atoms] conjoins any number of [(op, constant)]
+    atoms over a field of type [ty] into an interval-with-exclusions
+    abstract value — the n-ary, type-aware generalization of
+    {!conjunction_satisfiable}. Knowing the type makes integer reasoning
+    exact (x > 3 becomes x ≥ 4, and a fully-excluded finite integer range
+    is detected as empty), keeps floats and strings dense, floors the
+    string domain at [""], and treats constants of a type incompatible
+    with the field like {!eval} does: [Neq] always holds, everything else
+    never. Every operation is sound with respect to {!eval}: a domain is
+    only [is_empty] when no value of the field's type satisfies all
+    atoms. *)
+module Domain : sig
+  type nonrec op = op
+
+  type t
+
+  val top : Value.ty -> t
+  (** All values of the type. *)
+
+  val bottom : Value.ty -> t
+  (** The empty domain. *)
+
+  val narrow : t -> op * Value.t -> t
+  (** Conjoin one atom. *)
+
+  val of_atoms : Value.ty -> (op * Value.t) list -> t
+
+  val inter : t -> t -> t
+  (** Intersection (the types should agree). *)
+
+  val is_empty : t -> bool
+  (** No value of the field type satisfies the conjunction. *)
+
+  val is_top : t -> bool
+
+  val mem : t -> Value.t -> bool
+  (** Whether a value of the field's type lies in the domain. *)
+
+  val constant : t -> Value.t option
+  (** The single point when the domain has collapsed to [v = c]. *)
+
+  val implies : t -> op * Value.t -> bool
+  (** [implies d atom]: every value in [d] satisfies [atom] — i.e. the
+      atom is subsumed by the conjunction that built [d]. *)
+
+  val propagate : Value.ty -> op -> t -> t
+  (** [propagate ty op d] over-approximates [{x : ∃ y ∈ d. x op y}], the
+      domain a field of type [ty] on the left of [op] is confined to when
+      the right side ranges over [d] — the transfer function for
+      inter-variable condition edges [v.A φ v'.A']. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  val to_string : t -> string
+end
+
 val pp : Format.formatter -> op -> unit
 
 val to_string : op -> string

@@ -26,6 +26,40 @@ let make attrs =
 let make_exn attrs =
   match make attrs with Ok s -> s | Error msg -> invalid_arg msg
 
+let ty_of_string = function
+  | "int" -> Ok Value.Tint
+  | "float" -> Ok Value.Tfloat
+  | "str" | "string" -> Ok Value.Tstr
+  | other ->
+      Error
+        (Printf.sprintf "schema: unknown type %S (expected int, float or string)"
+           other)
+
+let of_string spec =
+  let parse_attr chunk =
+    let chunk = String.trim chunk in
+    match String.index_opt chunk ':' with
+    | None ->
+        Error
+          (Printf.sprintf "schema: attribute %S lacks a type (NAME:TYPE)" chunk)
+    | Some i ->
+        let name = String.trim (String.sub chunk 0 i) in
+        let ty =
+          String.trim (String.sub chunk (i + 1) (String.length chunk - i - 1))
+        in
+        Result.map (fun ty -> (name, ty)) (ty_of_string ty)
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | chunk :: rest -> (
+        match parse_attr chunk with
+        | Error _ as e -> e
+        | Ok attr -> collect (attr :: acc) rest)
+  in
+  match collect [] (String.split_on_char ',' spec) with
+  | Error _ as e -> e
+  | Ok attrs -> make attrs
+
 let arity s = Array.length s.names
 
 let attributes s =

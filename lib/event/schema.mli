@@ -13,6 +13,12 @@ val make : (string * Value.ty) list -> (t, string) result
 
 val make_exn : (string * Value.ty) list -> t
 
+val of_string : string -> (t, string) result
+(** Parses a compact ["NAME:TYPE,NAME:TYPE,…"] spec, e.g.
+    ["ID:int,L:string,V:float"]. Types are [int], [float] and [string]
+    (or [str]); whitespace around names and types is ignored. Used by
+    front ends that need a schema without loading a relation. *)
+
 val arity : t -> int
 (** Number of non-temporal attributes. *)
 

@@ -12,8 +12,8 @@ type outcome = {
   pushed : Ses_store.Selection.predicate option;
 }
 
-let selection_of_pattern p =
-  match Event_filter.strong_clauses p with
+let selection_of_pattern ?extra p =
+  match Event_filter.strong_clauses ?extra p with
   | None -> None
   | Some clauses ->
       let schema = Pattern.schema p in
@@ -67,8 +67,16 @@ let run ?(options = Engine.default_options) ?(strategy = `Auto)
       | Error _ as e -> e
       | Ok automaton -> (
           let pattern = Automaton.pattern automaton in
+          (* When the static analyzer is registered, push its inferred
+             constants down to the source as well — they are implied by
+             the pattern, so the selection stays result-preserving. *)
+          let extra =
+            match Planner.analyze automaton with
+            | Some a -> a.Planner.filter_extras
+            | None -> []
+          in
           let pushed =
-            if push_filter then selection_of_pattern pattern else None
+            if push_filter then selection_of_pattern ~extra pattern else None
           in
           let install =
             match pushed with

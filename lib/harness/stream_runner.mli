@@ -29,11 +29,21 @@ type outcome = {
       (** the predicate pushed into the scan, if any *)
 }
 
-val selection_of_pattern : Pattern.t -> Ses_store.Selection.predicate option
+val selection_of_pattern :
+  ?extra:
+    (int
+    * (Ses_event.Schema.Field.t * Ses_event.Predicate.op * Ses_event.Value.t)
+      list)
+    list ->
+  Pattern.t ->
+  Ses_store.Selection.predicate option
 (** The strong-mode Sec. 4.5 filter as a store predicate: a disjunction
     over variables of the conjunction of that variable's constant
     conditions. [None] when some variable has no constant condition
-    (the strong filter would be unsound to push). *)
+    (the strong filter would be unsound to push). [extra] adds implied
+    per-variable constants (from the static analyzer) to each variable's
+    conjunction; a variable constrained only through [extra] counts as
+    constrained. *)
 
 val run :
   ?options:Engine.options ->

@@ -64,7 +64,12 @@ let ast_of_pattern p =
           | Condition.Const v -> Pattern.Spec.Const v
           | Condition.Var (v', f') -> Pattern.Spec.Field (bare v', field_name f')
         in
-        { Pattern.Spec.left = (bare c.var, field_name c.field); op = c.op; right })
+        {
+          Pattern.Spec.left = (bare c.var, field_name c.field);
+          op = c.op;
+          right;
+          span = Condition.span c;
+        })
       (Pattern.conditions p)
   in
   { Ast.sets; where; within = Pattern.tau p; unit_ = Ast.Raw }

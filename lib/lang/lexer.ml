@@ -102,7 +102,15 @@ let lex_string st =
 let tokenize src =
   let st = { src; pos = 0; line = 1; col = 1 } in
   let tokens = ref [] in
-  let emit tok line col = tokens := (tok, line, col) :: !tokens in
+  let emit tok line col =
+    (* st.line/st.col is one past the token's last character at emit
+       time, which is exactly the exclusive end of the span. *)
+    let span =
+      Ses_pattern.Span.make ~start_line:line ~start_col:col ~end_line:st.line
+        ~end_col:st.col
+    in
+    tokens := (tok, span) :: !tokens
+  in
   try
     let rec loop () =
       let line = st.line and col = st.col in

@@ -8,7 +8,8 @@ type error = {
 
 val pp_error : Format.formatter -> error -> unit
 
-val tokenize : string -> ((Token.t * int * int) list, error) result
-(** Token stream with (line, col) of each token start; the last entry is
-    always [EOF]. Comments run from [--] to end of line. String literals
-    are single-quoted with [''] escaping a quote. *)
+val tokenize : string -> ((Token.t * Ses_pattern.Span.t) list, error) result
+(** Token stream with the source span of each token; the last entry is
+    always [EOF] (a zero-width span at end of input). Comments run from
+    [--] to end of line. String literals are single-quoted with ['']
+    escaping a quote. *)

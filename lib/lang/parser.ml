@@ -11,7 +11,8 @@ let pp_error ppf e =
   Format.fprintf ppf "line %d, column %d: %s" e.line e.col e.message
 
 type state = {
-  mutable tokens : (Token.t * int * int) list;
+  mutable tokens : (Token.t * Span.t) list;
+  mutable last : Span.t;  (* span of the most recently consumed token *)
 }
 
 exception Fail of error
@@ -19,19 +20,23 @@ exception Fail of error
 let current st =
   match st.tokens with
   | tok :: _ -> tok
-  | [] -> (Token.EOF, 0, 0)
+  | [] -> (Token.EOF, Span.point ~line:0 ~col:0)
+
+let span_of st = snd (current st)
 
 let fail st message =
-  let _, line, col = current st in
-  raise (Fail { message; line; col })
+  let span = span_of st in
+  raise (Fail { message; line = span.Span.start_line; col = span.Span.start_col })
 
 let advance st =
   match st.tokens with
-  | _ :: rest -> st.tokens <- rest
+  | (_, span) :: rest ->
+      st.last <- span;
+      st.tokens <- rest
   | [] -> ()
 
 let expect st tok =
-  let got, _, _ = current st in
+  let got, _ = current st in
   if Token.equal got tok then advance st
   else
     fail st
@@ -42,20 +47,20 @@ let parse_bounds st =
   (* After '{': INT [ ',' [ INT ] ] '}'. *)
   let min_count =
     match current st with
-    | Token.INT n, _, _ ->
+    | Token.INT n, _ ->
         advance st;
         n
-    | got, _, _ ->
+    | got, _ ->
         fail st
           (Printf.sprintf "expected a repetition count but found %s"
              (Token.describe got))
   in
   let max_count =
     match current st with
-    | Token.COMMA, _, _ -> (
+    | Token.COMMA, _ -> (
         advance st;
         match current st with
-        | Token.INT n, _, _ ->
+        | Token.INT n, _ ->
             advance st;
             Some n
         | _ -> None)
@@ -71,31 +76,31 @@ let parse_bounds st =
 
 let parse_var st =
   match current st with
-  | Token.IDENT name, _, _ ->
+  | Token.IDENT name, _ ->
       advance st;
       let quantifier =
         match current st with
-        | Token.PLUS, _, _ ->
+        | Token.PLUS, _ ->
             advance st;
             { Ses_pattern.Variable.min_count = 1; max_count = None }
-        | Token.LBRACE, _, _ ->
+        | Token.LBRACE, _ ->
             advance st;
             parse_bounds st
         | _ -> { Ses_pattern.Variable.min_count = 1; max_count = Some 1 }
       in
       { Ast.name; quantifier }
-  | got, _, _ ->
+  | got, _ ->
       fail st
         (Printf.sprintf "expected a variable name but found %s"
            (Token.describe got))
 
 let parse_set st =
   match current st with
-  | Token.LPAREN, _, _ ->
+  | Token.LPAREN, _ ->
       advance st;
       let rec more acc =
         match current st with
-        | Token.COMMA, _, _ ->
+        | Token.COMMA, _ ->
             advance st;
             more (parse_var st :: acc)
         | _ ->
@@ -107,7 +112,7 @@ let parse_set st =
 
 let parse_set_decl st =
   match current st with
-  | Token.NOT, _, _ ->
+  | Token.NOT, _ ->
       advance st;
       { Ast.negated = true; vars = parse_set st }
   | _ -> { Ast.negated = false; vars = parse_set st }
@@ -115,7 +120,7 @@ let parse_set_decl st =
 let parse_sets st =
   let rec more acc =
     match current st with
-    | Token.ARROW, _, _ ->
+    | Token.ARROW, _ ->
         advance st;
         more (parse_set_decl st :: acc)
     | _ -> List.rev acc
@@ -124,48 +129,52 @@ let parse_sets st =
 
 let parse_field st =
   match current st with
-  | Token.IDENT var, _, _ ->
+  | Token.IDENT var, _ ->
       advance st;
       expect st Token.DOT;
       (match current st with
-      | Token.IDENT attr, _, _ ->
+      | Token.IDENT attr, _ ->
           advance st;
           (var, attr)
-      | got, _, _ ->
+      | got, _ ->
           fail st
             (Printf.sprintf "expected an attribute name but found %s"
                (Token.describe got)))
-  | got, _, _ ->
+  | got, _ ->
       fail st
         (Printf.sprintf "expected a variable reference but found %s"
            (Token.describe got))
 
 let parse_operand st =
   match current st with
-  | Token.INT n, _, _ ->
+  | Token.INT n, _ ->
       advance st;
       Pattern.Spec.Const (Value.Int n)
-  | Token.FLOAT f, _, _ ->
+  | Token.FLOAT f, _ ->
       advance st;
       Pattern.Spec.Const (Value.Float f)
-  | Token.STRING s, _, _ ->
+  | Token.STRING s, _ ->
       advance st;
       Pattern.Spec.Const (Value.Str s)
-  | Token.IDENT _, _, _ ->
+  | Token.IDENT _, _ ->
       let var, attr = parse_field st in
       Pattern.Spec.Field (var, attr)
-  | got, _, _ ->
+  | got, _ ->
       fail st
         (Printf.sprintf "expected a constant or field reference but found %s"
            (Token.describe got))
 
 let parse_cond st =
+  let start = span_of st in
   let left = parse_field st in
   match current st with
-  | Token.OP op, _, _ ->
+  | Token.OP op, _ ->
       advance st;
-      { Pattern.Spec.left; op; right = parse_operand st }
-  | got, _, _ ->
+      let right = parse_operand st in
+      (* st.last is the last token consumed by the operand. *)
+      let span = Span.union start st.last in
+      { Pattern.Spec.left; op; right; span = Some span }
+  | got, _ ->
       fail st
         (Printf.sprintf "expected a comparison operator but found %s"
            (Token.describe got))
@@ -173,7 +182,7 @@ let parse_cond st =
 let parse_conds st =
   let rec more acc =
     match current st with
-    | Token.AND, _, _ ->
+    | Token.AND, _ ->
         advance st;
         more (parse_cond st :: acc)
     | _ -> List.rev acc
@@ -185,7 +194,7 @@ let parse_query st =
   let sets = parse_sets st in
   let where =
     match current st with
-    | Token.WHERE, _, _ ->
+    | Token.WHERE, _ ->
         advance st;
         parse_conds st
     | _ -> []
@@ -193,23 +202,23 @@ let parse_query st =
   expect st Token.WITHIN;
   let within =
     match current st with
-    | Token.INT n, _, _ ->
+    | Token.INT n, _ ->
         advance st;
         n
-    | got, _, _ ->
+    | got, _ ->
         fail st
           (Printf.sprintf "expected a duration but found %s"
              (Token.describe got))
   in
   let unit_ =
     match current st with
-    | Token.DAYS, _, _ ->
+    | Token.DAYS, _ ->
         advance st;
         Ast.Days
-    | Token.HOURS, _, _ ->
+    | Token.HOURS, _ ->
         advance st;
         Ast.Hours
-    | Token.UNITS, _, _ ->
+    | Token.UNITS, _ ->
         advance st;
         Ast.Raw
     | _ -> Ast.Raw
@@ -221,5 +230,5 @@ let parse src =
   match Lexer.tokenize src with
   | Error { Lexer.message; line; col } -> Error { message; line; col }
   | Ok tokens -> (
-      let st = { tokens } in
+      let st = { tokens; last = Span.point ~line:1 ~col:1 } in
       try Ok (parse_query st) with Fail e -> Error e)

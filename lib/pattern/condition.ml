@@ -9,12 +9,15 @@ type t = {
   field : Schema.Field.t;
   op : Predicate.op;
   rhs : operand;
+  span : Span.t option;
 }
 
-let make_const ~var ~field op c = { var; field; op; rhs = Const c }
+let make_const ?span ~var ~field op c = { var; field; op; rhs = Const c; span }
 
-let make_var ~var ~field op ~var' ~field' =
-  { var; field; op; rhs = Var (var', field') }
+let make_var ?span ~var ~field op ~var' ~field' =
+  { var; field; op; rhs = Var (var', field'); span }
+
+let span c = c.span
 
 let is_constant c = match c.rhs with Const _ -> true | Var _ -> false
 

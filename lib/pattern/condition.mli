@@ -23,13 +23,19 @@ type t = {
   field : Schema.Field.t;
   op : Predicate.op;
   rhs : operand;
+  span : Span.t option;
+      (** source location when the condition came from query text *)
 }
 
-val make_const : var:int -> field:Schema.Field.t -> Predicate.op -> Value.t -> t
+val make_const :
+  ?span:Span.t -> var:int -> field:Schema.Field.t -> Predicate.op -> Value.t -> t
 
 val make_var :
+  ?span:Span.t ->
   var:int -> field:Schema.Field.t -> Predicate.op ->
   var':int -> field':Schema.Field.t -> t
+
+val span : t -> Span.t option
 
 val is_constant : t -> bool
 (** Whether the right-hand side is a constant — the [v.A φ C] form that

@@ -22,34 +22,47 @@ module Spec = struct
     left : string * string;
     op : Predicate.op;
     right : operand;
+    span : Span.t option;
   }
 
-  let const v a op c = { left = (v, a); op; right = Const c }
+  let const v a op c = { left = (v, a); op; right = Const c; span = None }
 
-  let fields v a op v' a' = { left = (v, a); op; right = Field (v', a') }
+  let fields v a op v' a' =
+    { left = (v, a); op; right = Field (v', a'); span = None }
+
+  let with_span span cond = { cond with span = Some span }
 end
 
-let collect_errors checks = List.filter_map (fun c -> c ()) checks
+let collect_errors checks = List.concat_map (fun c -> c ()) checks
 
 let resolve_cond schema ~var_id (spec : Spec.cond) =
+  let located msg =
+    match spec.span with
+    | None -> msg
+    | Some span -> Printf.sprintf "%s: %s" (Span.to_string span) msg
+  in
   let resolve_side (vname, aname) =
     match var_id vname with
-    | None -> Error (Printf.sprintf "unknown variable %S in condition" vname)
+    | None ->
+        Error (located (Printf.sprintf "unknown variable %S in condition" vname))
     | Some v -> (
         match Schema.Field.resolve schema aname with
-        | Error e -> Error (Printf.sprintf "variable %s: %s" vname e)
+        | Error e -> Error (located (Printf.sprintf "variable %s: %s" vname e))
         | Ok f -> Ok (v, f))
   in
   match resolve_side spec.left with
   | Error _ as e -> e
   | Ok (v, field) -> (
       match spec.right with
-      | Spec.Const c -> Ok (Condition.make_const ~var:v ~field spec.op c)
+      | Spec.Const c ->
+          Ok (Condition.make_const ?span:spec.span ~var:v ~field spec.op c)
       | Spec.Field (v', a') -> (
           match resolve_side (v', a') with
           | Error _ as e -> e
           | Ok (v', field') ->
-              Ok (Condition.make_var ~var:v ~field spec.op ~var':v' ~field')))
+              Ok
+                (Condition.make_var ?span:spec.span ~var:v ~field spec.op
+                   ~var':v' ~field')))
 
 let bad_quantifier (v : Variable.t) =
   Variable.min_count v < 1
@@ -58,6 +71,11 @@ let bad_quantifier (v : Variable.t) =
   | Some m -> m < Variable.min_count v
   | None -> false
 
+(* Validation accumulates: structural problems, unresolved or ill-typed
+   conditions and negation-placement mistakes are all collected in one
+   pass, so a query with several defects reports every one of them
+   (matching the analyzer's multi-diagnostic style) instead of the first
+   hit. *)
 let make_full ~schema ~sets ~negations ~where ~within =
   let flat = List.concat sets in
   let neg_flat = List.map snd negations in
@@ -68,58 +86,57 @@ let make_full ~schema ~sets ~negations ~where ~within =
   let structural =
     collect_errors
       [
-        (fun () -> if sets = [] then Some "pattern: no event set patterns" else None);
+        (fun () -> if sets = [] then [ "pattern: no event set patterns" ] else []);
         (fun () ->
           if List.exists (fun s -> s = []) sets then
-            Some "pattern: empty event set pattern"
-          else None);
+            [ "pattern: empty event set pattern" ]
+          else []);
         (fun () ->
           if List.exists (fun n -> n = "") names then
-            Some "pattern: empty variable name"
-          else None);
+            [ "pattern: empty variable name" ]
+          else []);
         (fun () ->
           let sorted = List.sort_uniq String.compare names in
           if List.length sorted <> List.length names then
-            Some "pattern: duplicate variable name (event set patterns must be disjoint)"
-          else None);
+            [ "pattern: duplicate variable name (event set patterns must be disjoint)" ]
+          else []);
         (fun () ->
           if List.length flat > max_vars then
-            Some (Printf.sprintf "pattern: more than %d variables" max_vars)
-          else None);
-        (fun () -> if within < 0 then Some "pattern: negative duration" else None);
+            [ Printf.sprintf "pattern: more than %d variables" max_vars ]
+          else []);
+        (fun () -> if within < 0 then [ "pattern: negative duration" ] else []);
         (fun () ->
-          match List.find_opt bad_quantifier (flat @ neg_flat) with
-          | Some v ->
-              Some
-                (Printf.sprintf "pattern: invalid quantifier on variable %S"
-                   v.Variable.name)
-          | None -> None);
+          List.filter_map
+            (fun (v : Variable.t) ->
+              if bad_quantifier v then
+                Some
+                  (Printf.sprintf "pattern: invalid quantifier on variable %S"
+                     v.Variable.name)
+              else None)
+            (flat @ neg_flat));
         (fun () ->
-          match
-            List.find_opt
-              (fun (v : Variable.t) -> Variable.is_group v)
-              neg_flat
-          with
-          | Some v ->
-              Some
-                (Printf.sprintf
-                   "pattern: negated variable %S must bind exactly one event"
-                   v.Variable.name)
-          | None -> None);
+          List.filter_map
+            (fun (v : Variable.t) ->
+              if Variable.is_group v then
+                Some
+                  (Printf.sprintf
+                     "pattern: negated variable %S must bind exactly one event"
+                     v.Variable.name)
+              else None)
+            neg_flat);
         (fun () ->
-          match
-            List.find_opt (fun (b, _) -> b < 0 || b >= n_sets) negations
-          with
-          | Some (b, v) ->
-              Some
-                (Printf.sprintf
-                   "pattern: negation %S at boundary %d (must follow a set)"
-                   v.Variable.name b)
-          | None -> None);
+          List.filter_map
+            (fun (b, (v : Variable.t)) ->
+              if b < 0 || b >= n_sets then
+                Some
+                  (Printf.sprintf
+                     "pattern: negation %S at boundary %d (must follow a set)"
+                     v.Variable.name b)
+              else None)
+            negations);
       ]
   in
-  if structural <> [] then Error structural
-  else begin
+  begin
     let vars = Array.of_list flat in
     let neg_vars = Array.of_list neg_flat in
     let neg_boundaries = Array.of_list (List.map fst negations) in
@@ -194,7 +211,7 @@ let make_full ~schema ~sets ~negations ~where ~within =
               Some "pattern: a condition may not relate two negated variables")
         conditions
     in
-    match errors @ type_errors @ neg_errors with
+    match structural @ errors @ type_errors @ neg_errors with
     | [] ->
         Ok
           {

@@ -25,6 +25,8 @@ module Spec : sig
     left : string * string;  (** variable name, attribute name (or "T") *)
     op : Predicate.op;
     right : operand;
+    span : Span.t option;
+        (** source location of the condition in query text, when known *)
   }
 
   val const : string -> string -> Predicate.op -> Value.t -> cond
@@ -32,6 +34,10 @@ module Spec : sig
 
   val fields : string -> string -> Predicate.op -> string -> string -> cond
   (** [fields "c" "ID" Eq "p" "ID"] is [c.ID = p.ID]. *)
+
+  val with_span : Span.t -> cond -> cond
+  (** Attaches a source span; resolution errors and diagnostics are then
+      prefixed with the location. *)
 end
 
 val make_full :

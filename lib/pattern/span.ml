@@ -1,0 +1,48 @@
+type t = {
+  start_line : int;
+  start_col : int;
+  end_line : int;
+  end_col : int;
+}
+
+let make ~start_line ~start_col ~end_line ~end_col =
+  { start_line; start_col; end_line; end_col }
+
+let point ~line ~col =
+  { start_line = line; start_col = col; end_line = line; end_col = col }
+
+let union a b =
+  let start_line, start_col =
+    if
+      a.start_line < b.start_line
+      || (a.start_line = b.start_line && a.start_col <= b.start_col)
+    then (a.start_line, a.start_col)
+    else (b.start_line, b.start_col)
+  in
+  let end_line, end_col =
+    if
+      a.end_line > b.end_line
+      || (a.end_line = b.end_line && a.end_col >= b.end_col)
+    then (a.end_line, a.end_col)
+    else (b.end_line, b.end_col)
+  in
+  { start_line; start_col; end_line; end_col }
+
+let equal a b =
+  a.start_line = b.start_line
+  && a.start_col = b.start_col
+  && a.end_line = b.end_line
+  && a.end_col = b.end_col
+
+let pp ppf s =
+  if s.start_line = s.end_line then
+    if s.end_col <= s.start_col + 1 then
+      Format.fprintf ppf "line %d, column %d" s.start_line s.start_col
+    else
+      Format.fprintf ppf "line %d, columns %d-%d" s.start_line s.start_col
+        (s.end_col - 1)
+  else
+    Format.fprintf ppf "lines %d:%d-%d:%d" s.start_line s.start_col s.end_line
+      (s.end_col - 1)
+
+let to_string s = Format.asprintf "%a" pp s

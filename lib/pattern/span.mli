@@ -1,0 +1,30 @@
+(** Source spans of query-language fragments.
+
+    A span covers the characters from (start_line, start_col) inclusive to
+    (end_line, end_col) exclusive, all 1-based — the convention of the
+    {!Ses_lang} lexer. Conditions built programmatically carry no span;
+    conditions parsed from query text carry the span of the condition's
+    source, so analyzer diagnostics and resolution errors can point at the
+    offending text. *)
+
+type t = {
+  start_line : int;
+  start_col : int;
+  end_line : int;
+  end_col : int;  (** exclusive *)
+}
+
+val make : start_line:int -> start_col:int -> end_line:int -> end_col:int -> t
+
+val point : line:int -> col:int -> t
+(** Zero-width span at a single position. *)
+
+val union : t -> t -> t
+(** Smallest span covering both. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** ["line 2, columns 7-16"]; the end column prints inclusive. *)
+
+val to_string : t -> string

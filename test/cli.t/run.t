@@ -22,6 +22,7 @@ running example's query, and analyze the pattern.
   $ ../../bin/ses_cli.exe analyze -d chemo.csv --query-file q1.ses
   pattern: (<{c, p+, d}, {b}>, {c.L = 'C', p+.L = 'P', d.L = 'D', b.L = 'B', c.ID = p+.ID, c.ID = d.ID, d.ID = b.ID}, 264)
   automaton: 9 states, 17 transitions, 6 orderings
+  diagnostics: none
   window size W = 48
   V1 case 1 (pairwise mutually exclusive): bound 1
   V2 case 1 (pairwise mutually exclusive): bound 1
@@ -153,3 +154,86 @@ which the transition span covers whole:
   transition 72
   event_ns 264
   store.bucket_scan 0
+
+Static analysis: contradictory constants are errors, the dead parts of
+the automaton are pruned from the plan, and the exit code reflects the
+worst severity. A schema is enough — no relation needed:
+
+  $ ../../bin/ses_cli.exe analyze --schema "L:string,ID:int" \
+  >   -q "PATTERN (a, b) WHERE a.L = 'X' AND a.L = 'Y' AND b.ID = 1 WITHIN 10"
+  pattern: (<{a, b}>, {a.L = 'X', a.L = 'Y', b.ID = 1}, 10)
+  automaton: 4 states, 4 transitions, 2 orderings
+  diagnostics: 2 error(s), 0 warning(s), 0 info(s)
+    line 1, columns 22-44: error[unsatisfiable-variable]: variable a can never bind an event: its conditions on L are contradictory (a.L = 'X', a.L = 'Y')
+    error[unmatchable-pattern]: no path from the start state to the accepting state survives analysis: the pattern can never match
+  pruned: 3 transition(s), 1 state(s)
+  execution plan:
+  event filter: strong filter
+  partitioning: not applicable
+  constant pre-check: true
+  analysis: pattern can never match
+  analysis: pruned 3 dead transitions, 1 state
+  V1: case 2 (overlapping, no groups)
+  [1]
+
+The same diagnostics as machine-readable JSON:
+
+  $ ../../bin/ses_cli.exe analyze --schema "L:string,ID:int" --json \
+  >   -q "PATTERN (a, b) WHERE a.L = 'X' AND a.L = 'Y' AND b.ID = 1 WITHIN 10"
+  {"diagnostics":[{"severity":"error","code":"unsatisfiable-variable","message":"variable a can never bind an event: its conditions on L are contradictory (a.L = 'X', a.L = 'Y')","span":{"start_line":1,"start_col":22,"end_line":1,"end_col":45}},{"severity":"error","code":"unmatchable-pattern","message":"no path from the start state to the accepting state survives analysis: the pattern can never match"}],"errors":2,"warnings":0,"infos":0,"pruned_transitions":3,"pruned_states":1,"never_matches":true}
+  [1]
+
+--dot renders the automaton with the transitions the analyzer would
+prune dashed and gray:
+
+  $ ../../bin/ses_cli.exe analyze --schema "L:string,ID:int" --dot \
+  >   -q "PATTERN (a, b) WHERE a.L = 'X' AND a.L = 'Y' AND b.ID = 1 WITHIN 10" \
+  >   | grep -c "style=dashed"
+  2
+
+Timestamp conditions are checked against arrival order and the window,
+and equality chains yield inferred filter constants:
+
+  $ ../../bin/ses_cli.exe analyze --schema "L:string,ID:int" \
+  >   -q "PATTERN (c) -> (p) WHERE p.ID = c.ID AND c.ID = 7 AND c.L = 'C' AND p.L = 'P' AND p.T < c.T WITHIN 10"
+  pattern: (<{c}, {p}>, {p.ID = c.ID, c.ID = 7, c.L = 'C', p.L = 'P', p.T < c.T}, 10)
+  automaton: 3 states, 2 transitions, 1 orderings
+  diagnostics: 2 error(s), 1 warning(s), 1 info(s)
+    line 1, columns 83-91: error[temporal-contradiction]: the timing conditions and the window (WITHIN 10) admit no assignment of timestamps
+    error[unmatchable-pattern]: no path from the start state to the accepting state survives analysis: the pattern can never match
+    line 1, columns 26-91: warning[dead-transition]: transition binding p in state c can never fire: p.T < c.T requires an event older than already-bound c, but events arrive in order
+    info[implied-constant]: inferred p.ID = 7 from equality chains; the event filter uses it
+  pruned: 1 transition(s), 0 state(s)
+  execution plan:
+  event filter: strong filter
+  partitioning: per key value
+  constant pre-check: true
+  analysis: pattern can never match
+  analysis: pruned 1 dead transition, 0 states
+  analysis: inferred filter constraints for 1 variable
+  V1: case 1 (pairwise mutually exclusive)
+  V2: case 1 (pairwise mutually exclusive)
+  [1]
+
+Warnings and infos do not fail the command:
+
+  $ ../../bin/ses_cli.exe analyze --schema "L:string,ID:int" \
+  >   -q "PATTERN (a) -> (b) WHERE a.L = 'A' AND a.ID > 3 AND a.ID > 5 WITHIN 10"
+  pattern: (<{a}, {b}>, {a.L = 'A', a.ID > 3, a.ID > 5}, 10)
+  automaton: 3 states, 2 transitions, 1 orderings
+  diagnostics: 0 error(s), 1 warning(s), 1 info(s)
+    warning[unconstrained-variable]: variable b has no conditions and matches every event
+    line 1, columns 40-47: info[subsumed-condition]: condition a.ID > 3 is implied by the other conditions on a.ID
+  execution plan:
+  event filter: no filter
+  partitioning: not applicable
+  constant pre-check: true
+  V1: case 1 (pairwise mutually exclusive)
+  V2: case 1 (pairwise mutually exclusive)
+
+Parse errors surface as diagnostics with positions:
+
+  $ ../../bin/ses_cli.exe analyze --schema "L:string" -q "PATTERN (a"
+  diagnostics: 1 error(s), 0 warning(s), 0 info(s)
+    line 1, column 11: error[parse-error]: expected ')' but found end of input
+  [1]

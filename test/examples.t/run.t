@@ -38,3 +38,16 @@ The examples are deterministic; lock their key outputs.
   partitioning: per key value
   Completed funnels: 11 (of 18 shoppers, ~2/3 convert)
   Planner agrees with the direct run: true
+
+Every example query ships as a .ses file with its schema; all of them
+analyze diagnostic-clean:
+
+  $ for q in ../../examples/queries/*.ses; do
+  >   printf '%s: ' "$(basename "$q" .ses)"
+  >   ../../bin/ses_cli.exe analyze --schema "$(cat "${q%.ses}.schema")" \
+  >     --query-file "$q" | grep '^diagnostics:'
+  > done
+  chemotherapy: diagnostics: none
+  clickstream: diagnostics: none
+  finance: diagnostics: none
+  rfid: diagnostics: none

@@ -30,6 +30,7 @@ The REPL drives the whole pipeline from a piped script.
                              end a line with \ to continue)
     list                     defined patterns
     show <name>              pattern, automaton size, complexity cases
+    analyze <name>           static diagnostics and pruning summary
     plan <name>              execution plan the library would pick
     run <name>               match the pattern against the relation
     trace <name> [n]         execution narrative (first n steps)
@@ -54,3 +55,22 @@ The REPL drives the whole pipeline from a piped script.
   read e2: new instance
   error: no pattern named "missing" (use: let missing = PATTERN ...)
   error: unknown command "bogus" (try: help)
+
+Defining a pattern reports analyzer errors and warnings inline; the
+analyze command prints the full report on demand:
+
+  $ ../../bin/ses_repl.exe <<'SESSION'
+  > load chemo.csv
+  > let bad = PATTERN (a, b) WHERE a.L = 'X' AND a.L = 'Y' WITHIN 10
+  > analyze bad
+  > quit
+  > SESSION
+  loaded 264 events from chemo.csv
+  bad = (<{a, b}>, {a.L = 'X', a.L = 'Y'}, 10)
+  line 1, columns 23-45: error[unsatisfiable-variable]: variable a can never bind an event: its conditions on L are contradictory (a.L = 'X', a.L = 'Y')
+  error[unmatchable-pattern]: no path from the start state to the accepting state survives analysis: the pattern can never match
+  warning[unconstrained-variable]: variable b has no conditions and matches every event
+  line 1, columns 23-45: error[unsatisfiable-variable]: variable a can never bind an event: its conditions on L are contradictory (a.L = 'X', a.L = 'Y')
+  error[unmatchable-pattern]: no path from the start state to the accepting state survives analysis: the pattern can never match
+  warning[unconstrained-variable]: variable b has no conditions and matches every event
+  pruned: 3 transition(s), 1 state(s)

@@ -1,0 +1,328 @@
+(* The static analyzer: one test per diagnostic kind, plus the
+   pruning bookkeeping and the inferred filter constants. *)
+
+open Ses_event
+open Ses_pattern
+open Ses_core
+open Ses_analysis
+open Helpers
+
+let codes (r : Analyzer.result) =
+  List.map (fun (d : Diagnostic.t) -> d.Diagnostic.code) r.Analyzer.diagnostics
+
+let has_code code r = List.mem code (codes r)
+
+let severity_of code (r : Analyzer.result) =
+  match
+    List.find_opt
+      (fun (d : Diagnostic.t) -> d.Diagnostic.code = code)
+      r.Analyzer.diagnostics
+  with
+  | Some d -> Diagnostic.severity_label d.Diagnostic.severity
+  | None -> Alcotest.failf "no %s diagnostic" code
+
+let const name field op v = Pattern.Spec.const name field op (Value.Int v)
+
+let test_clean_pattern () =
+  let r = Analyzer.analyze_pattern query_q1 in
+  Alcotest.(check (list string)) "no diagnostics" [] (codes r);
+  Alcotest.(check bool) "automaton physically unchanged" true
+    (r.Analyzer.automaton == r.Analyzer.original);
+  Alcotest.(check int) "nothing pruned" 0 r.Analyzer.pruned_transitions;
+  Alcotest.(check bool) "no extras" true (r.Analyzer.filter_extras = []);
+  Alcotest.(check bool) "can match" false r.Analyzer.never_matches
+
+let test_unsatisfiable_variable () =
+  let p =
+    pattern ~within:10
+      ~where:[ label "a" "x"; label "a" "y"; label "b" "z" ]
+      [ [ v "a"; v "b" ] ]
+  in
+  let r = Analyzer.analyze_pattern p in
+  Alcotest.(check bool) "reported" true (has_code "unsatisfiable-variable" r);
+  Alcotest.(check string) "is an error" "error"
+    (severity_of "unsatisfiable-variable" r);
+  Alcotest.(check bool) "never matches" true r.Analyzer.never_matches;
+  Alcotest.(check bool) "unmatchable" true (has_code "unmatchable-pattern" r);
+  Alcotest.(check bool) "transitions pruned" true
+    (r.Analyzer.pruned_transitions > 0)
+
+let test_vacuous_negation () =
+  let p =
+    Pattern.make_full_exn ~schema ~sets:[ [ v "a" ]; [ v "b" ] ]
+      ~negations:[ (0, v "x") ]
+      ~where:[ label "a" "a"; label "b" "b"; label "x" "p"; label "x" "q" ]
+      ~within:10
+  in
+  let r = Analyzer.analyze_pattern p in
+  Alcotest.(check bool) "reported" true (has_code "vacuous-negation" r);
+  Alcotest.(check string) "is a warning" "warning" (severity_of "vacuous-negation" r);
+  Alcotest.(check bool) "pattern still matches" false r.Analyzer.never_matches
+
+let test_contradictory_conditions () =
+  (* Each variable is satisfiable alone; the a.V < b.V edge between the
+     two constant ranges is not. *)
+  let p =
+    pattern ~within:10
+      ~where:
+        [
+          label "a" "a";
+          label "b" "b";
+          const "a" "V" Predicate.Gt 5;
+          const "b" "V" Predicate.Lt 3;
+          Pattern.Spec.fields "a" "V" Predicate.Lt "b" "V";
+        ]
+      [ [ v "a"; v "b" ] ]
+  in
+  let r = Analyzer.analyze_pattern p in
+  Alcotest.(check bool) "reported" true (has_code "contradictory-conditions" r);
+  Alcotest.(check string) "is an error" "error"
+    (severity_of "contradictory-conditions" r);
+  Alcotest.(check bool) "never matches" true r.Analyzer.never_matches
+
+let test_temporal_contradiction () =
+  (* b's set follows a's, so T_a < T_b is forced — but the condition
+     demands the opposite. *)
+  let p =
+    pattern ~within:10
+      ~where:
+        [
+          label "a" "a";
+          label "b" "b";
+          Pattern.Spec.fields "b" "T" Predicate.Lt "a" "T";
+        ]
+      [ [ v "a" ]; [ v "b" ] ]
+  in
+  let r = Analyzer.analyze_pattern p in
+  Alcotest.(check bool) "reported" true (has_code "temporal-contradiction" r);
+  Alcotest.(check string) "is an error" "error"
+    (severity_of "temporal-contradiction" r);
+  Alcotest.(check bool) "never matches" true r.Analyzer.never_matches
+
+let test_dead_transition_and_dead_end () =
+  (* In the permuted set {a, b}, binding b second requires b.T < a.T —
+     dead on arrival order. Binding a second (a.T > b.T) is fine, so the
+     pattern still matches; the pruned a-first state becomes a dead end. *)
+  let p =
+    pattern ~within:10
+      ~where:
+        [
+          label "a" "a";
+          label "b" "b";
+          Pattern.Spec.fields "b" "T" Predicate.Lt "a" "T";
+        ]
+      [ [ v "a"; v "b" ] ]
+  in
+  let r = Analyzer.analyze_pattern p in
+  Alcotest.(check bool) "dead transition" true (has_code "dead-transition" r);
+  Alcotest.(check string) "dead transition is a warning" "warning"
+    (severity_of "dead-transition" r);
+  Alcotest.(check bool) "dead end state" true (has_code "dead-end-state" r);
+  Alcotest.(check bool) "still matches" false r.Analyzer.never_matches;
+  Alcotest.(check int) "one transition pruned" 1 r.Analyzer.pruned_transitions;
+  Alcotest.(check bool) "pruned automaton is new" true
+    (not (r.Analyzer.automaton == r.Analyzer.original))
+
+let test_opposite_comparisons_dead () =
+  (* No constants at all: deadness comes from the sign sets of the two
+     conditions against the same partner field. *)
+  let p =
+    pattern ~within:10
+      ~where:
+        [
+          Pattern.Spec.fields "a" "V" Predicate.Lt "b" "V";
+          Pattern.Spec.fields "a" "V" Predicate.Gt "b" "V";
+        ]
+      [ [ v "a"; v "b" ] ]
+  in
+  let r = Analyzer.analyze_pattern p in
+  Alcotest.(check bool) "dead transitions" true (has_code "dead-transition" r);
+  Alcotest.(check bool) "unmatchable" true (has_code "unmatchable-pattern" r)
+
+let test_unconstrained_variable () =
+  let p = pattern ~within:10 ~where:[ label "a" "a" ] [ [ v "a" ]; [ v "b" ] ] in
+  let r = Analyzer.analyze_pattern p in
+  Alcotest.(check bool) "reported" true (has_code "unconstrained-variable" r)
+
+let test_unconstrained_negation () =
+  let p =
+    Pattern.make_full_exn ~schema ~sets:[ [ v "a" ]; [ v "b" ] ]
+      ~negations:[ (0, v "x") ]
+      ~where:[ label "a" "a"; label "b" "b" ]
+      ~within:10
+  in
+  let r = Analyzer.analyze_pattern p in
+  Alcotest.(check bool) "reported" true (has_code "unconstrained-negation" r)
+
+let test_unreferenced_group () =
+  let p =
+    pattern ~within:10 ~where:[ label "a" "a"; label "b" "b" ]
+      [ [ vplus "a"; v "b" ] ]
+  in
+  let r = Analyzer.analyze_pattern p in
+  Alcotest.(check bool) "reported" true (has_code "unreferenced-group" r);
+  (* q1's p+ is joined on ID, so it must not warn. *)
+  Alcotest.(check bool) "joined group is fine" false
+    (has_code "unreferenced-group" (Analyzer.analyze_pattern query_q1))
+
+let test_subsumed_condition () =
+  let p =
+    pattern ~within:10
+      ~where:
+        [
+          label "a" "a";
+          const "a" "V" Predicate.Gt 3;
+          const "a" "V" Predicate.Gt 5;
+          label "b" "b";
+        ]
+      [ [ v "a"; v "b" ] ]
+  in
+  let r = Analyzer.analyze_pattern p in
+  Alcotest.(check bool) "reported" true (has_code "subsumed-condition" r);
+  Alcotest.(check string) "is an info" "info" (severity_of "subsumed-condition" r)
+
+let test_implied_constant () =
+  let p =
+    pattern ~within:10
+      ~where:
+        [
+          label "a" "a";
+          label "b" "b";
+          const "a" "ID" Predicate.Eq 5;
+          Pattern.Spec.fields "b" "ID" Predicate.Eq "a" "ID";
+        ]
+      [ [ v "a" ]; [ v "b" ] ]
+  in
+  let r = Analyzer.analyze_pattern p in
+  Alcotest.(check bool) "reported" true (has_code "implied-constant" r);
+  let b = Option.get (Pattern.var_id p "b") in
+  let extras = List.assoc_opt b r.Analyzer.filter_extras in
+  match extras with
+  | Some [ (f, Predicate.Eq, Value.Int 5) ] ->
+      Alcotest.(check string) "on ID" "ID"
+        (Schema.Field.name (Pattern.schema p) f)
+  | _ -> Alcotest.fail "expected one inferred ID = 5 constraint for b"
+
+(* Same-set equality chains must NOT produce extras: enforcement order
+   would depend on which variable binds first. *)
+let test_same_set_chain_produces_no_extras () =
+  let p =
+    pattern ~within:10
+      ~where:
+        [
+          const "a" "ID" Predicate.Eq 5;
+          Pattern.Spec.fields "b" "ID" Predicate.Eq "a" "ID";
+        ]
+      [ [ v "a"; v "b" ] ]
+  in
+  let r = Analyzer.analyze_pattern p in
+  Alcotest.(check bool) "no extras" true (r.Analyzer.filter_extras = [])
+
+let test_diagnostics_sorted () =
+  let p =
+    pattern ~within:10
+      ~where:
+        [
+          label "a" "x";
+          label "a" "y";
+          const "b" "V" Predicate.Gt 3;
+          const "b" "V" Predicate.Gt 5;
+        ]
+      [ [ v "a"; v "b" ]; [ v "c" ] ]
+  in
+  let r = Analyzer.analyze_pattern p in
+  let ranks =
+    List.map
+      (fun (d : Diagnostic.t) ->
+        match d.Diagnostic.severity with
+        | Diagnostic.Error -> 0
+        | Diagnostic.Warning -> 1
+        | Diagnostic.Info -> 2)
+      r.Analyzer.diagnostics
+  in
+  Alcotest.(check (list int)) "errors first, infos last"
+    (List.sort compare ranks) ranks
+
+let test_analyze_query_errors () =
+  match Analyzer.analyze_query schema "PATTERN (a" with
+  | Ok _ -> Alcotest.fail "expected parse diagnostics"
+  | Error diags ->
+      Alcotest.(check bool) "parse error" true
+        (List.exists
+           (fun (d : Diagnostic.t) -> d.Diagnostic.code = "parse-error")
+           diags);
+      Alcotest.(check bool) "has span" true
+        (List.for_all
+           (fun (d : Diagnostic.t) -> Option.is_some d.Diagnostic.span)
+           diags)
+
+let test_analyze_query_invalid_pattern () =
+  match
+    Analyzer.analyze_query schema
+      "PATTERN (a, b) WHERE z.L = 'x' AND a.NOPE = 1 WITHIN 5"
+  with
+  | Ok _ -> Alcotest.fail "expected validation diagnostics"
+  | Error diags ->
+      (* Validation accumulates: both the unknown variable and the
+         unknown attribute arrive together. *)
+      Alcotest.(check bool) "at least two errors" true
+        (List.length
+           (List.filter
+              (fun (d : Diagnostic.t) -> d.Diagnostic.code = "invalid-pattern")
+              diags)
+        >= 2)
+
+let test_planner_adopts_analysis () =
+  Analyzer.register ();
+  let p =
+    pattern ~within:10
+      ~where:
+        [
+          label "a" "a";
+          label "b" "b";
+          Pattern.Spec.fields "b" "T" Predicate.Lt "a" "T";
+        ]
+      [ [ v "a"; v "b" ] ]
+  in
+  let automaton = Automaton.of_pattern p in
+  let plan = Planner.plan automaton in
+  (match plan.Planner.analysis with
+  | None -> Alcotest.fail "planner did not consult the analyzer"
+  | Some a ->
+      Alcotest.(check int) "pruned in plan" 1 a.Planner.pruned_transitions;
+      Alcotest.(check bool) "effective automaton is pruned" true
+        (Planner.effective_automaton plan automaton == a.Planner.automaton));
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "describe mentions the pruning" true
+    (contains (Planner.describe plan) "analysis: pruned 1 dead transition")
+
+let suite =
+  [
+    Alcotest.test_case "clean pattern" `Quick test_clean_pattern;
+    Alcotest.test_case "unsatisfiable variable" `Quick test_unsatisfiable_variable;
+    Alcotest.test_case "vacuous negation" `Quick test_vacuous_negation;
+    Alcotest.test_case "contradictory conditions" `Quick
+      test_contradictory_conditions;
+    Alcotest.test_case "temporal contradiction" `Quick test_temporal_contradiction;
+    Alcotest.test_case "dead transition + dead end" `Quick
+      test_dead_transition_and_dead_end;
+    Alcotest.test_case "opposite comparisons" `Quick test_opposite_comparisons_dead;
+    Alcotest.test_case "unconstrained variable" `Quick test_unconstrained_variable;
+    Alcotest.test_case "unconstrained negation" `Quick test_unconstrained_negation;
+    Alcotest.test_case "unreferenced group" `Quick test_unreferenced_group;
+    Alcotest.test_case "subsumed condition" `Quick test_subsumed_condition;
+    Alcotest.test_case "implied constant" `Quick test_implied_constant;
+    Alcotest.test_case "same-set chain: no extras" `Quick
+      test_same_set_chain_produces_no_extras;
+    Alcotest.test_case "diagnostics sorted" `Quick test_diagnostics_sorted;
+    Alcotest.test_case "analyze_query: parse errors" `Quick
+      test_analyze_query_errors;
+    Alcotest.test_case "analyze_query: validation accumulates" `Quick
+      test_analyze_query_invalid_pattern;
+    Alcotest.test_case "planner adopts analysis" `Quick
+      test_planner_adopts_analysis;
+  ]

@@ -10,7 +10,7 @@ let q1_text =
 
 let tokens src =
   match Lexer.tokenize src with
-  | Ok toks -> List.map (fun (t, _, _) -> t) toks
+  | Ok toks -> List.map fst toks
   | Error e -> Alcotest.failf "lexer error: %a" Lexer.pp_error e
 
 let test_lexer_basics () =
@@ -56,6 +56,49 @@ let test_lexer_error_position () =
       Alcotest.(check int) "line" 2 e.Lexer.line;
       Alcotest.(check int) "col" 3 e.Lexer.col
   | Ok _ -> Alcotest.fail "expected error"
+
+let test_lexer_spans () =
+  match Lexer.tokenize "a.V >=\n  2.5" with
+  | Error e -> Alcotest.failf "lexer error: %a" Lexer.pp_error e
+  | Ok toks -> (
+      (match toks with
+      | (Token.IDENT "a", sa) :: _ ->
+          Alcotest.(check int) "ident line" 1 sa.Span.start_line;
+          Alcotest.(check int) "ident start" 1 sa.Span.start_col;
+          Alcotest.(check int) "ident end" 2 sa.Span.end_col
+      | _ -> Alcotest.fail "unexpected tokens");
+      match
+        List.find_opt
+          (fun (t, _) -> match t with Token.FLOAT _ -> true | _ -> false)
+          toks
+      with
+      | Some (_, sf) ->
+          Alcotest.(check int) "float line" 2 sf.Span.start_line;
+          Alcotest.(check int) "float start" 3 sf.Span.start_col;
+          Alcotest.(check int) "float end" 6 sf.Span.end_col
+      | None -> Alcotest.fail "no float token")
+
+let test_cond_spans () =
+  match Parser.parse q1_text with
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+  | Ok ast ->
+      Alcotest.(check bool) "every condition has a span" true
+        (List.for_all
+           (fun (c : Pattern.Spec.cond) -> Option.is_some c.Pattern.Spec.span)
+           ast.Ast.where);
+      let first = Option.get (List.hd ast.Ast.where).Pattern.Spec.span in
+      Alcotest.(check int) "first cond line" 2 first.Span.start_line;
+      Alcotest.(check int) "first cond start" 7 first.Span.start_col;
+      Alcotest.(check int) "first cond end" 16 first.Span.end_col
+
+let test_compiled_spans () =
+  match Lang.parse_pattern Helpers.chemo_schema q1_text with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok p ->
+      Alcotest.(check bool) "compiled conditions keep their spans" true
+        (List.for_all
+           (fun c -> Option.is_some (Condition.span c))
+           (Pattern.conditions p))
 
 let test_parse_q1 () =
   match Parser.parse q1_text with
@@ -260,6 +303,9 @@ let suite =
     Alcotest.test_case "string literals" `Quick test_lexer_strings;
     Alcotest.test_case "comments" `Quick test_lexer_comments;
     Alcotest.test_case "lexer error positions" `Quick test_lexer_error_position;
+    Alcotest.test_case "lexer spans" `Quick test_lexer_spans;
+    Alcotest.test_case "condition spans" `Quick test_cond_spans;
+    Alcotest.test_case "compiled spans" `Quick test_compiled_spans;
     Alcotest.test_case "parse Q1" `Quick test_parse_q1;
     Alcotest.test_case "parse minimal" `Quick test_parse_minimal;
     Alcotest.test_case "parse chain" `Quick test_parse_unparenthesized_chain;

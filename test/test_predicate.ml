@@ -115,6 +115,98 @@ let unsat_is_sound =
                 && Predicate.eval (fst p2) x (snd p2))
               (List.init 101 (fun k -> k - 50))))
 
+(* Domain: the n-ary typed generalization, property-tested against
+   brute-force evaluation over small value grids. *)
+module D = Predicate.Domain
+
+let int_grid = List.init 81 (fun k -> i (k - 40))
+
+let float_grid = List.init 161 (fun k -> f (float_of_int (k - 80) /. 2.0))
+
+let string_grid =
+  List.map s [ ""; "a"; "ab"; "b"; "ba"; "c"; "x"; "xy"; "z" ]
+
+let atom_gen const =
+  QCheck.(pair op_gen const)
+
+let int_const = QCheck.(map (fun n -> i (n - 10)) (int_bound 20))
+
+let float_const =
+  QCheck.(map (fun n -> f (float_of_int (n - 10) /. 2.0)) (int_bound 40))
+
+let string_const = QCheck.(map s (oneofl [ ""; "a"; "ab"; "b"; "c"; "x" ]))
+
+let atoms_gen const = QCheck.(list_of_size Gen.(0 -- 4) (atom_gen const))
+
+let satisfies atoms v =
+  List.for_all (fun (op, c) -> Predicate.eval op v c) atoms
+
+(* [mem] agrees exactly with evaluating every atom, and [is_empty] with
+   the grid: ints are exact, so the directions coincide; the grid covers
+   every boundary the constants can produce. *)
+let domain_matches_brute_force name ty const grid =
+  QCheck.Test.make ~count:500 ~name
+    (atoms_gen const)
+    (fun atoms ->
+      let d = D.of_atoms ty atoms in
+      List.for_all (fun v -> D.mem d v = satisfies atoms v) grid
+      && ((not (D.is_empty d)) || not (List.exists (satisfies atoms) grid)))
+
+let domain_ints =
+  domain_matches_brute_force "Domain vs brute force (ints)" Value.Tint
+    int_const int_grid
+
+let domain_floats =
+  domain_matches_brute_force "Domain vs brute force (floats)" Value.Tfloat
+    float_const float_grid
+
+let domain_strings =
+  domain_matches_brute_force "Domain vs brute force (strings)" Value.Tstr
+    string_const string_grid
+
+(* The binary procedure against the domain construction: over a dense
+   type they must agree exactly; over ints the domain is sharper, so
+   binary-unsat must imply domain-empty. *)
+let domain_vs_binary =
+  QCheck.Test.make ~count:1000 ~name:"Domain generalizes conjunction_satisfiable"
+    QCheck.(pair (atom_gen float_const) (atom_gen float_const))
+    (fun (a1, a2) ->
+      sat a1 a2 = not (D.is_empty (D.of_atoms Value.Tfloat [ a1; a2 ])))
+
+let domain_vs_binary_int =
+  QCheck.Test.make ~count:1000
+    ~name:"int Domain refines conjunction_satisfiable"
+    QCheck.(pair (atom_gen int_const) (atom_gen int_const))
+    (fun (a1, a2) ->
+      sat a1 a2 || D.is_empty (D.of_atoms Value.Tint [ a1; a2 ]))
+
+(* [implies d atom]: every grid value in the domain satisfies the atom. *)
+let implies_sound =
+  QCheck.Test.make ~count:500 ~name:"Domain.implies soundness (ints)"
+    QCheck.(pair (atoms_gen int_const) (atom_gen int_const))
+    (fun (atoms, atom) ->
+      let d = D.of_atoms Value.Tint atoms in
+      (not (D.implies d atom))
+      || List.for_all
+           (fun v -> (not (D.mem d v)) || Predicate.eval (fst atom) v (snd atom))
+           int_grid)
+
+(* [propagate ty op d] over-approximates {x : exists y in d. x op y}. *)
+let propagate_sound =
+  QCheck.Test.make ~count:500 ~name:"Domain.propagate over-approximates (ints)"
+    QCheck.(pair op_gen (atoms_gen int_const))
+    (fun (op, atoms) ->
+      let d = D.of_atoms Value.Tint atoms in
+      let p = D.propagate Value.Tint op d in
+      List.for_all
+        (fun x ->
+          (not
+             (List.exists
+                (fun y -> D.mem d y && Predicate.eval op x y)
+                int_grid))
+          || D.mem p x)
+        int_grid)
+
 let suite =
   [
     Alcotest.test_case "eval operators" `Quick test_eval_ops;
@@ -127,4 +219,11 @@ let suite =
     Alcotest.test_case "conjunction: string bounds" `Quick test_conjunction_strings;
     Alcotest.test_case "conjunction: cross-type" `Quick test_conjunction_cross_type;
     QCheck_alcotest.to_alcotest unsat_is_sound;
+    QCheck_alcotest.to_alcotest domain_ints;
+    QCheck_alcotest.to_alcotest domain_floats;
+    QCheck_alcotest.to_alcotest domain_strings;
+    QCheck_alcotest.to_alcotest domain_vs_binary;
+    QCheck_alcotest.to_alcotest domain_vs_binary_int;
+    QCheck_alcotest.to_alcotest implies_sound;
+    QCheck_alcotest.to_alcotest propagate_sound;
   ]

@@ -1,0 +1,29 @@
+#!/bin/sh
+# CI lint: every module in lib/ ships an explicit interface.
+#
+# A missing .mli exports everything, so internal helpers leak into the
+# public surface and interface drift goes unreviewed: adding a function
+# to the .ml silently widens the library API. Each lib/**/*.ml must have
+# a sibling .mli; intentional exceptions (e.g. generated modules) live
+# in tools/mli_allowlist.txt as repo-relative .ml paths, one per line,
+# added only together with a justifying comment at the site.
+set -u
+cd "$(dirname "$0")/.."
+
+allow=tools/mli_allowlist.txt
+
+missing=$(find lib -name '*.ml' | sort | while IFS= read -r f; do
+  [ -f "${f%.ml}.mli" ] || printf '%s\n' "$f"
+done)
+
+new=$(printf '%s\n' "$missing" \
+  | grep -v -x -F -f "$allow" | grep -v '^$' || true)
+
+if [ -n "$new" ]; then
+  echo "error: lib/ modules without an .mli interface — add one, or" >&2
+  echo "extend tools/mli_allowlist.txt with a justifying comment at" >&2
+  echo "the site:" >&2
+  printf '%s\n' "$new" >&2
+  exit 1
+fi
+echo "mli lint: ok"
