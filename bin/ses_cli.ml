@@ -230,6 +230,19 @@ let domains_arg =
            to the machine's core count when this is left at 1. Matching \
            output is identical to the sequential run.")
 
+let batch_arg =
+  Arg.(
+    value & opt int Ses_core.Engine.default_batch_size
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Chunk size for the batched execution core (default tuned by the \
+           bench harness). Events are fed through the executors N at a \
+           time — the CSV scan yields filtered chunks, per-batch engine \
+           work (event filter, expiry sweep, telemetry probes) amortizes \
+           over each chunk, and the domain-parallel executors ship whole \
+           sub-batches over their queues. Matching output is identical at \
+           every batch size; N=1 recovers per-event delivery.")
+
 let print_match_results pattern ~raw ~matches ~metrics show_metrics show_raw
     table =
   Format.printf "pattern: %a@." Ses_pattern.Pattern.pp pattern;
@@ -250,12 +263,16 @@ let print_match_results pattern ~raw ~matches ~metrics show_metrics show_raw
   end;
   if show_metrics then Format.printf "%a@." Ses_core.Metrics.pp metrics
 
-let run_match data query query_file strategy stream domains filter policy store
-    telemetry show_metrics show_raw table =
+let run_match data query query_file strategy stream domains batch filter policy
+    store telemetry show_metrics show_raw table =
   Ses_baseline.Brute_force.register ();
   Ses_analysis.Analyzer.register ();
   if domains < 1 then begin
     prerr_endline "error: --domains must be at least 1";
+    exit 1
+  end;
+  if batch < 1 then begin
+    prerr_endline "error: --batch must be at least 1";
     exit 1
   end;
   let recorder =
@@ -269,6 +286,7 @@ let run_match data query query_file strategy stream domains filter policy store
       policy;
       store;
       domains;
+      batch_size = batch;
       telemetry = recorder;
     }
   in
@@ -344,8 +362,9 @@ let match_cmd =
     (Cmd.info "match" ~doc:"Run a SES pattern over a stored relation")
     Term.(
       const run_match $ data_arg $ query_arg $ query_file_arg $ strategy_arg
-      $ stream_arg $ domains_arg $ filter_arg $ policy_arg $ store_arg
-      $ telemetry_arg $ show_metrics_arg $ show_raw_arg $ table_arg)
+      $ stream_arg $ domains_arg $ batch_arg $ filter_arg $ policy_arg
+      $ store_arg $ telemetry_arg $ show_metrics_arg $ show_raw_arg
+      $ table_arg)
 
 (* dot *)
 

@@ -124,6 +124,25 @@ let feed st e =
   if total > st.max_total then st.max_total <- total;
   fresh st completed
 
+(* Each chain consumes the whole chunk through the engine's batched
+   path; the cross-chain population peak is then sampled once per batch
+   (a lower bound on the per-event peak, like the other batched
+   executors). *)
+let feed_batch st es =
+  let completed =
+    List.concat_map
+      (fun (dp, engine) ->
+        List.map
+          (retarget ~original:st.pattern ~derived:dp)
+          (Engine.feed_batch engine es))
+      st.streams
+  in
+  let total =
+    List.fold_left (fun acc (_, s) -> acc + Engine.population s) 0 st.streams
+  in
+  if total > st.max_total then st.max_total <- total;
+  fresh st completed
+
 let close st =
   fresh st
     (List.concat_map
@@ -173,6 +192,8 @@ module Exec = struct
   let create = create
 
   let feed = feed
+
+  let feed_batch = feed_batch
 
   let close = close
 

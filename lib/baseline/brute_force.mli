@@ -77,6 +77,11 @@ val feed : stream -> Event.t -> Substitution.t list
 (** Raw substitutions first completed on this event (across all chains,
     deduplicated against everything emitted so far). *)
 
+val feed_batch : stream -> Event.t array -> Substitution.t list
+(** Batched lockstep: every chain consumes the chunk through
+    {!Engine.feed_batch}; completions are retargeted and deduplicated as
+    in {!feed}, grouped by chain within the chunk. *)
+
 val close : stream -> Substitution.t list
 
 val emitted : stream -> Substitution.t list

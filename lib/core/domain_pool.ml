@@ -9,7 +9,20 @@
    passed to [create] capture it); the mutex/condition handshakes of
    [quiesce] and the [Domain.join] of [shutdown] publish that state to
    the caller, so reading it after either call is race-free under the
-   OCaml 5 memory model. *)
+   OCaml 5 memory model. (The handshake alone is what synchronizes:
+   [quiesce] observes [pending = 0] under each worker's mutex — a lock
+   the worker last released *after* its final write to worker state —
+   and [shutdown] joins the domain, whose termination happens-after
+   everything the worker did. Both therefore order all worker writes
+   before the caller's subsequent reads.)
+
+   Producer-side batching lives here too: a [batcher] buffers items per
+   worker (or one broadcast buffer for all workers) and ships them as
+   arrays when a buffer fills. Both [quiesce] and [shutdown] first flush
+   every batcher registered on the pool, so a partial batch can never be
+   stranded in the producer's buffer at a synchronization point — the
+   flush happens while the pool still accepts sends, before queues are
+   drained or closed. *)
 
 type 'a worker = {
   queue : 'a Queue.t;
@@ -28,6 +41,9 @@ type 'a t = {
   capacity : int;
   depth : Telemetry.Gauge.t option;  (* queue depth sampled on send *)
   mutable stopped : bool;
+  mutable flushers : (unit -> unit) list;
+      (* registered batcher flushes, run by [quiesce]/[shutdown] while
+         the pool still accepts sends *)
 }
 
 let default_capacity = 1024
@@ -98,7 +114,7 @@ let create ?(capacity = default_capacity) ?telemetry ~domains f =
   let depth =
     Option.map (fun tl -> Telemetry.gauge tl "pool.queue_depth") telemetry
   in
-  { workers; capacity; depth; stopped = false }
+  { workers; capacity; depth; stopped = false; flushers = [] }
 
 let size pool = Array.length pool.workers
 
@@ -126,11 +142,15 @@ let send pool i x =
   Condition.signal w.not_empty;
   Mutex.unlock w.mutex
 
-(* Wait until every queue is drained and every worker is between
-   messages. On return the workers' state is stable (the producer is the
-   only enqueuer) and its reads are synchronized through the mutexes. *)
+let run_flushers pool = List.iter (fun flush -> flush ()) pool.flushers
+
+(* Flush partial producer batches, then wait until every queue is
+   drained and every worker is between messages. On return the workers'
+   state is stable (the producer is the only enqueuer) and its reads are
+   synchronized through the mutexes. *)
 let quiesce pool =
-  if not pool.stopped then
+  if not pool.stopped then begin
+    run_flushers pool;
     Array.iter
       (fun w ->
         Mutex.lock w.mutex;
@@ -140,9 +160,13 @@ let quiesce pool =
         check_failure w;
         Mutex.unlock w.mutex)
       pool.workers
+  end
 
 let shutdown pool =
   if not pool.stopped then begin
+    (* Flush before closing: a worker drains its whole queue before
+       exiting, so everything shipped here is still processed. *)
+    run_flushers pool;
     pool.stopped <- true;
     Array.iter
       (fun w ->
@@ -169,3 +193,75 @@ let shutdown pool =
   end
 
 let recommended () = max 1 (Domain.recommended_domain_count ())
+
+(* Producer-side batching over an array-message pool: a mutex/condition
+   handshake per item would cost more than the work it ships, so items
+   are buffered (newest first) and sent as one array when a buffer
+   reaches [limit]. The buffers belong to the producer thread; workers
+   only ever see flushed arrays. Registration in [flushers] is what
+   makes the quiesce/shutdown guarantee above hold. *)
+type 'a batcher = {
+  bpool : 'a array t;
+  limit : int;
+  hist : Telemetry.Histogram.t option;  (* batch sizes on flush *)
+  buffers : 'a list array;  (* per worker, newest first *)
+  lens : int array;
+  mutable bcast : 'a list;  (* broadcast buffer, newest first *)
+  mutable bcast_len : int;
+}
+
+let observe_flush b n =
+  match b.hist with
+  | None -> ()
+  | Some h -> Telemetry.Histogram.observe h n
+
+let flush_worker b i =
+  if b.lens.(i) > 0 then begin
+    observe_flush b b.lens.(i);
+    let arr = Array.of_list (List.rev b.buffers.(i)) in
+    b.buffers.(i) <- [];
+    b.lens.(i) <- 0;
+    send b.bpool i arr
+  end
+
+let flush_broadcast b =
+  if b.bcast_len > 0 then begin
+    observe_flush b b.bcast_len;
+    (* One shared array for every worker: the workers only read it. *)
+    let arr = Array.of_list (List.rev b.bcast) in
+    b.bcast <- [];
+    b.bcast_len <- 0;
+    for i = 0 to Array.length b.bpool.workers - 1 do
+      send b.bpool i arr
+    done
+  end
+
+let flush b =
+  Array.iteri (fun i _ -> flush_worker b i) b.lens;
+  flush_broadcast b
+
+let batcher ?hist ?(limit = 64) pool =
+  if limit < 1 then invalid_arg "Domain_pool.batcher: limit < 1";
+  let b =
+    {
+      bpool = pool;
+      limit;
+      hist;
+      buffers = Array.make (Array.length pool.workers) [];
+      lens = Array.make (Array.length pool.workers) 0;
+      bcast = [];
+      bcast_len = 0;
+    }
+  in
+  pool.flushers <- (fun () -> flush b) :: pool.flushers;
+  b
+
+let push b i x =
+  b.buffers.(i) <- x :: b.buffers.(i);
+  b.lens.(i) <- b.lens.(i) + 1;
+  if b.lens.(i) >= b.limit then flush_worker b i
+
+let broadcast b x =
+  b.bcast <- x :: b.bcast;
+  b.bcast_len <- b.bcast_len + 1;
+  if b.bcast_len >= b.limit then flush_broadcast b

@@ -12,7 +12,13 @@
     Workers keep their state in the closures passed to [create]. After
     {!quiesce} or {!shutdown} returns, that state may be read (and after
     [shutdown], mutated) from the calling thread without races: both
-    calls establish the necessary happens-before edges. *)
+    calls establish the necessary happens-before edges.
+
+    Pools whose message type is an array can be fed through a {!batcher},
+    which buffers items on the producer side and ships them as whole
+    arrays — one queue handshake per batch instead of per item. Batchers
+    register themselves with the pool, and {!quiesce}/{!shutdown} flush
+    them before synchronizing, so a partial batch is never stranded. *)
 
 type 'a t
 
@@ -47,12 +53,44 @@ val send : 'a t -> int -> 'a -> unit
     after {!shutdown}. *)
 
 val quiesce : 'a t -> unit
-(** Blocks until every queue is empty and every worker is idle. A no-op
-    after {!shutdown}. Re-raises the first worker exception, if any. *)
+(** Flushes every registered {!batcher}, then blocks until every queue
+    is empty and every worker is idle. A no-op after {!shutdown}.
+    Re-raises the first worker exception, if any. *)
 
 val shutdown : 'a t -> unit
-(** Drains every queue, then joins all worker domains. Idempotent.
-    Re-raises the first worker exception, if any. *)
+(** Flushes every registered {!batcher}, drains every queue, then joins
+    all worker domains. Idempotent. Re-raises the first worker
+    exception, if any. *)
 
 val recommended : unit -> int
 (** [Domain.recommended_domain_count], clamped to at least 1. *)
+
+(** {1 Producer-side batching}
+
+    For pools whose messages are arrays of items. The buffers live on
+    the producer thread, so a batcher inherits {!send}'s single-producer
+    discipline: one thread pushes, flushes happen inline. *)
+
+type 'a batcher
+
+val batcher :
+  ?hist:Telemetry.Histogram.t -> ?limit:int -> 'a array t -> 'a batcher
+(** [batcher pool] buffers items per worker and sends each buffer as one
+    array when it reaches [limit] items (default 64; raises
+    [Invalid_argument] when < 1). [hist], when given, records the size
+    of every shipped batch. The batcher registers its {!flush} with the
+    pool: {!quiesce} and {!shutdown} run it automatically. *)
+
+val push : 'a batcher -> int -> 'a -> unit
+(** [push b i x] buffers [x] for worker [i], shipping the buffer when
+    full. Items reach worker [i] in push order (broadcast items are
+    interleaved at flush granularity). *)
+
+val broadcast : 'a batcher -> 'a -> unit
+(** [broadcast b x] buffers [x] for {e every} worker; on flush one
+    shared array is sent to each queue — the workers must only read
+    it. *)
+
+val flush : 'a batcher -> unit
+(** Ships all non-empty buffers (per-worker first, then the broadcast
+    buffer) immediately. Idempotent on empty buffers. *)

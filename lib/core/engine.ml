@@ -14,8 +14,14 @@ type options = {
   precheck_constants : bool;
   store : store_kind;
   domains : int;
+  batch_size : int;
   telemetry : Telemetry.sink;
 }
+
+(* The default chunk size was tuned by [bench --batch-only] (see
+   BENCH_batch.json): throughput on the million-event duplicated
+   workload plateaus from a few hundred events per chunk. *)
+let default_batch_size = 512
 
 let default_options =
   {
@@ -26,6 +32,7 @@ let default_options =
     precheck_constants = true;
     store = Indexed;
     domains = 1;
+    batch_size = default_batch_size;
     telemetry = None;
   }
 
@@ -87,6 +94,24 @@ type observation =
     }
   | Emitted of Substitution.t
 
+(* Everything the engine needs about one automaton state, resolved once
+   per stream: outgoing transitions (split for the constant pre-check),
+   the negation guards armed exactly there, whether it accepts, and the
+   interned instance-store bucket — so the per-event loop runs over a
+   flat array with zero hashtable probes. [active]/[active_stamp] cache
+   the transitions surviving the constant pre-check for the event with
+   stamp [active_stamp]; bumping the stream stamp invalidates every
+   slot's cache at once. *)
+type slot = {
+  slot_state : Varset.t;
+  accepting : bool;
+  prepared : prepared_transition list;
+  guards : guard list;
+  bucket : instance Instance_store.handle;
+  mutable active : prepared_transition list;
+  mutable active_stamp : int;
+}
+
 (* The two population representations behind the [store] option: the
    reference flat list (the paper's Ω, scanned in full per event) and the
    state-indexed store. *)
@@ -114,25 +139,28 @@ type stream = {
   strict_minima : (int * int) list;
       (** (variable, min) for variables whose quantifier requires more than
           one binding; checked at acceptance *)
-  negation_guards : (Varset.t * guard list) list;
-      (** per boundary: the exact state an instance sits in between the
-          two sets, and the guards armed there — an instance in that
-          state is killed when an event satisfies all conditions of some
-          guard *)
-  prepared : (Varset.t, prepared_transition list) Hashtbl.t;
-  active : (Varset.t, prepared_transition list) Hashtbl.t;
-      (** per-event cache: transitions whose constant atoms the current
-          event satisfies; cleared at the start of every [feed] *)
-  states : Varset.t list;  (** automaton states, ascending — bucket order *)
+  slots : slot array;  (** one per automaton state, ascending state order *)
+  slot_of : (Varset.t, slot) Hashtbl.t;
+      (** state → slot, for paths that meet instances in arbitrary states
+          (the flat reference pool) *)
+  start_slot : slot;
   fresh : instance;
       (** the start-state instance opened for every event; it is immutable
           and never stored, so one allocation serves the whole stream *)
   pop : population;
   probes : probes option;
+  mutable stamp : int;
+      (** kept-event counter; slots compare their [active_stamp] against it
+          instead of the old per-event [Hashtbl.reset] of an active table *)
   mutable next_id : int;
   mutable emissions : Substitution.t list;  (** newest first *)
   mutable last_ts : Time.t option;
   mutable observer : (observation -> unit) option;
+  mutable filter_buf : Event.t array;
+      (** scratch for the batched filter pass, grown to the largest chunk
+          seen and reused — a fresh per-chunk array above ~256 words would
+          land on the major heap and turn steady-state batching into major
+          GC churn. Pins at most one chunk's worth of events. *)
   m : Metrics.t;
 }
 
@@ -142,25 +170,68 @@ type outcome = {
   metrics : Metrics.snapshot;
 }
 
-let prepare automaton =
-  let prepared = Hashtbl.create 32 in
-  List.iter
-    (fun q ->
-      let trs =
-        List.map
-          (fun (tr : Automaton.transition) ->
-            let const_conds, var_conds =
-              List.partition Condition.is_constant tr.conds
-            in
-            { transition = tr; const_conds; var_conds })
-          (Automaton.outgoing automaton q)
-      in
-      Hashtbl.replace prepared q trs)
-    (Automaton.states automaton);
-  prepared
-
 let create ?(options = default_options) automaton =
   let p = Automaton.pattern automaton in
+  let store =
+    Instance_store.create
+      ~ts_of:(fun inst -> inst.first_ts)
+      ~seq_of:(fun inst -> inst.id)
+      ()
+  in
+  let negation_guards =
+    let prefix b =
+      Varset.of_list
+        (List.concat_map (Pattern.set_vars p) (List.init (b + 1) Fun.id))
+    in
+    let boundaries =
+      List.sort_uniq Int.compare (List.map fst (Pattern.negations p))
+    in
+    List.map
+      (fun b ->
+        ( prefix b,
+          List.filter_map
+            (fun (b', nv) ->
+              if b' = b then
+                let conds = Pattern.conditions_on p nv in
+                Some
+                  {
+                    neg_var = nv;
+                    guard_conds = conds;
+                    guard_consts = List.filter Condition.is_constant conds;
+                  }
+              else None)
+            (Pattern.negations p) ))
+      boundaries
+  in
+  let accept = Automaton.accept automaton in
+  let slots =
+    Array.of_list
+      (List.map
+         (fun q ->
+           {
+             slot_state = q;
+             accepting = Varset.equal q accept;
+             prepared =
+               List.map
+                 (fun (tr : Automaton.transition) ->
+                   let const_conds, var_conds =
+                     List.partition Condition.is_constant tr.conds
+                   in
+                   { transition = tr; const_conds; var_conds })
+                 (Automaton.outgoing automaton q);
+             guards =
+               List.concat_map
+                 (fun (prefix, gs) -> if Varset.equal q prefix then gs else [])
+                 negation_guards;
+             bucket = Instance_store.handle store q;
+             active = [];
+             active_stamp = 0;
+           })
+         (Automaton.states automaton))
+  in
+  let slot_of = Hashtbl.create (Array.length slots) in
+  Array.iter (fun s -> Hashtbl.replace slot_of s.slot_state s) slots;
+  let start_slot = Hashtbl.find slot_of (Automaton.start automaton) in
   {
     automaton;
     options;
@@ -173,33 +244,9 @@ let create ?(options = default_options) automaton =
           let m = Pattern.min_count p v in
           if m > 1 then Some (v, m) else None)
         (List.init (Pattern.n_vars p) Fun.id);
-    negation_guards =
-      (let prefix b =
-         Varset.of_list
-           (List.concat_map (Pattern.set_vars p) (List.init (b + 1) Fun.id))
-       in
-       let boundaries =
-         List.sort_uniq Int.compare (List.map fst (Pattern.negations p))
-       in
-       List.map
-         (fun b ->
-           ( prefix b,
-             List.filter_map
-               (fun (b', nv) ->
-                 if b' = b then
-                   let conds = Pattern.conditions_on p nv in
-                   Some
-                     {
-                       neg_var = nv;
-                       guard_conds = conds;
-                       guard_consts = List.filter Condition.is_constant conds;
-                     }
-                 else None)
-               (Pattern.negations p) ))
-         boundaries);
-    prepared = prepare automaton;
-    active = Hashtbl.create 32;
-    states = Automaton.states automaton;
+    slots;
+    slot_of;
+    start_slot;
     fresh =
       {
         id = 0;
@@ -211,12 +258,7 @@ let create ?(options = default_options) automaton =
     pop =
       (match options.store with
       | Flat -> Omega { omega = [] }
-      | Indexed ->
-          Store
-            (Instance_store.create
-               ~ts_of:(fun inst -> inst.first_ts)
-               ~seq_of:(fun inst -> inst.id)
-               ()));
+      | Indexed -> Store store);
     probes =
       Option.map
         (fun tl ->
@@ -228,10 +270,12 @@ let create ?(options = default_options) automaton =
             population_gauge = Telemetry.gauge tl "population";
           })
         options.telemetry;
+    stamp = 0;
     next_id = 1;
     emissions = [];
     last_ts = None;
     observer = None;
+    filter_buf = [||];
     m = Metrics.create ();
   }
 
@@ -252,42 +296,41 @@ let const_holds c e =
      needs no buffer lookup. *)
   Condition.holds_binding c ~var:c.Condition.var ~event:e (fun _ -> [])
 
-(* Transitions of state [q] worth trying on event [e]. Without the
-   constant pre-check this is every outgoing transition; with it,
-   transitions whose constant atoms [e] fails are pruned once per event
-   and shared by all instances in [q]. *)
-let candidate_transitions st q e =
-  if not st.options.precheck_constants then
-    Option.value ~default:[] (Hashtbl.find_opt st.prepared q)
-  else
-    match Hashtbl.find_opt st.active q with
-    | Some trs -> trs
-    | None ->
-        let trs =
-          List.filter
-            (fun pt -> List.for_all (fun c -> const_holds c e) pt.const_conds)
-            (Option.value ~default:[] (Hashtbl.find_opt st.prepared q))
-        in
-        Hashtbl.replace st.active q trs;
-        trs
+let bucket_of slot = slot.bucket
 
-(* Whether some negation guard armed at state [q] could kill on event
-   [e]: at least one guard whose constant atoms [e] satisfies. Shared per
+(* Transitions of [slot] worth trying on event [e]. Without the constant
+   pre-check this is every outgoing transition; with it, transitions
+   whose constant atoms [e] fails are pruned once per event — the stamp
+   check makes the cache hit a pair of integer reads, shared by all
+   instances in the state. *)
+let candidate_transitions st slot e =
+  if not st.options.precheck_constants then slot.prepared
+  else if slot.active_stamp = st.stamp then slot.active
+  else begin
+    let trs =
+      List.filter
+        (fun pt -> List.for_all (fun c -> const_holds c e) pt.const_conds)
+        slot.prepared
+    in
+    slot.active <- trs;
+    slot.active_stamp <- st.stamp;
+    trs
+  end
+
+(* Whether some negation guard armed at [slot] could kill on event [e]:
+   at least one guard whose constant atoms [e] satisfies. Shared per
    bucket per event by the indexed store's skip decision. *)
-let guards_may_fire st q e =
-  List.exists
-    (fun (prefix, guards) ->
-      Varset.equal q prefix
-      && List.exists
-           (fun g -> List.for_all (fun c -> const_holds c e) g.guard_consts)
-           guards)
-    st.negation_guards
+let guards_may_fire slot e =
+  slot.guards <> []
+  && List.exists
+       (fun g -> List.for_all (fun c -> const_holds c e) g.guard_consts)
+       slot.guards
 
-(* ConsumeEvent (Algorithm 2): successors of [inst] on event [e].
-   Returns the physically identical [ [inst] ] when the instance survives
-   unchanged, which lets the indexed feed keep untouched survivors in
-   bucket order without re-sorting. *)
-let consume st inst e =
+(* ConsumeEvent (Algorithm 2): successors of [inst] — sitting in [slot] —
+   on event [e]. Returns the physically identical [ [inst] ] when the
+   instance survives unchanged, which lets the indexed feed keep
+   untouched survivors in bucket order without re-sorting. *)
+let consume st slot inst e =
   let lookup v =
     List.rev
       (List.filter_map
@@ -335,25 +378,21 @@ let consume st inst e =
             (Took { event = e; transition = tr; buffer = substitution_of successor });
           Some successor
         end)
-      (candidate_transitions st inst.state e)
+      (candidate_transitions st slot e)
   in
   match fired with
   | [] ->
       if is_fresh inst then []
       else begin
         let killed =
-          List.exists
-            (fun (prefix, guards) ->
-              Varset.equal inst.state prefix
-              && List.exists
-                   (fun g ->
-                     List.for_all
-                       (fun c ->
-                         Condition.holds_binding c ~var:g.neg_var ~event:e
-                           lookup)
-                       g.guard_conds)
-                   guards)
-            st.negation_guards
+          slot.guards <> []
+          && List.exists
+               (fun g ->
+                 List.for_all
+                   (fun c ->
+                     Condition.holds_binding c ~var:g.neg_var ~event:e lookup)
+                   g.guard_conds)
+               slot.guards
         in
         if killed then begin
           Metrics.on_killed st.m;
@@ -412,7 +451,9 @@ let feed_flat st o e =
           (Expired { event = e; accepting; buffer = substitution_of inst });
         if accepting then completed := emit st inst :: !completed
       end
-      else survivors := List.rev_append (consume st inst e) !survivors)
+      else
+        let slot = Hashtbl.find st.slot_of inst.state in
+        survivors := List.rev_append (consume st slot inst e) !survivors)
     (st.fresh :: o.omega);
   o.omega <- List.rev !survivors;
   let n = List.length o.omega in
@@ -432,22 +473,22 @@ let feed_flat st o e =
    prefix without touching the rest. *)
 let feed_indexed st store e =
   let tau = Automaton.tau st.automaton in
-  let accept = Automaton.accept st.automaton in
   let completed = ref [] in
   let stage_successors insts =
     List.iter (fun succ -> Instance_store.stage store succ.state succ) insts
   in
-  stage_successors (consume st st.fresh e);
-  List.iter
-    (fun q ->
-      if Instance_store.bucket_size store q > 0 then begin
+  stage_successors (consume st st.start_slot st.fresh e);
+  Array.iter
+    (fun slot ->
+      let bucket = bucket_of slot in
+      if Instance_store.handle_size bucket > 0 then begin
         let tok =
           match st.probes with
           | None -> 0
           | Some p -> Telemetry.Span.start p.expiry_span
         in
         let dead =
-          Instance_store.pop_expired store q ~expired:(fun inst ->
+          Instance_store.pop_expired_h bucket ~expired:(fun inst ->
               expired tau inst e)
         in
         (match st.probes with
@@ -456,45 +497,43 @@ let feed_indexed st store e =
         List.iter
           (fun inst ->
             Metrics.on_expired st.m;
-            let accepting =
-              Varset.equal q accept && minima_satisfied st inst
-            in
+            let accepting = slot.accepting && minima_satisfied st inst in
             observe st
               (Expired { event = e; accepting; buffer = substitution_of inst });
             if accepting then completed := emit st inst :: !completed)
           dead;
         let scan =
-          candidate_transitions st q e <> []
-          || guards_may_fire st q e
+          candidate_transitions st slot e <> []
+          || guards_may_fire slot e
           || st.observer <> None
         in
-        if scan && Instance_store.bucket_size store q > 0 then begin
+        if scan && Instance_store.handle_size bucket > 0 then begin
           let tok =
             match st.probes with
             | None -> 0
             | Some p ->
                 Telemetry.Histogram.observe p.bucket_scan
-                  (Instance_store.bucket_size store q);
+                  (Instance_store.handle_size bucket);
                 Telemetry.Span.start p.transition_span
           in
-          let insts = Instance_store.take_all store q in
+          let insts = Instance_store.take_all_h bucket in
           let stayed =
             List.filter
               (fun inst ->
-                match consume st inst e with
+                match consume st slot inst e with
                 | [ s ] when s == inst -> true
                 | succs ->
                     stage_successors succs;
                     false)
               insts
           in
-          Instance_store.put_back store q stayed;
+          Instance_store.put_back_h bucket stayed;
           match st.probes with
           | None -> ()
           | Some p -> Telemetry.Span.stop p.transition_span tok
         end
       end)
-    st.states;
+    st.slots;
   Instance_store.commit store;
   let n = Instance_store.size store in
   Metrics.sample_population st.m n;
@@ -503,10 +542,22 @@ let feed_indexed st store e =
   | Some p -> Telemetry.Gauge.observe p.population_gauge n);
   List.rev !completed
 
+(* One kept (filter-surviving) event entering the pool: bump the stamp
+   (invalidating every slot's active-transition cache), account the fresh
+   start-state instance, and run the store-specific loop. *)
+let ingest_kept st e =
+  st.stamp <- st.stamp + 1;
+  Metrics.on_instance_created st.m;
+  observe st (Created e);
+  match st.pop with
+  | Omega o -> feed_flat st o e
+  | Store s -> feed_indexed st s e
+
+let out_of_order = "Engine.feed: events out of chronological order"
+
 let feed st e =
   (match st.last_ts with
-  | Some t when Time.( <. ) (Event.ts e) t ->
-      invalid_arg "Engine.feed: events out of chronological order"
+  | Some t when Time.( <. ) (Event.ts e) t -> invalid_arg out_of_order
   | Some _ | None -> ());
   st.last_ts <- Some (Event.ts e);
   Metrics.on_event st.m;
@@ -523,13 +574,169 @@ let feed st e =
     Metrics.on_filtered st.m;
     []
   end
-  else begin
-    Hashtbl.reset st.active;
+  else ingest_kept st e
+
+(* The batched loop over the indexed store. Semantics are those of
+   feeding the events one by one, with two amortizations that are
+   invisible to the (multiset of) emissions and finalized matches:
+
+   - τ-expiry prefixes are popped once per batch (against the batch's
+     first timestamp) instead of once per nonempty bucket per event;
+     an instance whose window closes mid-batch is caught by the fused
+     expiry check the moment its bucket is scanned — so it can never
+     consume an event — and otherwise sits passively until the next
+     sweep, [close], or a later scan emits it. Only the *position* of
+     such an emission in the raw stream can differ from the one-by-one
+     order, never its presence.
+
+   - telemetry records per batch: one expiry span for the sweep, one
+     transition span covering the whole kept loop (every event's bucket
+     scans), and one population gauge observation at batch end.
+
+   The per-event [feed] above remains the reference ordering; [feed_batch]
+   falls back to it while an observer is installed so narration order
+   stays exact. *)
+let feed_indexed_batch st store kept n_kept =
+  let tau = Automaton.tau st.automaton in
+  let completed = ref [] in
+  let emit_expired e slot inst =
+    Metrics.on_expired st.m;
+    let accepting = slot.accepting && minima_satisfied st inst in
+    observe st
+      (Expired { event = e; accepting; buffer = substitution_of inst });
+    if accepting then completed := emit st inst :: !completed
+  in
+  (* Batch-start expiry sweep: one prefix pop per nonempty bucket. *)
+  let e0 = kept.(0) in
+  let tok =
+    match st.probes with
+    | None -> 0
+    | Some p -> Telemetry.Span.start p.expiry_span
+  in
+  Array.iter
+    (fun slot ->
+      let bucket = bucket_of slot in
+      if Instance_store.handle_size bucket > 0 then
+        List.iter (emit_expired e0 slot)
+          (Instance_store.pop_expired_h bucket ~expired:(fun inst ->
+               expired tau inst e0)))
+    st.slots;
+  (match st.probes with
+  | None -> ()
+  | Some p -> Telemetry.Span.stop p.expiry_span tok);
+  let stage_successors insts =
+    List.iter (fun succ -> Instance_store.stage store succ.state succ) insts
+  in
+  (* One transition span covers the whole kept loop — per-batch probe
+     granularity, like the expiry sweep and the filter pass above. *)
+  let tok =
+    match st.probes with
+    | None -> 0
+    | Some p -> Telemetry.Span.start p.transition_span
+  in
+  for i = 0 to n_kept - 1 do
+    let e = kept.(i) in
+    st.stamp <- st.stamp + 1;
     Metrics.on_instance_created st.m;
-    observe st (Created e);
-    match st.pop with
-    | Omega o -> feed_flat st o e
-    | Store s -> feed_indexed st s e
+    stage_successors (consume st st.start_slot st.fresh e);
+    Array.iter
+      (fun slot ->
+        let bucket = bucket_of slot in
+        if
+          Instance_store.handle_size bucket > 0
+          && (candidate_transitions st slot e <> [] || guards_may_fire slot e)
+        then begin
+          (match st.probes with
+          | None -> ()
+          | Some p ->
+              Telemetry.Histogram.observe p.bucket_scan
+                (Instance_store.handle_size bucket));
+          let insts = Instance_store.take_all_h bucket in
+          let stayed =
+            List.filter
+              (fun inst ->
+                if expired tau inst e then begin
+                  (* Fused expiry: the window closed mid-batch; emit (if
+                     accepting) and drop before it can consume. *)
+                  emit_expired e slot inst;
+                  false
+                end
+                else
+                  match consume st slot inst e with
+                  | [ s ] when s == inst -> true
+                  | succs ->
+                      stage_successors succs;
+                      false)
+              insts
+          in
+          Instance_store.put_back_h bucket stayed
+        end)
+      st.slots;
+    Instance_store.commit store;
+    Metrics.sample_population st.m (Instance_store.size store)
+  done;
+  (match st.probes with
+  | None -> ()
+  | Some p ->
+      Telemetry.Span.stop p.transition_span tok;
+      Telemetry.Gauge.observe p.population_gauge (Instance_store.size store));
+  List.rev !completed
+
+let feed_batch st events =
+  let n = Array.length events in
+  if n = 0 then []
+  else begin
+    (match st.last_ts with
+    | Some t when Time.( <. ) (Event.ts events.(0)) t ->
+        invalid_arg out_of_order
+    | Some _ | None -> ());
+    for i = 1 to n - 1 do
+      if Time.( <. ) (Event.ts events.(i)) (Event.ts events.(i - 1)) then
+        invalid_arg out_of_order
+    done;
+    st.last_ts <- Some (Event.ts events.(n - 1));
+    Metrics.on_events st.m n;
+    (* Batch filter pass: one span covers the chunk, and a trivial filter
+       costs nothing at all. *)
+    let kept, n_kept =
+      match st.options.filter with
+      | Event_filter.No_filter -> (events, n)
+      | Event_filter.Paper | Event_filter.Strong ->
+          if Array.length st.filter_buf < n then
+            st.filter_buf <- Array.make n events.(0);
+          let buf = st.filter_buf in
+          let k = ref 0 in
+          let run () =
+            Array.iter
+              (fun e ->
+                if Event_filter.keep st.filter e then begin
+                  buf.(!k) <- e;
+                  incr k
+                end)
+              events
+          in
+          (match st.probes with
+          | None -> run ()
+          | Some p ->
+              let tok = Telemetry.Span.start p.filter_span in
+              run ();
+              Telemetry.Span.stop p.filter_span tok);
+          (buf, !k)
+    in
+    Metrics.on_filtered_many st.m (n - n_kept);
+    if n_kept = 0 then []
+    else
+      match st.pop with
+      | Store s when st.observer = None ->
+          feed_indexed_batch st s kept n_kept
+      | Store _ | Omega _ ->
+          (* Reference orderings (flat pool, or an installed observer):
+             process the chunk event by event. *)
+          let acc = ref [] in
+          for i = 0 to n_kept - 1 do
+            acc := List.rev_append (ingest_kept st kept.(i)) !acc
+          done;
+          List.rev !acc
   end
 
 let close st =

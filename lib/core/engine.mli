@@ -58,6 +58,14 @@ type options = {
           and ignores this; {!Partitioned} shards its per-key pools
           across this many domains when the pattern is partitionable,
           and {!Multi} spreads its queries across them. *)
+  batch_size : int;
+      (** the unit of work on the batched hot path (default
+          {!default_batch_size}, tuned by [bench --batch-only]): the
+          chunk size {!Executor.drive} and the stream runner feed
+          through {!feed_batch}, and the producer-side buffer limit for
+          the domain-parallel executors' queues. The engine itself
+          accepts any batch size through {!feed_batch}; this option only
+          sets how callers chunk. *)
   telemetry : Telemetry.sink;
       (** instrumentation recorder (default [None] = no-op: every probe
           on the hot path costs one branch). The engine plants [filter],
@@ -68,6 +76,8 @@ type options = {
 }
 
 val default_options : options
+
+val default_batch_size : int
 
 type outcome = {
   matches : Substitution.t list;  (** finalized matching substitutions *)
@@ -124,6 +134,25 @@ type stream
 val create : ?options:options -> Automaton.t -> stream
 
 val feed : stream -> Event.t -> Substitution.t list
+(** Equivalent to [feed_batch st [| e |]]: the batch-of-one view of the
+    same loop, kept as the reference ordering (per-event expiry pops and
+    exact observer narration). *)
+
+val feed_batch : stream -> Event.t array -> Substitution.t list
+(** Pushes a chronological chunk (also checked against events already
+    fed; raises [Invalid_argument] on violations) and returns the raw
+    substitutions completed by it, oldest first. Observably equivalent
+    to feeding the events one at a time — same finalized matches, same
+    multiset of raw emissions, same layout-invariant metrics — with the
+    per-event overheads amortized: the event filter runs in one pass
+    over the chunk, constant-precheck caches are stamped instead of
+    reset, τ-expired prefixes are popped once per batch (instances whose
+    window closes mid-batch are caught before they can consume an
+    event), and telemetry probes record per batch. Within a batch the
+    {e position} of an expiry emission in the raw stream may differ
+    from the one-by-one order; its presence never does. With an observer
+    installed the engine processes the chunk event by event so narration
+    order stays exact. *)
 
 val close : stream -> Substitution.t list
 

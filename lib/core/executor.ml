@@ -38,6 +38,8 @@ module type EXECUTOR = sig
 
   val feed : t -> Event.t -> Substitution.t list
 
+  val feed_batch : t -> Event.t array -> Substitution.t list
+
   val close : t -> Substitution.t list
 
   val emitted : t -> Substitution.t list
@@ -47,6 +49,13 @@ module type EXECUTOR = sig
   val metrics : t -> Metrics.snapshot
 end
 
+(* Registry-wide default for executors without a native batched path:
+   feed one event at a time, concatenating completions in feed order. *)
+let batch_of_feed feed t es =
+  let acc = ref [] in
+  Array.iter (fun e -> acc := List.rev_append (feed t e) !acc) es;
+  List.rev !acc
+
 module Plain : EXECUTOR = struct
   type t = Engine.stream
 
@@ -55,6 +64,8 @@ module Plain : EXECUTOR = struct
   let create = Engine.create
 
   let feed = Engine.feed
+
+  let feed_batch = Engine.feed_batch
 
   let close = Engine.close
 
@@ -73,6 +84,8 @@ module Partitioned_exec : EXECUTOR = struct
   let create ?options automaton = Partitioned.create ?options automaton
 
   let feed = Partitioned.feed
+
+  let feed_batch = Partitioned.feed_batch
 
   let close = Partitioned.close
 
@@ -101,6 +114,8 @@ module Par_partitioned_exec : EXECUTOR = struct
 
   let feed = Partitioned.feed
 
+  let feed_batch = Partitioned.feed_batch
+
   let close = Partitioned.close
 
   let emitted = Partitioned.emitted
@@ -118,6 +133,8 @@ module Auto : EXECUTOR = struct
   let create = Planner.create
 
   let feed = Planner.feed
+
+  let feed_batch = Planner.feed_batch
 
   let close = Planner.close
 
@@ -137,6 +154,8 @@ module Naive_exec : EXECUTOR = struct
 
   let feed = Naive.feed
 
+  let feed_batch = Naive.feed_batch
+
   let close = Naive.close
 
   let emitted = Naive.emitted
@@ -147,7 +166,8 @@ module Naive_exec : EXECUTOR = struct
 end
 
 (* Uniform instrumentation over any strategy: an [ingest] span and an
-   [event_ns] histogram per pushed event, resolved once at [create] from
+   [event_ns] histogram per pushed unit — one event through [feed], a
+   whole chunk through [feed_batch] — resolved once at [create] from
    [options.telemetry] (one interval read feeds both). Applied by
    [of_strategy] so every strategy — including the injected brute-force
    baseline — reports through the same probe names. *)
@@ -183,6 +203,18 @@ module Instrument (E : EXECUTOR) : EXECUTOR = struct
     | Some p ->
         let tok = Telemetry.Span.start p.ingest in
         let out = E.feed t.inner e in
+        Telemetry.Histogram.observe p.event_ns
+          (Telemetry.Span.stop_elapsed p.ingest tok);
+        out
+
+  (* Batch-aggregate probes: one [ingest] span and one [event_ns] sample
+     per chunk, so instrumentation overhead amortizes with batch size. *)
+  let feed_batch t es =
+    match t.probes with
+    | None -> E.feed_batch t.inner es
+    | Some p ->
+        let tok = Telemetry.Span.start p.ingest in
+        let out = E.feed_batch t.inner es in
         Telemetry.Histogram.observe p.event_ns
           (Telemetry.Span.stop_elapsed p.ingest tok);
         out
@@ -235,6 +267,8 @@ let name (Packed ((module E), _)) = E.name
 
 let feed (Packed ((module E), t)) e = E.feed t e
 
+let feed_batch (Packed ((module E), t)) es = E.feed_batch t es
+
 let close (Packed ((module E), t)) = E.close t
 
 let emitted (Packed ((module E), t)) = E.emitted t
@@ -244,7 +278,34 @@ let population (Packed ((module E), t)) = E.population t
 let metrics (Packed ((module E), t)) = E.metrics t
 
 let drive ?(options = Engine.default_options) exec automaton events =
-  Seq.iter (fun e -> ignore (feed exec e)) events;
+  (* Chunk the sequence into [options.batch_size] arrays and push them
+     through the batched path: all per-batch amortizations (engine
+     prechecks, bucket handles, telemetry probes, domain-pool shipping)
+     activate from here without the caller changing shape. *)
+  let chunk = max 1 options.Engine.batch_size in
+  (* One buffer reused for every full chunk (executors don't retain the
+     array past the call — see {!EXECUTOR.feed_batch}); a fresh per-chunk
+     array above ~256 words would be allocated on the major heap, and the
+     resulting churn dominates the batch path's own cost. Allocated lazily
+     off the first event since [Event.t] has no dummy value. *)
+  let buf = ref [||] and n = ref 0 in
+  let flush () =
+    if !n > 0 then begin
+      let arr =
+        if !n = Array.length !buf then !buf else Array.sub !buf 0 !n
+      in
+      n := 0;
+      ignore (feed_batch exec arr)
+    end
+  in
+  Seq.iter
+    (fun e ->
+      if Array.length !buf = 0 then buf := Array.make chunk e;
+      !buf.(!n) <- e;
+      incr n;
+      if !n >= chunk then flush ())
+    events;
+  flush ();
   ignore (close exec);
   let raw = emitted exec in
   let finalize () =

@@ -53,6 +53,18 @@ module type EXECUTOR = sig
       raise [Invalid_argument] on violations) and returns the raw
       substitutions whose instances completed on it. *)
 
+  val feed_batch : t -> Event.t array -> Substitution.t list
+  (** Pushes a chronological chunk and returns the raw substitutions it
+      completed. Observably equivalent to feeding the events one at a
+      time — same finalized matches, same multiset of raw emissions —
+      with per-event overheads amortized over the chunk. Every strategy
+      implements this natively (see {!Engine.feed_batch} for the
+      engine-level contract); implementations without a cheaper path may
+      fall back to a per-event loop. The array is owned by the caller
+      and may be reused for the next chunk once the call returns —
+      implementations that keep events past the call (queues, buffers)
+      must copy them out, as the in-repo ones do. *)
+
   val close : t -> Substitution.t list
   (** End of input: flushes accepting instances. *)
 
@@ -71,11 +83,23 @@ val of_strategy : strategy -> (module EXECUTOR)
     [Ses_baseline.Brute_force.register] has been called.
 
     Every returned module is wrapped in a uniform instrumentation layer:
-    when [options.telemetry] carries a recorder, each [feed] is timed
-    into an [ingest] span and an [event_ns] histogram, so all five
-    strategies report per-event cost through the same probe names. *)
+    when [options.telemetry] carries a recorder, each [feed] (and each
+    [feed_batch] chunk) is timed into an [ingest] span and an [event_ns]
+    histogram, so all five strategies report ingest cost through the
+    same probe names — per event on the per-event path, per batch on the
+    batched one. *)
 
 val register_brute_force : (module EXECUTOR) -> unit
+
+val batch_of_feed :
+  ('t -> Event.t -> Substitution.t list) ->
+  't ->
+  Event.t array ->
+  Substitution.t list
+(** [batch_of_feed feed t es] is the registry-wide default [feed_batch]:
+    a per-event loop concatenating completions in feed order. External
+    [EXECUTOR] implementations without a native batched path can use it
+    directly. *)
 
 (** {1 Packed executors}
 
@@ -90,6 +114,8 @@ val create : ?options:Engine.options -> strategy -> Automaton.t -> packed
 val name : packed -> string
 
 val feed : packed -> Event.t -> Substitution.t list
+
+val feed_batch : packed -> Event.t array -> Substitution.t list
 
 val close : packed -> Substitution.t list
 
@@ -107,8 +133,9 @@ val drive :
   Automaton.t ->
   Event.t Seq.t ->
   Engine.outcome
-(** Feeds the whole sequence, closes, and finalizes per [options] —
-    the one loop every strategy's batch entry point now shares. *)
+(** Feeds the whole sequence in [options.batch_size] chunks through
+    [feed_batch], closes, and finalizes per [options] — the one loop
+    every strategy's batch entry point now shares. *)
 
 val run :
   ?options:Engine.options ->

@@ -31,6 +31,22 @@ let bucket st q = Hashtbl.find_opt st.buckets q
 let bucket_size st q =
   match bucket st q with None -> 0 | Some b -> b.n
 
+(* A handle interns the bucket record itself: resolving one per automaton
+   state at stream creation removes every per-event hashtable probe from
+   the engine's hot loop. Handles stay valid for the lifetime of the
+   store — [clear] empties buckets in place instead of dropping them. *)
+type 'a handle = { owner : 'a t; hb : 'a bucket }
+
+let handle st q =
+  match Hashtbl.find_opt st.buckets q with
+  | Some b -> { owner = st; hb = b }
+  | None ->
+      let b = { items = []; n = 0 } in
+      Hashtbl.replace st.buckets q b;
+      { owner = st; hb = b }
+
+let handle_size h = h.hb.n
+
 (* Bucket order: ascending (ts_of, seq_of), compared without building
    tuples — this comparison runs once per instance per merge. *)
 let before st a b =
@@ -38,33 +54,49 @@ let before st a b =
   let c = Time.compare ta tb in
   if c <> 0 then c < 0 else st.seq_of a <= st.seq_of b
 
+let pop_expired_bucket st b ~expired =
+  let rec split acc = function
+    | x :: rest when expired x -> split (x :: acc) rest
+    | rest -> (acc, rest)
+  in
+  let dead_rev, alive = split [] b.items in
+  match dead_rev with
+  | [] -> []
+  | _ ->
+      let k = List.length dead_rev in
+      b.items <- alive;
+      b.n <- b.n - k;
+      st.total <- st.total - k;
+      List.rev dead_rev
+
 let pop_expired st q ~expired =
   match bucket st q with
   | None -> []
-  | Some b ->
-      let rec split acc = function
-        | x :: rest when expired x -> split (x :: acc) rest
-        | rest -> (acc, rest)
-      in
-      let dead_rev, alive = split [] b.items in
-      (match dead_rev with
-      | [] -> []
-      | _ ->
-          let k = List.length dead_rev in
-          b.items <- alive;
-          b.n <- b.n - k;
-          st.total <- st.total - k;
-          List.rev dead_rev)
+  | Some b -> pop_expired_bucket st b ~expired
+
+let pop_expired_h h ~expired = pop_expired_bucket h.owner h.hb ~expired
+
+let take_all_bucket st b =
+  let items = b.items in
+  st.total <- st.total - b.n;
+  b.items <- [];
+  b.n <- 0;
+  items
 
 let take_all st q =
-  match bucket st q with
-  | None -> []
-  | Some b ->
-      let items = b.items in
-      st.total <- st.total - b.n;
-      b.items <- [];
-      b.n <- 0;
-      items
+  match bucket st q with None -> [] | Some b -> take_all_bucket st b
+
+let take_all_h h = take_all_bucket h.owner h.hb
+
+let put_back_bucket st b items =
+  match items with
+  | [] -> ()
+  | _ ->
+      if b.n <> 0 then invalid_arg "Instance_store.put_back: bucket not empty";
+      let k = List.length items in
+      b.items <- items;
+      b.n <- k;
+      st.total <- st.total + k
 
 let put_back st q items =
   match items with
@@ -78,11 +110,9 @@ let put_back st q items =
             Hashtbl.replace st.buckets q b;
             b
       in
-      if b.n <> 0 then invalid_arg "Instance_store.put_back: bucket not empty";
-      let k = List.length items in
-      b.items <- items;
-      b.n <- k;
-      st.total <- st.total + k
+      put_back_bucket st b items
+
+let put_back_h h items = put_back_bucket h.owner h.hb items
 
 let stage st q a =
   match Hashtbl.find_opt st.staged q with
@@ -138,6 +168,11 @@ let to_list st =
   List.rev (fold_buckets (fun _ items acc -> List.rev_append items acc) st [])
 
 let clear st =
-  Hashtbl.reset st.buckets;
+  (* Empty in place: interned bucket handles must survive a clear. *)
+  Hashtbl.iter
+    (fun _ b ->
+      b.items <- [];
+      b.n <- 0)
+    st.buckets;
   Hashtbl.reset st.staged;
   st.total <- 0

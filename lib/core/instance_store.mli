@@ -39,6 +39,30 @@ val size : 'a t -> int
 
 val bucket_size : 'a t -> Varset.t -> int
 
+(** {1 Bucket handles}
+
+    A handle interns one state's bucket: resolving handles once per
+    stream (the engine does it per automaton state at [create]) removes
+    every per-event hashtable probe from the hot loop — a batch, or a
+    whole run, probes each {!Varset} bucket exactly once. Handles remain
+    valid for the lifetime of the store; {!clear} empties the buckets in
+    place rather than invalidating them. *)
+
+type 'a handle
+
+val handle : 'a t -> Varset.t -> 'a handle
+(** Interns (creating if needed, possibly empty) the bucket of the given
+    state. *)
+
+val handle_size : 'a handle -> int
+
+val pop_expired_h : 'a handle -> expired:('a -> bool) -> 'a list
+(** {!pop_expired} through a handle, skipping the bucket lookup. *)
+
+val take_all_h : 'a handle -> 'a list
+
+val put_back_h : 'a handle -> 'a list -> unit
+
 val pop_expired : 'a t -> Varset.t -> expired:('a -> bool) -> 'a list
 (** Removes and returns, in bucket order, the maximal prefix of the
     bucket on which [expired] holds. [expired] must be antitone in the

@@ -34,7 +34,11 @@ let create () : t =
 
 let on_event (m : t) = m.events_seen <- m.events_seen + 1
 
+let on_events (m : t) n = m.events_seen <- m.events_seen + n
+
 let on_filtered (m : t) = m.events_filtered <- m.events_filtered + 1
+
+let on_filtered_many (m : t) n = m.events_filtered <- m.events_filtered + n
 
 let on_instance_created (m : t) = m.instances_created <- m.instances_created + 1
 

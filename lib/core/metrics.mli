@@ -21,7 +21,13 @@ val create : unit -> t
 
 val on_event : t -> unit
 
+val on_events : t -> int -> unit
+(** [on_event], [n] at a time — the batched feed counts a whole chunk
+    with one store. *)
+
 val on_filtered : t -> unit
+
+val on_filtered_many : t -> int -> unit
 
 val on_instance_created : t -> unit
 

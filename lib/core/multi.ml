@@ -12,17 +12,17 @@ type entry = {
    stream, exactly as the sequential mode does — only on its own domain.
    Executors are created with [domains = 1] so a partitioned query never
    nests a second domain pool under a Multi worker. *)
-(* As in {!Partitioned}'s sharded mode, events are shipped in batches:
-   the broadcast buffers up to [batch_size] events and hands every
-   worker the same array, amortising the queue handshake. *)
-let batch_size = 64
+(* As in {!Partitioned}'s sharded mode, events are shipped in batches
+   through a {!Domain_pool.batcher}: the broadcast buffers up to
+   [options.batch_size] events and hands every worker the same array,
+   amortising the queue handshake. The workers still feed their
+   executors event by event — each query's executor must observe the
+   exact per-event sequence so parallel metrics equal sequential ones. *)
 
 type parallel = {
   pool : Event.t array Domain_pool.t;
   groups : entry list array;  (* registration order within a group *)
-  batch_hist : Telemetry.Histogram.t option;  (* broadcast batch sizes *)
-  mutable pending : Event.t list;  (* newest first *)
-  mutable pending_len : int;
+  batcher : Event.t Domain_pool.batcher;  (* broadcast buffer *)
   mutable flushed : bool;
 }
 
@@ -93,15 +93,11 @@ let create_mixed ?(options = Engine.default_options) queries =
           (fun tl -> Telemetry.histogram tl "pool.batch_events")
           options.Engine.telemetry
       in
-      Parallel
-        {
-          pool;
-          groups;
-          batch_hist;
-          pending = [];
-          pending_len = 0;
-          flushed = false;
-        }
+      let batcher =
+        Domain_pool.batcher ?hist:batch_hist
+          ~limit:(max 1 options.Engine.batch_size) pool
+      in
+      Parallel { pool; groups; batcher; flushed = false }
     end
   in
   { entries; options; runtime }
@@ -120,19 +116,6 @@ let n_domains t =
   | Sequential -> 1
   | Parallel p -> Domain_pool.size p.pool
 
-let flush_pending (p : parallel) =
-  if p.pending_len > 0 then begin
-    (match p.batch_hist with
-    | None -> ()
-    | Some h -> Telemetry.Histogram.observe h p.pending_len);
-    let arr = Array.of_list (List.rev p.pending) in
-      p.pending <- [];
-      p.pending_len <- 0;
-      for i = 0 to Domain_pool.size p.pool - 1 do
-        Domain_pool.send p.pool i arr
-      done
-  end
-
 let feed t event =
   match t.runtime with
   | Sequential ->
@@ -146,9 +129,21 @@ let feed t event =
       if p.flushed then invalid_arg "Multi.feed: query set is closed";
       (* Broadcast: every worker receives every event and drives its own
          queries. Per-event completions surface at [close]/[outcomes]. *)
-      p.pending <- event :: p.pending;
-      p.pending_len <- p.pending_len + 1;
-      if p.pending_len >= batch_size then flush_pending p;
+      Domain_pool.broadcast p.batcher event;
+      []
+
+let feed_batch t events =
+  match t.runtime with
+  | Sequential ->
+      List.filter_map
+        (fun e ->
+          match Executor.feed_batch e.exec events with
+          | [] -> None
+          | completed -> Some (e.name, completed))
+        t.entries
+  | Parallel p ->
+      if p.flushed then invalid_arg "Multi.feed_batch: query set is closed";
+      Array.iter (fun event -> Domain_pool.broadcast p.batcher event) events;
       []
 
 let close t =
@@ -161,10 +156,10 @@ let close t =
           | flushed -> Some (e.name, flushed))
         t.entries
   | Parallel p ->
-      (* Join the workers first: afterwards the executors are owned by
-         the calling thread again and flush sequentially, in
+      (* Join the workers first (shutdown flushes the broadcast batcher
+         before closing the queues): afterwards the executors are owned
+         by the calling thread again and flush sequentially, in
          registration order, as the sequential mode does. *)
-      if not p.flushed then flush_pending p;
       Domain_pool.shutdown p.pool;
       if p.flushed then []
       else begin
@@ -180,9 +175,7 @@ let close t =
 let quiesce t =
   match t.runtime with
   | Sequential -> ()
-  | Parallel p ->
-      if not p.flushed then flush_pending p;
-      Domain_pool.quiesce p.pool
+  | Parallel p -> Domain_pool.quiesce p.pool
 
 let population t =
   quiesce t;

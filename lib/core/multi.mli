@@ -53,6 +53,13 @@ val feed : t -> Event.t -> (string * Substitution.t list) list
     instances completed on this event, grouped by query name (queries with
     no completions are omitted). *)
 
+val feed_batch : t -> Event.t array -> (string * Substitution.t list) list
+(** Pushes a chronological chunk to every query through
+    {!Executor.feed_batch}. In domain-parallel mode the chunk enters the
+    broadcast batcher and [[]] is returned; each worker still feeds its
+    executors event by event, so per-query results and metrics stay
+    identical to the sequential mode. *)
+
 val close : t -> (string * Substitution.t list) list
 (** Flushes accepting instances of every query. *)
 

@@ -121,6 +121,12 @@ let feed st e =
   st.events <- e :: st.events;
   []
 
+(* The oracle only buffers, so a batch is just [feed] in a loop — the
+   chronology check per event included. *)
+let feed_batch st es =
+  Array.iter (fun e -> ignore (feed st e)) es;
+  []
+
 let close st =
   if st.closed then []
   else begin

@@ -62,6 +62,9 @@ val feed : stream -> Event.t -> Substitution.t list
 (** Buffers the event; raises [Invalid_argument] on out-of-order input
     (the shared executor contract). *)
 
+val feed_batch : stream -> Event.t array -> Substitution.t list
+(** Buffers a chronological chunk; always [[]], like {!feed}. *)
+
 val close : stream -> Substitution.t list
 (** Runs the enumeration over the buffered events. May raise
     {!Too_large}. Idempotent; later calls return [[]]. *)

@@ -94,15 +94,11 @@ let make_keyed ?pop_global field =
     pop_global;
   }
 
-(* Events travel to the workers in per-shard batches: a mutex/condition
-   handshake per event would cost more than the engine work it ships, so
-   the producer buffers up to [batch_size] events per shard and sends
-   them as one message. The buffers belong to the producer thread;
-   workers only ever see full batches. *)
-let batch_size = 64
-
-type batch = { mutable events : Event.t list; mutable len : int }
-(* newest first; reversed into an array on flush *)
+(* Events travel to the workers in per-shard batches through a
+   {!Domain_pool.batcher}: a mutex/condition handshake per event would
+   cost more than the engine work it ships. The buffer limit is
+   [options.batch_size]; quiesce/shutdown flush partial batches through
+   the pool's registered flushers. *)
 
 type pools =
   | Single of Engine.stream
@@ -110,9 +106,8 @@ type pools =
   | Sharded of {
       field : Schema.Field.t;
       shards : keyed array;
-      batches : batch array;  (* producer-side, one per shard *)
+      batcher : Event.t Domain_pool.batcher;  (* producer-side buffers *)
       pool : Event.t array Domain_pool.t;
-      batch_hist : Telemetry.Histogram.t option;  (* batch sizes on flush *)
       mutable flushed : bool;  (* the domains have been joined *)
     }
 
@@ -122,29 +117,65 @@ type stream = {
   pools : pools;
 }
 
-let feed_keyed ~options ~automaton (k : keyed) e =
-  let kv = Event.get e k.field in
-  let pool =
-    match Hashtbl.find_opt k.pools kv with
-    | Some pool -> pool
-    | None ->
-        let pool = Engine.create ~options automaton in
-        Hashtbl.add k.pools kv pool;
-        k.order <- pool :: k.order;
-        pool
-  in
-  (* [Engine.population] is an O(1) counter read on the default
-     indexed store, so maintaining the cross-pool total per event is
-     cheap even with many pools. *)
-  let before = Engine.population pool in
-  let completed = Engine.feed pool e in
-  let delta = Engine.population pool - before in
+let pool_of ~options ~automaton (k : keyed) kv =
+  match Hashtbl.find_opt k.pools kv with
+  | Some pool -> pool
+  | None ->
+      let pool = Engine.create ~options automaton in
+      Hashtbl.add k.pools kv pool;
+      k.order <- pool :: k.order;
+      pool
+
+(* [Engine.population] is an O(1) counter read on the default indexed
+   store, so maintaining the cross-pool total per feed is cheap even
+   with many pools. *)
+let account (k : keyed) delta =
   k.total <- k.total + delta;
   if k.total > k.max_total then k.max_total <- k.total;
-  (match k.pop_global with
+  match k.pop_global with
   | None -> ()
-  | Some g -> Telemetry.Gauge.add g delta);
+  | Some g -> Telemetry.Gauge.add g delta
+
+let feed_keyed ~options ~automaton (k : keyed) e =
+  let pool = pool_of ~options ~automaton k (Event.get e k.field) in
+  let before = Engine.population pool in
+  let completed = Engine.feed pool e in
+  account k (Engine.population pool - before);
   completed
+
+(* Route a chunk to its per-key pools as sub-batches: events are grouped
+   by key value and each pool consumes its sub-array through
+   {!Engine.feed_batch}, so the per-batch amortizations compose with
+   partitioning. Pools are independent and each still sees exactly its
+   key's events in arrival order; only the accounting granularity
+   changes — [total]/[max_total] and the global gauge move once per
+   (pool, chunk) instead of once per event, so the recorded peak is a
+   lower bound on the per-event one. *)
+let feed_keyed_batch ~options ~automaton (k : keyed) (es : Event.t array) =
+  if Array.length es = 0 then []
+  else begin
+    let groups : (Value.t, Event.t list ref) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    (* key first-appearance order, newest first *)
+    Array.iter
+      (fun e ->
+        let kv = Event.get e k.field in
+        match Hashtbl.find_opt groups kv with
+        | Some sub -> sub := e :: !sub
+        | None ->
+            Hashtbl.add groups kv (ref [ e ]);
+            order := kv :: !order)
+      es;
+    List.concat_map
+      (fun kv ->
+        let sub = Array.of_list (List.rev !(Hashtbl.find groups kv)) in
+        let pool = pool_of ~options ~automaton k kv in
+        let before = Engine.population pool in
+        let completed = Engine.feed_batch pool sub in
+        account k (Engine.population pool - before);
+        completed)
+      (List.rev !order)
+  end
 
 let close_keyed (k : keyed) =
   let flushed =
@@ -207,27 +238,26 @@ let create ?(options = Engine.default_options) ?key automaton =
                     Engine.telemetry = Some (Telemetry.fork tl);
                   })
         in
-        let batches =
-          Array.init options.Engine.domains (fun _ -> { events = []; len = 0 })
-        in
         let batch_hist =
           Option.map
             (fun tl -> Telemetry.histogram tl "pool.batch_events")
             options.Engine.telemetry
         in
-        (* Workers discard per-event completions: raw emissions stay in
+        (* Workers discard per-batch completions: raw emissions stay in
            each engine stream and are collected by [emitted]/[close]
            after a synchronization point. *)
         let pool =
           Domain_pool.create ?telemetry:options.Engine.telemetry
             ~domains:options.Engine.domains (fun i es ->
-              Array.iter
-                (fun e ->
-                  ignore
-                    (feed_keyed ~options:shard_opts.(i) ~automaton shards.(i) e))
-                es)
+              ignore
+                (feed_keyed_batch ~options:shard_opts.(i) ~automaton
+                   shards.(i) es))
         in
-        Sharded { field; shards; batches; pool; batch_hist; flushed = false }
+        let batcher =
+          Domain_pool.batcher ?hist:batch_hist
+            ~limit:(max 1 options.Engine.batch_size) pool
+        in
+        Sharded { field; shards; batcher; pool; flushed = false }
   in
   { automaton; options; pools }
 
@@ -251,21 +281,6 @@ let n_pools st =
         (fun acc (k : keyed) -> acc + Hashtbl.length k.pools)
         0 s.shards
 
-let flush_batch ?hist pool batches i =
-  let b = batches.(i) in
-  if b.len > 0 then begin
-    (match hist with
-    | None -> ()
-    | Some h -> Telemetry.Histogram.observe h b.len);
-    let arr = Array.of_list (List.rev b.events) in
-    b.events <- [];
-    b.len <- 0;
-    Domain_pool.send pool i arr
-  end
-
-let flush_all ?hist pool batches =
-  Array.iteri (fun i _ -> flush_batch ?hist pool batches i) batches
-
 let feed st e =
   match st.pools with
   | Single s -> Engine.feed s e
@@ -275,13 +290,32 @@ let feed st e =
         invalid_arg "Partitioned.feed: stream is closed"
       else begin
         let kv = Event.get e s.field in
-        let i = shard_index ~shards:(Array.length s.shards) kv in
-        let b = s.batches.(i) in
-        b.events <- e :: b.events;
-        b.len <- b.len + 1;
-        if b.len >= batch_size then flush_batch ?hist:s.batch_hist s.pool s.batches i;
+        Domain_pool.push s.batcher
+          (shard_index ~shards:(Array.length s.shards) kv)
+          e;
         (* Completions are reported at [close]/[emitted]: the worker
            consumes the event asynchronously. *)
+        []
+      end
+
+let feed_batch st es =
+  match st.pools with
+  | Single s -> Engine.feed_batch s es
+  | Keyed k ->
+      feed_keyed_batch ~options:st.options ~automaton:st.automaton k es
+  | Sharded s ->
+      if s.flushed then
+        invalid_arg "Partitioned.feed_batch: stream is closed"
+      else begin
+        (* The batcher re-chunks per shard, so routing a whole input
+           batch costs one pass; each worker receives sub-batches of its
+           own keys only, in arrival order. *)
+        let shards = Array.length s.shards in
+        Array.iter
+          (fun e ->
+            let kv = Event.get e s.field in
+            Domain_pool.push s.batcher (shard_index ~shards kv) e)
+          es;
         []
       end
 
@@ -290,7 +324,8 @@ let close st =
   | Single s -> Engine.close s
   | Keyed k -> close_keyed k
   | Sharded s ->
-      if not s.flushed then flush_all ?hist:s.batch_hist s.pool s.batches;
+      (* [shutdown] flushes the registered batcher before closing the
+         queues, so a partial producer batch is never stranded. *)
       Domain_pool.shutdown s.pool;
       if s.flushed then []
       else begin
@@ -303,10 +338,9 @@ let ordered_streams st =
   | Single s -> [ s ]
   | Keyed k -> keyed_streams k
   | Sharded s ->
-      (* A no-op once the pool is shut down; otherwise pushes any
+      (* A no-op once the pool is shut down; otherwise flushes any
          buffered events and blocks until the workers drain, making
          shard state safe to read. *)
-      if not s.flushed then flush_all ?hist:s.batch_hist s.pool s.batches;
       Domain_pool.quiesce s.pool;
       List.concat_map keyed_streams (Array.to_list s.shards)
 
@@ -317,7 +351,6 @@ let population st =
   | Single s -> Engine.population s
   | Keyed k -> k.total
   | Sharded s ->
-      if not s.flushed then flush_all ?hist:s.batch_hist s.pool s.batches;
       Domain_pool.quiesce s.pool;
       Array.fold_left (fun acc (k : keyed) -> acc + k.total) 0 s.shards
 
@@ -326,7 +359,6 @@ let metrics st =
   | Single s -> Engine.metrics s
   | Keyed k -> keyed_metrics k
   | Sharded s ->
-      if not s.flushed then flush_all ?hist:s.batch_hist s.pool s.batches;
       Domain_pool.quiesce s.pool;
       Metrics.merge (List.map keyed_metrics (Array.to_list s.shards))
 

@@ -87,6 +87,18 @@ val feed : stream -> Event.t -> Substitution.t list
 (** Raw substitutions whose instances completed on this event ([[]] in
     the domain-sharded mode — see above). *)
 
+val feed_batch : stream -> Event.t array -> Substitution.t list
+(** Routes a chronological chunk in one pass. Events are grouped by key
+    value and each per-key pool consumes its sub-batch through
+    {!Engine.feed_batch}, so the engine's per-batch amortizations
+    compose with partitioning; pools still see exactly their key's
+    events, in order. In the domain-sharded mode the chunk is pushed
+    through the producer-side {!Domain_pool.batcher} (buffer limit
+    [options.batch_size]) and [[]] is returned, as with {!feed}.
+    Completions are returned grouped by pool, each pool's oldest first;
+    the cross-pool interleaving may differ from the per-event order
+    (finalization is order-insensitive). *)
+
 val close : stream -> Substitution.t list
 (** Flushes accepting instances of every pool, oldest pool first (per
     shard, in shard order, when domain-sharded — joining the worker

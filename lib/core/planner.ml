@@ -88,6 +88,8 @@ let plan_of st = st.plan
 
 let feed st e = Partitioned.feed st.inner e
 
+let feed_batch st es = Partitioned.feed_batch st.inner es
+
 let close st = Partitioned.close st.inner
 
 let emitted st = Partitioned.emitted st.inner

@@ -88,6 +88,9 @@ val plan_of : stream -> t
 
 val feed : stream -> Ses_event.Event.t -> Substitution.t list
 
+val feed_batch : stream -> Ses_event.Event.t array -> Substitution.t list
+(** Delegates to {!Partitioned.feed_batch} on the planned stream. *)
+
 val close : stream -> Substitution.t list
 
 val emitted : stream -> Substitution.t list

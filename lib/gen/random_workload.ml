@@ -36,6 +36,28 @@ let relation rng spec =
   done;
   Relation.of_rows_exn schema (List.rev !rows)
 
+(* D1–D5-style scaling (the paper's Sec. 5 datasets duplicate a base
+   relation to grow it): every generated base event is emitted [copies]
+   times at its own timestamp, each copy shifted into a disjoint
+   entity-id range, so the relation grows [copies]-fold while each id's
+   sub-stream keeps the base spec's shape — dense simultaneous arrivals
+   over many independent keys, the regime the batched and partitioned
+   paths target. Millions of events in well under a second. *)
+let duplicated_relation rng ~copies spec =
+  if copies < 1 then invalid_arg "Random_workload.duplicated_relation: copies < 1";
+  let rows = ref [] in
+  let ts = ref 0 in
+  for _ = 1 to spec.n_events do
+    ts := !ts + spec.min_gap + Prng.int rng (spec.max_gap - spec.min_gap + 1);
+    let id = 1 + Prng.int rng spec.n_ids in
+    let label = Value.Str (label_of_index (Prng.int rng spec.n_labels)) in
+    let v = Value.Int (Prng.int rng (spec.max_value + 1)) in
+    for c = 0 to copies - 1 do
+      rows := ([| Value.Int (id + (c * spec.n_ids)); label; v |], !ts) :: !rows
+    done
+  done;
+  Relation.of_rows_exn schema (List.rev !rows)
+
 type pattern_spec = {
   max_sets : int;
   max_vars_per_set : int;

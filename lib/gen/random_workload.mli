@@ -27,6 +27,13 @@ val default_relation : relation_spec
 
 val relation : Prng.t -> relation_spec -> Relation.t
 
+val duplicated_relation : Prng.t -> copies:int -> relation_spec -> Relation.t
+(** [spec.n_events * copies] events, D1–D5 style: each base event is
+    duplicated [copies] times at its own timestamp with the entity id
+    shifted into a per-copy disjoint range, so every id's sub-stream
+    keeps the base spec's shape while the whole relation scales to
+    millions of events. Raises [Invalid_argument] when [copies < 1]. *)
+
 type pattern_spec = {
   max_sets : int;  (** ≥ 1 *)
   max_vars_per_set : int;  (** ≥ 1 *)

@@ -31,33 +31,60 @@ let selection_of_pattern ?extra p =
 
 (* Per-field selectivity telemetry over a pushed-down selection: each
    atom actually evaluated bumps [csv.select.<field>.tested] and, when
-   it holds, [csv.select.<field>.passed]. Handles are memoized per field
-   name, so the per-row cost is one small Hashtbl lookup per atom — and
-   only on instrumented runs. *)
+   it holds, [csv.select.<field>.passed]. Counts accumulate in plain
+   per-field cells on the hot path and drain into the shared counters
+   through the returned flush — called once per delivered chunk — so an
+   instrumented scan pays two int stores per atom, not a counter update.
+   Handles are memoized per field name. *)
+type trace_cell = {
+  c_tested : Telemetry.Counter.t;
+  c_passed : Telemetry.Counter.t;
+  mutable n_tested : int;
+  mutable n_passed : int;
+}
+
 let traced_selection tl schema p =
-  let handles = Hashtbl.create 8 in
+  let handles : (string, trace_cell) Hashtbl.t = Hashtbl.create 8 in
+  let cells = ref [] in
   let resolve name =
     match Hashtbl.find_opt handles name with
-    | Some h -> h
+    | Some cell -> cell
     | None ->
-        let h =
-          ( Telemetry.counter tl (Printf.sprintf "csv.select.%s.tested" name),
-            Telemetry.counter tl (Printf.sprintf "csv.select.%s.passed" name) )
+        let cell =
+          {
+            c_tested =
+              Telemetry.counter tl (Printf.sprintf "csv.select.%s.tested" name);
+            c_passed =
+              Telemetry.counter tl (Printf.sprintf "csv.select.%s.passed" name);
+            n_tested = 0;
+            n_passed = 0;
+          }
         in
-        Hashtbl.add handles name h;
-        h
+        Hashtbl.add handles name cell;
+        cells := cell :: !cells;
+        cell
   in
   let trace name passed =
-    let tested, ok = resolve name in
-    Telemetry.Counter.incr tested;
-    if passed then Telemetry.Counter.incr ok
+    let cell = resolve name in
+    cell.n_tested <- cell.n_tested + 1;
+    if passed then cell.n_passed <- cell.n_passed + 1
   in
-  Ses_store.Selection.compile_traced ~trace schema p
-
-(* Sample the delivery rate into a [stream.rows_per_sec] gauge every
-   [rate_window] delivered events — frequent enough to catch phases,
-   rare enough to stay off the hot path. *)
-let rate_window = 1024
+  let flush () =
+    List.iter
+      (fun cell ->
+        if cell.n_tested > 0 then begin
+          Telemetry.Counter.add cell.c_tested cell.n_tested;
+          cell.n_tested <- 0
+        end;
+        if cell.n_passed > 0 then begin
+          Telemetry.Counter.add cell.c_passed cell.n_passed;
+          cell.n_passed <- 0
+        end)
+      !cells
+  in
+  Result.map
+    (fun f -> (f, flush))
+    (Ses_store.Selection.compile_traced ~trace schema p)
 
 let run ?(options = Engine.default_options) ?(strategy = `Auto)
     ?(push_filter = true) ~query path =
@@ -78,22 +105,29 @@ let run ?(options = Engine.default_options) ?(strategy = `Auto)
           let pushed =
             if push_filter then selection_of_pattern ~extra pattern else None
           in
+          (* [install] yields the per-chunk trace flush (a no-op when
+             the scan is untraced). *)
           let install =
             match pushed with
-            | None -> Ok ()
+            | None -> Ok (fun () -> ())
             | Some p -> (
                 match options.Engine.telemetry with
-                | None -> Ses_store.Csv_stream.push_selection src p
+                | None ->
+                    Result.map
+                      (fun () -> fun () -> ())
+                      (Ses_store.Csv_stream.push_selection src p)
                 | Some tl ->
                     Result.map
-                      (Ses_store.Csv_stream.set_filter src)
+                      (fun (f, flush) ->
+                        Ses_store.Csv_stream.set_filter src f;
+                        flush)
                       (traced_selection tl
                          (Ses_store.Csv_stream.source_schema src)
                          p))
           in
           match install with
           | Error _ as e -> e
-          | Ok () -> (
+          | Ok flush_trace -> (
               let exec = Executor.create ~options strategy automaton in
               let rate =
                 Option.map
@@ -101,29 +135,32 @@ let run ?(options = Engine.default_options) ?(strategy = `Auto)
                     (tl, Telemetry.gauge tl "stream.rows_per_sec"))
                   options.Engine.telemetry
               in
+              (* Chunked delivery: the scan yields filtered chunks of
+                 [options.batch_size] events that go straight into the
+                 executor's batched path — no per-event re-boxing in
+                 between — and the delivery-rate gauge and the traced
+                 selection counters settle once per chunk. *)
+              let chunk = max 1 options.Engine.batch_size in
               let feed_all () =
                 let mark =
                   ref (match rate with None -> 0 | Some (tl, _) -> Telemetry.now tl)
                 in
-                let delivered = ref 0 in
                 let rec go () =
-                  match Ses_store.Csv_stream.next src with
+                  match Ses_store.Csv_stream.next_batch src chunk with
                   | Error _ as e -> e
-                  | Ok None -> Ok ()
-                  | Ok (Some e) ->
-                      ignore (Executor.feed exec e);
+                  | Ok [||] -> Ok ()
+                  | Ok es ->
+                      ignore (Executor.feed_batch exec es);
+                      flush_trace ();
                       (match rate with
                       | None -> ()
                       | Some (tl, g) ->
-                          incr delivered;
-                          if !delivered mod rate_window = 0 then begin
-                            let t = Telemetry.now tl in
-                            let dt = t - !mark in
-                            if dt > 0 then
-                              Telemetry.Gauge.observe g
-                                (rate_window * 1_000_000_000 / dt);
-                            mark := t
-                          end);
+                          let t = Telemetry.now tl in
+                          let dt = t - !mark in
+                          if dt > 0 then
+                            Telemetry.Gauge.observe g
+                              (Array.length es * 1_000_000_000 / dt);
+                          mark := t);
                       go ()
                 in
                 go ()

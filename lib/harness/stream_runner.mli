@@ -1,9 +1,13 @@
 (** End-to-end streaming evaluation: store scan → executor → matches.
 
-    Pipes a {!Ses_store.Csv_stream} source one event at a time into a
-    {!Ses_core.Executor} chosen by strategy (planner-auto by default), so
-    a query over an archived relation runs in O(1) memory in the input —
-    no [Relation.t] is ever materialized. The Sec. 4.5 constant-condition
+    Pipes a {!Ses_store.Csv_stream} source into a {!Ses_core.Executor}
+    chosen by strategy (planner-auto by default) in filtered chunks of
+    [options.batch_size] events ({!Ses_store.Csv_stream.next_batch} into
+    [Executor.feed_batch], with no per-event re-boxing in between), so a
+    query over an archived relation runs in O(batch) memory in the input
+    — no [Relation.t] is ever materialized. Instrumented runs record a
+    [stream.rows_per_sec] gauge sample and settle the traced-selection
+    counters once per chunk. The Sec. 4.5 constant-condition
     event filter is pushed {e down into the store-side scan} whenever the
     pattern supports the strong form (every variable carries at least one
     constant condition): rows no variable could bind are dropped before

@@ -115,6 +115,23 @@ let rec next src =
               | Some _ | None -> Ok (Some e)
             end)
 
+(* Chunked scan: up to [max] filtered events per call, so downstream
+   batch consumers (the stream runner, [Executor.feed_batch]) pay their
+   per-call plumbing once per chunk instead of once per row. *)
+let next_batch src max =
+  if max < 1 then invalid_arg "Csv_stream.next_batch: max < 1";
+  let rec collect acc k =
+    if k = 0 then Ok acc
+    else
+      match next src with
+      | Error _ as e -> e
+      | Ok None -> Ok acc
+      | Ok (Some e) -> collect (e :: acc) (k - 1)
+  in
+  Result.map
+    (fun events -> Array.of_list (List.rev events))
+    (collect [] max)
+
 let fold_source src ~init ~f =
   let rec go acc =
     match next src with

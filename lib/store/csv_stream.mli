@@ -40,6 +40,13 @@ val next : source -> (Event.t option, string) result
     (malformed row, out-of-order timestamp) carry the 1-based row
     number. *)
 
+val next_batch : source -> int -> (Event.t array, string) result
+(** Up to [max] events passing the filter, in file order ([max >= 1];
+    raises [Invalid_argument] otherwise). The empty array means end of
+    input — a short but non-empty chunk does not. An error aborts the
+    whole chunk (events scanned before the bad row within it are not
+    returned), so treat any [Error] as fatal to the scan. *)
+
 val fold_source : source -> init:'a -> f:('a -> Event.t -> 'a) -> ('a, string) result
 
 val scanned : source -> int

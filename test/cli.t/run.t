@@ -104,39 +104,63 @@ byte-identical to the sequential run at any domain count:
   >   --strategy par-partitioned --domains 4 > par.out
   $ diff seq.out par.out
 
+Batched execution: --batch sets the chunk size events are fed through
+the executors in. Matching output is identical at every batch size —
+per-event delivery, an awkward prime, and batches combined with domain
+sharding all reproduce the default run byte for byte:
+
+  $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1c.ses \
+  >   --batch 1 > batch1.out
+  $ diff seq.out batch1.out
+  $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1c.ses \
+  >   --batch 7 > batch7.out
+  $ diff seq.out batch7.out
+  $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1c.ses \
+  >   --strategy par-partitioned --domains 2 --batch 256 > par_batched.out
+  $ diff seq.out par_batched.out
+  $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1c.ses --batch 0
+  error: --batch must be at least 1
+  [1]
+
 Telemetry: a recording run exports a runtime profile. Probe names and
 counts are deterministic — durations are not — so only the stable
-fields are checked:
+fields are checked. Probes record per batch: the 264-event relation
+fits in one default-size chunk, so the filter pass, the expiry sweep,
+the transition loop (all 72 events the strong filter keeps), the
+ingest/event_ns pair and the population sample each record once:
 
   $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1.ses \
   >   --telemetry=prof.json > /dev/null
   $ sed -n 's/^    "\([^"]*\)": {"count":\([0-9]*\),.*/\1 \2/p' prof.json
-  expiry 245
-  filter 264
+  expiry 1
+  filter 1
   finalize 1
-  ingest 264
-  transition 181
-  event_ns 264
-  store.bucket_scan 181
+  ingest 1
+  transition 1
+  event_ns 1
+  store.bucket_scan 190
   $ sed -n 's/^    "\([^"]*\)": {"samples":\([0-9]*\),.*/\1 \2/p' prof.json
-  population 72
+  population 1
 
 The brute-force baseline across 4 worker domains runs one engine per
-ordering (6 for q1), which multiplies the engine-level probes — while
-the per-event ingest accounting stays at one span per input event:
+ordering (6 for q1), which multiplies the engine-level probes — one
+expiry sweep and one transition span per (chain, chunk) — while the
+batch-level ingest accounting stays at one span per chunk (the filter
+span exists but never fires: the batched path skips it entirely under
+no-filter):
 
   $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1.ses \
   >   --strategy brute-force --domains 4 --telemetry=bf.json > bf.out
   $ grep '^matches:' bf.out
   matches: 8
   $ sed -n 's/^    "\([^"]*\)": {"count":\([0-9]*\),.*/\1 \2/p' bf.json
-  expiry 1536
-  filter 1584
+  expiry 6
+  filter 0
   finalize 1
-  ingest 264
-  transition 263
-  event_ns 264
-  store.bucket_scan 263
+  ingest 1
+  transition 6
+  event_ns 1
+  store.bucket_scan 280
 
 The flat reference store has no state-indexed buckets to scan (the
 histogram stays empty) and fuses expiry into the per-instance sweep,
@@ -148,11 +172,11 @@ which the transition span covers whole:
   matches: 8
   $ sed -n 's/^    "\([^"]*\)": {"count":\([0-9]*\),.*/\1 \2/p' flat.json
   expiry 0
-  filter 264
+  filter 1
   finalize 1
-  ingest 264
+  ingest 1
   transition 72
-  event_ns 264
+  event_ns 1
   store.bucket_scan 0
 
 Static analysis: contradictory constants are errors, the dead parts of

@@ -3,9 +3,10 @@
    1/2/4 worker domains, a run with a recording sink produces exactly
    the same finalized matches, raw emissions and [Metrics.snapshot] as a
    run with the no-op sink — and the recorded profile is internally
-   consistent with those counters (per-event ingest span count =
-   events pushed, histogram totals = span totals, merged peak bounded by
-   the measured cross-shard peak). *)
+   consistent with those counters (one ingest span and one [event_ns]
+   sample per batch pushed — [run] chunks by [options.batch_size] —
+   histogram totals = span totals, merged peak bounded by the measured
+   cross-shard peak). *)
 
 open Ses_event
 open Ses_pattern
@@ -69,12 +70,17 @@ let recording_run_is_invisible =
                 domain_grid)
             grid_strategies))
 
-(* Internal consistency: every event pushed through the executor is one
-   ingest span interval and one event_ns histogram sample, and the two
-   probes share their measurements. *)
+(* Internal consistency: every chunk pushed through the executor is one
+   ingest span interval and one event_ns histogram sample — [run] chunks
+   the input by [options.batch_size] — and the two probes share their
+   measurements. *)
+let chunks n =
+  if n = 0 then 0
+  else (n + Engine.default_batch_size - 1) / Engine.default_batch_size
+
 let profile_consistent_with_counters =
   QCheck.Test.make ~count:20
-    ~name:"profile: ingest count = events pushed, histogram = span"
+    ~name:"profile: ingest count = batches pushed, histogram = span"
     QCheck.(int_bound 100_000)
     (fun seed ->
       with_workload seed (fun pat r ->
@@ -89,17 +95,18 @@ let profile_consistent_with_counters =
                   let p = Telemetry.snapshot tl in
                   match (find_span p "ingest", find_hist p "event_ns") with
                   | Some ingest, Some hist ->
-                      ingest.Telemetry.span_count = n
-                      && hist.Telemetry.hist_count = n
+                      ingest.Telemetry.span_count = chunks n
+                      && hist.Telemetry.hist_count = chunks n
                       && hist.Telemetry.hist_sum
                          = ingest.Telemetry.span_total_ns
                       && hist.Telemetry.hist_max = ingest.Telemetry.span_max_ns
                       && Array.fold_left ( + ) 0 hist.Telemetry.hist_buckets
-                         = n
-                      (* the engine-level filter span fires once per
-                         unfiltered event of every pool that saw it *)
+                         = chunks n
+                      (* the engine-level filter span fires at most once
+                         per (pool, batch) — never more often than there
+                         are events, and not at all under [No_filter] *)
                       && (match find_span p "filter" with
-                         | Some f -> f.Telemetry.span_count = n
+                         | Some f -> f.Telemetry.span_count <= n
                          | None -> n = 0)
                       && outcome.Engine.metrics.Metrics.events_seen = n
                   | _ -> n = 0)
@@ -162,7 +169,7 @@ let test_strategies_on_figure_1 () =
       | Some ingest ->
           Alcotest.(check int)
             (Printf.sprintf "%s: ingest count" name)
-            n ingest.Telemetry.span_count)
+            (chunks n) ingest.Telemetry.span_count)
     [ `Auto; `Plain; `Partitioned; `Par_partitioned; `Naive; `Brute_force ]
 
 (* Sharded determinism carries over to the deterministic slice of the
