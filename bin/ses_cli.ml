@@ -263,8 +263,58 @@ let print_match_results pattern ~raw ~matches ~metrics show_metrics show_raw
   end;
   if show_metrics then Format.printf "%a@." Ses_core.Metrics.pp metrics
 
-let run_match data query query_file strategy stream domains batch filter policy
-    store telemetry show_metrics show_raw table =
+(* Several -q patterns over one feed: the shared multi-query plan. *)
+let run_multi_match ~options ~strategy ~queries ~data show_metrics show_raw
+    table =
+  let relation = load_relation data in
+  let schema = Ses_event.Relation.schema relation in
+  let named =
+    List.mapi
+      (fun i text ->
+        let pattern = or_die (Ses_lang.Lang.parse_pattern schema text) in
+        ( Printf.sprintf "q%d" (i + 1),
+          pattern,
+          Ses_core.Automaton.of_pattern pattern ))
+      queries
+  in
+  let t =
+    Ses_core.Multi.create_mixed ~options
+      (List.map (fun (n, _, a) -> (n, a, strategy)) named)
+  in
+  let events = Array.of_seq (Ses_event.Relation.to_seq relation) in
+  let n = Array.length events in
+  let b = max 1 options.Ses_core.Engine.batch_size in
+  let i = ref 0 in
+  while !i < n do
+    let len = min b (n - !i) in
+    ignore (Ses_core.Multi.feed_batch t (Array.sub events !i len));
+    i := !i + len
+  done;
+  ignore (Ses_core.Multi.close t);
+  let outcomes = Ses_core.Multi.outcomes t in
+  List.iter
+    (fun (name, pattern, _) ->
+      let o = List.assoc name outcomes in
+      Format.printf "--- %s ---@." name;
+      print_match_results pattern ~raw:o.Ses_core.Engine.raw
+        ~matches:o.Ses_core.Engine.matches ~metrics:o.Ses_core.Engine.metrics
+        show_metrics show_raw table)
+    named;
+  if show_metrics then
+    List.iter
+      (fun (s : Ses_core.Shared_plan.stats) ->
+        Format.printf
+          "shared plan: %d merged group(s) covering %d quer(ies), %d \
+           alias(es), %d indexed atom(s), index hit rate %.4f@."
+          s.Ses_core.Shared_plan.st_merged_groups
+          s.Ses_core.Shared_plan.st_merged_queries
+          s.Ses_core.Shared_plan.st_aliased_queries
+          s.Ses_core.Shared_plan.st_index_atoms
+          s.Ses_core.Shared_plan.st_index_hit_rate)
+      (Ses_core.Multi.shared_stats t)
+
+let run_match data queries query_file strategy stream domains batch filter
+    policy store telemetry show_metrics show_raw table =
   Ses_baseline.Brute_force.register ();
   Ses_analysis.Analyzer.register ();
   if domains < 1 then begin
@@ -275,6 +325,7 @@ let run_match data query query_file strategy stream domains batch filter policy
     prerr_endline "error: --batch must be at least 1";
     exit 1
   end;
+  let query = match queries with [ q ] -> Some q | _ -> None in
   let recorder =
     Option.map (fun _ -> Ses_core.Telemetry.create ()) telemetry
   in
@@ -290,7 +341,19 @@ let run_match data query query_file strategy stream domains batch filter policy
       telemetry = recorder;
     }
   in
-  if stream then begin
+  if List.length queries > 1 then begin
+    if query_file <> None then begin
+      prerr_endline "error: pass either --query or --query-file, not both";
+      exit 1
+    end;
+    if stream then begin
+      prerr_endline "error: --stream supports a single query";
+      exit 1
+    end;
+    run_multi_match ~options ~strategy ~queries ~data show_metrics show_raw
+      table
+  end
+  else if stream then begin
     let parsed = ref None in
     let outcome =
       or_die
@@ -357,11 +420,23 @@ let run_match data query query_file strategy stream domains batch filter policy
             Out_channel.output_string oc text)
   | _ -> ()
 
+let match_queries_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "q"; "query" ] ~docv:"QUERY"
+        ~doc:
+          "Pattern in the query language. Repeatable: with several -q the \
+           patterns run together over one pass of the relation through the \
+           shared multi-query plan (predicate-index routing, prefix \
+           merging), with per-query results printed in order.")
+
 let match_cmd =
   Cmd.v
-    (Cmd.info "match" ~doc:"Run a SES pattern over a stored relation")
+    (Cmd.info "match" ~doc:"Run one or more SES patterns over a stored relation")
     Term.(
-      const run_match $ data_arg $ query_arg $ query_file_arg $ strategy_arg
+      const run_match $ data_arg $ match_queries_arg $ query_file_arg
+      $ strategy_arg
       $ stream_arg $ domains_arg $ batch_arg $ filter_arg $ policy_arg
       $ store_arg $ telemetry_arg $ show_metrics_arg $ show_raw_arg
       $ table_arg)

@@ -40,6 +40,24 @@ val create :
     queue's depth into a [pool.queue_depth] gauge. A custom
     {!Telemetry.create} clock must be safe to call from any domain. *)
 
+val create_with :
+  ?capacity:int ->
+  ?telemetry:Telemetry.t ->
+  domains:int ->
+  init:(int -> 'state) ->
+  ('state -> 'a -> unit) ->
+  'a t
+(** Like {!create}, but worker [i] first builds its own state by running
+    [init i] {e on its domain}, then processes each message with
+    [f state]. The call returns only after every worker has finished its
+    init (a ready handshake under the worker's mutex), so state the init
+    publishes into caller-visible slots may be read immediately without
+    races. An init that raises marks its worker failed: the exception
+    re-raises at the next {!send}/{!quiesce}/{!shutdown} and the worker
+    drains its queue without processing. This is how {!Multi} builds one
+    shared plan per worker domain — the plan's interior mutability stays
+    domain-local for the pool's whole lifetime. *)
+
 val size : 'a t -> int
 (** Number of worker domains. *)
 

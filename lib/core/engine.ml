@@ -18,10 +18,13 @@ type options = {
   telemetry : Telemetry.sink;
 }
 
-(* The default chunk size was tuned by [bench --batch-only] (see
-   BENCH_batch.json): throughput on the million-event duplicated
-   workload plateaus from a few hundred events per chunk. *)
-let default_batch_size = 512
+(* The default chunk size follows the tuned value [bench --batch-only]
+   records in BENCH_batch.json ("tuned_batch"): throughput on the
+   million-event duplicated workload plateaus from a few dozen events
+   per chunk, and smaller chunks keep the working set cache-resident.
+   The bench emits a warning field when this default drifts from the
+   measured optimum. *)
+let default_batch_size = 64
 
 let default_options =
   {
@@ -36,16 +39,6 @@ let default_options =
     telemetry = None;
   }
 
-(* A transition with its condition set split into the constant atoms
-   (v.A phi C, instance-independent) and the rest. With
-   [precheck_constants] the constant atoms are evaluated once per input
-   event instead of once per instance. *)
-type prepared_transition = {
-  transition : Automaton.transition;
-  const_conds : Condition.t list;
-  var_conds : Condition.t list;
-}
-
 (* An automaton instance (Definition 4): current state plus match buffer.
    Bindings are kept newest-first; [first_ts] is the timestamp of the
    earliest bound event (the first one, since events arrive in order).
@@ -59,6 +52,18 @@ type instance = {
   bindings : Substitution.binding list;
   counts : int array;
   first_ts : Time.t;
+}
+
+(* A transition with its condition set split into the constant atoms
+   (v.A phi C, instance-independent) and the rest. With
+   [precheck_constants] the constant atoms are evaluated once per input
+   event instead of once per instance. [tgt_bucket] interns the target
+   state's store bucket so staging a successor costs no lookup. *)
+type prepared_transition = {
+  transition : Automaton.transition;
+  const_conds : Condition.t list;
+  var_conds : Condition.t list;
+  tgt_bucket : instance Instance_store.handle;
 }
 
 (* A negation guard: the variable whose occurrence kills, with its
@@ -150,7 +155,7 @@ type stream = {
   pop : population;
   probes : probes option;
   mutable stamp : int;
-      (** kept-event counter; slots compare their [active_stamp] against it
+      (** kept-event counter; slots check their [active_stamp] against it
           instead of the old per-event [Hashtbl.reset] of an active table *)
   mutable next_id : int;
   mutable emissions : Substitution.t list;  (** newest first *)
@@ -217,7 +222,12 @@ let create ?(options = default_options) automaton =
                    let const_conds, var_conds =
                      List.partition Condition.is_constant tr.conds
                    in
-                   { transition = tr; const_conds; var_conds })
+                   {
+                     transition = tr;
+                     const_conds;
+                     var_conds;
+                     tgt_bucket = Instance_store.handle store tr.tgt;
+                   })
                  (Automaton.outgoing automaton q);
              guards =
                List.concat_map
@@ -327,10 +337,13 @@ let guards_may_fire slot e =
        slot.guards
 
 (* ConsumeEvent (Algorithm 2): successors of [inst] — sitting in [slot] —
-   on event [e]. Returns the physically identical [ [inst] ] when the
-   instance survives unchanged, which lets the indexed feed keep
-   untouched survivors in bucket order without re-sorting. *)
-let consume st slot inst e =
+   on event [e] are handed to [on_succ] (with the transition that fired
+   them) in transition order. Returns [true] exactly when the instance
+   survives unchanged, which lets the indexed feed keep untouched
+   survivors in bucket order without re-sorting — fired or killed
+   instances are consumed (replace-on-fire), a fresh instance is never
+   kept. *)
+let consume st slot inst e ~on_succ =
   let lookup v =
     List.rev
       (List.filter_map
@@ -338,76 +351,73 @@ let consume st slot inst e =
          inst.bindings)
   in
   let precheck = st.options.precheck_constants in
-  let fired =
-    List.filter_map
-      (fun pt ->
-        let tr = pt.transition in
-        (* Quantifier maximum: a loop must not bind beyond max. The
-           per-instance binding counts make this an array read. *)
-        let below_max =
-          match st.max_counts.(tr.var) with
-          | None -> true
-          | Some m ->
-              (not (Varset.mem tr.var tr.src)) || inst.counts.(tr.var) < m
+  let fired = ref false in
+  List.iter
+    (fun pt ->
+      let tr = pt.transition in
+      (* Quantifier maximum: a loop must not bind beyond max. The
+         per-instance binding counts make this an array read. *)
+      let below_max =
+        match st.max_counts.(tr.var) with
+        | None -> true
+        | Some m ->
+            (not (Varset.mem tr.var tr.src)) || inst.counts.(tr.var) < m
+      in
+      let remaining = if precheck then pt.var_conds else tr.conds in
+      let ok =
+        below_max
+        && List.for_all
+             (fun c -> Condition.holds_binding c ~var:tr.var ~event:e lookup)
+             remaining
+      in
+      if ok then begin
+        fired := true;
+        Metrics.on_transition st.m;
+        Metrics.on_instance_created st.m;
+        let counts = Array.copy inst.counts in
+        counts.(tr.var) <- counts.(tr.var) + 1;
+        let id = st.next_id in
+        st.next_id <- id + 1;
+        let successor =
+          {
+            id;
+            state = tr.tgt;
+            bindings = (tr.var, e) :: inst.bindings;
+            counts;
+            first_ts = (if is_fresh inst then Event.ts e else inst.first_ts);
+          }
         in
-        let remaining = if precheck then pt.var_conds else tr.conds in
-        let ok =
-          below_max
-          && List.for_all
-               (fun c -> Condition.holds_binding c ~var:tr.var ~event:e lookup)
-               remaining
-        in
-        if not ok then None
-        else begin
-          Metrics.on_transition st.m;
-          Metrics.on_instance_created st.m;
-          let counts = Array.copy inst.counts in
-          counts.(tr.var) <- counts.(tr.var) + 1;
-          let id = st.next_id in
-          st.next_id <- id + 1;
-          let successor =
-            {
-              id;
-              state = tr.tgt;
-              bindings = (tr.var, e) :: inst.bindings;
-              counts;
-              first_ts = (if is_fresh inst then Event.ts e else inst.first_ts);
-            }
-          in
-          observe st
-            (Took { event = e; transition = tr; buffer = substitution_of successor });
-          Some successor
-        end)
-      (candidate_transitions st slot e)
-  in
-  match fired with
-  | [] ->
-      if is_fresh inst then []
-      else begin
-        let killed =
-          slot.guards <> []
-          && List.exists
-               (fun g ->
-                 List.for_all
-                   (fun c ->
-                     Condition.holds_binding c ~var:g.neg_var ~event:e lookup)
-                   g.guard_conds)
-               slot.guards
-        in
-        if killed then begin
-          Metrics.on_killed st.m;
-          observe st
-            (Killed { event = e; state = inst.state; buffer = substitution_of inst });
-          []
-        end
-        else begin
-          observe st
-            (Ignored
-               { event = e; state = inst.state; buffer = substitution_of inst });
-          [ inst ]
-        end
-      end
-  | _ :: _ -> fired
+        observe st
+          (Took { event = e; transition = tr; buffer = substitution_of successor });
+        on_succ pt successor
+      end)
+    (candidate_transitions st slot e);
+  if !fired then false
+  else if is_fresh inst then false
+  else begin
+    let killed =
+      slot.guards <> []
+      && List.exists
+           (fun g ->
+             List.for_all
+               (fun c ->
+                 Condition.holds_binding c ~var:g.neg_var ~event:e lookup)
+               g.guard_conds)
+           slot.guards
+    in
+    if killed then begin
+      Metrics.on_killed st.m;
+      observe st
+        (Killed { event = e; state = inst.state; buffer = substitution_of inst });
+      false
+    end
+    else begin
+      observe st
+        (Ignored
+           { event = e; state = inst.state; buffer = substitution_of inst });
+      true
+    end
+  end
 
 let minima_satisfied st inst =
   List.for_all (fun (v, m) -> inst.counts.(v) >= m) st.strict_minima
@@ -451,9 +461,14 @@ let feed_flat st o e =
           (Expired { event = e; accepting; buffer = substitution_of inst });
         if accepting then completed := emit st inst :: !completed
       end
-      else
+      else begin
         let slot = Hashtbl.find st.slot_of inst.state in
-        survivors := List.rev_append (consume st slot inst e) !survivors)
+        let kept =
+          consume st slot inst e ~on_succ:(fun _ succ ->
+              survivors := succ :: !survivors)
+        in
+        if kept then survivors := inst :: !survivors
+      end)
     (st.fresh :: o.omega);
   o.omega <- List.rev !survivors;
   let n = List.length o.omega in
@@ -474,10 +489,10 @@ let feed_flat st o e =
 let feed_indexed st store e =
   let tau = Automaton.tau st.automaton in
   let completed = ref [] in
-  let stage_successors insts =
-    List.iter (fun succ -> Instance_store.stage store succ.state succ) insts
-  in
-  stage_successors (consume st st.start_slot st.fresh e);
+  (* Successors stage straight into their target state's interned bucket
+     — the per-transition handle resolved at [create]. *)
+  let stage_succ pt succ = Instance_store.stage_h pt.tgt_bucket succ in
+  ignore (consume st st.start_slot st.fresh e ~on_succ:stage_succ);
   Array.iter
     (fun slot ->
       let bucket = bucket_of slot in
@@ -519,12 +534,7 @@ let feed_indexed st store e =
           let insts = Instance_store.take_all_h bucket in
           let stayed =
             List.filter
-              (fun inst ->
-                match consume st slot inst e with
-                | [ s ] when s == inst -> true
-                | succs ->
-                    stage_successors succs;
-                    false)
+              (fun inst -> consume st slot inst e ~on_succ:stage_succ)
               insts
           in
           Instance_store.put_back_h bucket stayed;
@@ -624,9 +634,7 @@ let feed_indexed_batch st store kept n_kept =
   (match st.probes with
   | None -> ()
   | Some p -> Telemetry.Span.stop p.expiry_span tok);
-  let stage_successors insts =
-    List.iter (fun succ -> Instance_store.stage store succ.state succ) insts
-  in
+  let stage_succ pt succ = Instance_store.stage_h pt.tgt_bucket succ in
   (* One transition span covers the whole kept loop — per-batch probe
      granularity, like the expiry sweep and the filter pass above. *)
   let tok =
@@ -638,7 +646,7 @@ let feed_indexed_batch st store kept n_kept =
     let e = kept.(i) in
     st.stamp <- st.stamp + 1;
     Metrics.on_instance_created st.m;
-    stage_successors (consume st st.start_slot st.fresh e);
+    ignore (consume st st.start_slot st.fresh e ~on_succ:stage_succ);
     Array.iter
       (fun slot ->
         let bucket = bucket_of slot in
@@ -661,12 +669,7 @@ let feed_indexed_batch st store kept n_kept =
                   emit_expired e slot inst;
                   false
                 end
-                else
-                  match consume st slot inst e with
-                  | [ s ] when s == inst -> true
-                  | succs ->
-                      stage_successors succs;
-                      false)
+                else consume st slot inst e ~on_succ:stage_succ)
               insts
           in
           Instance_store.put_back_h bucket stayed

@@ -13,6 +13,8 @@ type t = {
 
 let satisfies e (field, op, c) = Predicate.eval op (Event.get e field) c
 
+let satisfies_atom = satisfies
+
 (* Negated variables are included: an event that can only trigger a
    negation guard still affects execution (it kills instances), so
    filtering it out would change results. *)

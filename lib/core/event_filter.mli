@@ -50,6 +50,12 @@ val strong_clauses :
     layer can push the same predicate down into its scan (see
     {!Ses_harness.Stream_runner}). *)
 
+val satisfies_atom :
+  Event.t -> Schema.Field.t * Predicate.op * Value.t -> bool
+(** One constant atom [v.A φ C] against one event — the unit both the
+    filters here and {!Predicate_index}'s shared evaluation are built
+    from. *)
+
 val mode : t -> mode
 
 val effective : t -> bool

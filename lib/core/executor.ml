@@ -14,6 +14,16 @@ let strategy_name = function
   | `Naive -> "naive"
   | `Brute_force -> "brute-force"
 
+(* Strategies whose executors may be fed the routed subsequence of the
+   stream by {!Multi}'s shared plan: those whose per-event behaviour on a
+   strong-clause-failing event is provably limited to expiry sweeps and
+   fresh-instance accounting. The pool-splitting strategies keep their
+   own per-key/per-shard accounting and the oracle baselines count
+   differently, so they always see the whole feed. *)
+let supports_shared_routing = function
+  | `Plain | `Auto -> true
+  | `Partitioned | `Par_partitioned | `Naive | `Brute_force -> false
+
 let strategy_of_string s =
   match String.lowercase_ascii s with
   | "auto" -> Ok `Auto

@@ -41,6 +41,12 @@ val strategy_name : strategy -> string
 
 val strategy_of_string : string -> (strategy, string) result
 
+val supports_shared_routing : strategy -> bool
+(** Whether {!Multi}'s shared plan may feed this strategy's executors
+    only the events its predicate index routes to them ([`Plain] and
+    [`Auto]). The other strategies split pools across keys or domains,
+    or are counting baselines, so they always receive the whole feed. *)
+
 module type EXECUTOR = sig
   type t
 

@@ -1,17 +1,23 @@
 open Ses_event
 
 (* Buckets hold their instances as a list sorted ascending by
-   (ts_of, seq_of); [n] caches the length. The staged table accumulates
-   pending inserts newest-first and is merged bucket by bucket on
-   [commit]. [total] counts committed instances only. *)
+   (ts_of, seq_of); [n] caches the length. Pending inserts accumulate
+   newest-first on the bucket itself; [dirty] lists the buckets with a
+   non-empty pending list so [commit] visits exactly those — staging
+   through an interned handle therefore costs no hashtable probe at
+   all. [total] counts committed instances only. *)
 
-type 'a bucket = { mutable items : 'a list; mutable n : int }
+type 'a bucket = {
+  mutable items : 'a list;
+  mutable n : int;
+  mutable pending : 'a list;  (* staged inserts, newest first *)
+}
 
 type 'a t = {
   ts_of : 'a -> Time.t;
   seq_of : 'a -> int;
   buckets : (Varset.t, 'a bucket) Hashtbl.t;
-  staged : (Varset.t, 'a list ref) Hashtbl.t;
+  mutable dirty : 'a bucket list;  (* buckets with pending inserts *)
   mutable total : int;
 }
 
@@ -20,7 +26,7 @@ let create ~ts_of ~seq_of () =
     ts_of;
     seq_of;
     buckets = Hashtbl.create 32;
-    staged = Hashtbl.create 8;
+    dirty = [];
     total = 0;
   }
 
@@ -37,11 +43,13 @@ let bucket_size st q =
    store — [clear] empties buckets in place instead of dropping them. *)
 type 'a handle = { owner : 'a t; hb : 'a bucket }
 
+let fresh_bucket () = { items = []; n = 0; pending = [] }
+
 let handle st q =
   match Hashtbl.find_opt st.buckets q with
   | Some b -> { owner = st; hb = b }
   | None ->
-      let b = { items = []; n = 0 } in
+      let b = fresh_bucket () in
       Hashtbl.replace st.buckets q b;
       { owner = st; hb = b }
 
@@ -106,7 +114,7 @@ let put_back st q items =
         match bucket st q with
         | Some b -> b
         | None ->
-            let b = { items = []; n = 0 } in
+            let b = fresh_bucket () in
             Hashtbl.replace st.buckets q b;
             b
       in
@@ -114,10 +122,13 @@ let put_back st q items =
 
 let put_back_h h items = put_back_bucket h.owner h.hb items
 
-let stage st q a =
-  match Hashtbl.find_opt st.staged q with
-  | Some r -> r := a :: !r
-  | None -> Hashtbl.replace st.staged q (ref [ a ])
+let stage_bucket st b a =
+  (match b.pending with [] -> st.dirty <- b :: st.dirty | _ :: _ -> ());
+  b.pending <- a :: b.pending
+
+let stage_h h a = stage_bucket h.owner h.hb a
+
+let stage st q a = stage_bucket st (handle st q).hb a
 
 let merge st xs ys =
   let rec go acc xs ys =
@@ -129,29 +140,23 @@ let merge st xs ys =
   go [] xs ys
 
 let commit st =
-  if Hashtbl.length st.staged > 0 then begin
-    Hashtbl.iter
-      (fun q pending ->
-        let incoming =
-          List.sort
-            (fun a b -> if before st a b then -1 else 1)
-            !pending
-        in
-        let k = List.length incoming in
-        let b =
-          match bucket st q with
-          | Some b -> b
-          | None ->
-              let b = { items = []; n = 0 } in
-              Hashtbl.replace st.buckets q b;
-              b
-        in
-        b.items <- merge st b.items incoming;
-        b.n <- b.n + k;
-        st.total <- st.total + k)
-      st.staged;
-    Hashtbl.reset st.staged
-  end
+  match st.dirty with
+  | [] -> ()
+  | dirty ->
+      st.dirty <- [];
+      List.iter
+        (fun b ->
+          let incoming =
+            List.sort
+              (fun a b -> if before st a b then -1 else 1)
+              b.pending
+          in
+          let k = List.length incoming in
+          b.pending <- [];
+          b.items <- merge st b.items incoming;
+          b.n <- b.n + k;
+          st.total <- st.total + k)
+        dirty
 
 let fold_buckets f st init =
   let states =
@@ -172,7 +177,8 @@ let clear st =
   Hashtbl.iter
     (fun _ b ->
       b.items <- [];
-      b.n <- 0)
+      b.n <- 0;
+      b.pending <- [])
     st.buckets;
-  Hashtbl.reset st.staged;
+  st.dirty <- [];
   st.total <- 0

@@ -63,6 +63,12 @@ val take_all_h : 'a handle -> 'a list
 
 val put_back_h : 'a handle -> 'a list -> unit
 
+val stage_h : 'a handle -> 'a -> unit
+(** {!stage} through a handle — no hashtable probe at all: pending
+    inserts live on the bucket record itself, and the store keeps a
+    dirty list so {!commit} touches only buckets actually staged
+    into. *)
+
 val pop_expired : 'a t -> Varset.t -> expired:('a -> bool) -> 'a list
 (** Removes and returns, in bucket order, the maximal prefix of the
     bucket on which [expired] holds. [expired] must be antitone in the

@@ -1,14 +1,18 @@
 open Ses_event
 
+(* ------------------------------------------------------------------ *)
+(* Independent backend: one executor per registration.                *)
+(* ------------------------------------------------------------------ *)
+
 type entry = {
   name : string;
   automaton : Automaton.t;
   exec : Executor.packed;
 }
 
-(* In parallel mode every query is pinned to one worker domain
-   (round-robin by registration order) and the feed is broadcast: each
-   worker runs its queries' executors sequentially over the whole
+(* In independent-parallel mode every query is pinned to one worker
+   domain (round-robin by registration order) and the feed is broadcast:
+   each worker runs its queries' executors sequentially over the whole
    stream, exactly as the sequential mode does — only on its own domain.
    Executors are created with [domains = 1] so a partitioned query never
    nests a second domain pool under a Multi worker. *)
@@ -26,12 +30,29 @@ type parallel = {
   mutable flushed : bool;
 }
 
-type runtime = Sequential | Parallel of parallel
+(* Shared-parallel mode: registrations are split into unit-whole shards
+   (see {!Shared_plan.partition}) and each worker domain builds its own
+   shared plan over its shard — built {e on} the worker through
+   {!Domain_pool.create_with}, so the plan's interior mutability stays
+   domain-local. The feed is broadcast; per-query results are read after
+   quiesce/shutdown, which establish the happens-before edges. *)
+type shared_parallel = {
+  sh_pool : Event.t array Domain_pool.t;
+  sh_plans : Shared_plan.t array;  (* shard order; read after quiesce *)
+  sh_batcher : Event.t Domain_pool.batcher;
+  mutable sh_flushed : bool;
+}
+
+type backend =
+  | Independent of entry list
+  | Independent_par of entry list * parallel
+  | Shared of Shared_plan.t
+  | Shared_par of shared_parallel
 
 type t = {
-  entries : entry list;
+  regs : (string * Automaton.t * Executor.strategy) list;
   options : Engine.options;
-  runtime : runtime;
+  backend : backend;
 }
 
 let validate names =
@@ -40,9 +61,7 @@ let validate names =
   if List.length (List.sort_uniq String.compare names) <> List.length names
   then invalid_arg "Multi.create: duplicate query name"
 
-let create_mixed ?(options = Engine.default_options) queries =
-  validate (List.map (fun (name, _, _) -> name) queries);
-  let domains = min options.Engine.domains (List.length queries) in
+let make_independent options domains queries =
   let exec_options =
     if domains > 1 then { options with Engine.domains = 1 } else options
   in
@@ -70,92 +89,181 @@ let create_mixed ?(options = Engine.default_options) queries =
         })
       queries
   in
-  let runtime =
-    if domains <= 1 then Sequential
-    else begin
-      let groups = Array.make domains [] in
-      List.iteri
-        (fun i e -> groups.(i mod domains) <- e :: groups.(i mod domains))
-        entries;
-      Array.iteri (fun i g -> groups.(i) <- List.rev g) groups;
-      let pool =
-        Domain_pool.create ?telemetry:options.Engine.telemetry ~domains
-          (fun i events ->
-            Array.iter
-              (fun event ->
-                List.iter
-                  (fun e -> ignore (Executor.feed e.exec event))
-                  groups.(i))
-              events)
-      in
-      let batch_hist =
-        Option.map
-          (fun tl -> Telemetry.histogram tl "pool.batch_events")
-          options.Engine.telemetry
-      in
-      let batcher =
-        Domain_pool.batcher ?hist:batch_hist
-          ~limit:(max 1 options.Engine.batch_size) pool
-      in
-      Parallel { pool; groups; batcher; flushed = false }
-    end
-  in
-  { entries; options; runtime }
+  if domains <= 1 then Independent entries
+  else begin
+    let groups = Array.make domains [] in
+    List.iteri
+      (fun i e -> groups.(i mod domains) <- e :: groups.(i mod domains))
+      entries;
+    Array.iteri (fun i g -> groups.(i) <- List.rev g) groups;
+    let pool =
+      Domain_pool.create ?telemetry:options.Engine.telemetry ~domains
+        (fun i events ->
+          Array.iter
+            (fun event ->
+              List.iter
+                (fun e -> ignore (Executor.feed e.exec event))
+                groups.(i))
+            events)
+    in
+    let batch_hist =
+      Option.map
+        (fun tl -> Telemetry.histogram tl "pool.batch_events")
+        options.Engine.telemetry
+    in
+    let batcher =
+      Domain_pool.batcher ?hist:batch_hist
+        ~limit:(max 1 options.Engine.batch_size) pool
+    in
+    Independent_par (entries, { pool; groups; batcher; flushed = false })
+  end
 
-let create ?options ?(strategy = `Plain) queries =
-  create_mixed ?options
+let plan_regs queries =
+  List.map
+    (fun (name, automaton, strategy) ->
+      { Shared_plan.r_name = name; r_automaton = automaton; r_strategy = strategy })
+    queries
+
+let make_shared options domains queries =
+  if domains <= 1 then
+    Shared (Shared_plan.create ~options (plan_regs queries))
+  else begin
+    let shards =
+      Shared_plan.partition ~options ~shards:domains (plan_regs queries)
+    in
+    (* Each worker's plan records through its own telemetry fork and
+       never nests a second domain pool. The forks are created here, on
+       the calling thread, but written only by their worker. *)
+    let shard_options =
+      Array.map
+        (fun _ ->
+          {
+            options with
+            Engine.domains = 1;
+            telemetry = Option.map Telemetry.fork options.Engine.telemetry;
+          })
+        shards
+    in
+    let slots = Array.make domains None in
+    let pool =
+      Domain_pool.create_with ?telemetry:options.Engine.telemetry ~domains
+        ~init:(fun i ->
+          let plan =
+            Shared_plan.create ~options:shard_options.(i) shards.(i)
+          in
+          slots.(i) <- Some plan;
+          plan)
+        (* Per-event feeding (the chunking only amortizes the queue
+           handshake): each query must observe the exact per-event
+           sequence so parallel metrics equal sequential ones. *)
+        (fun plan events ->
+          Array.iter (fun e -> ignore (Shared_plan.feed plan e)) events)
+    in
+    (* The ready handshake in [create_with] makes the inits' writes
+       visible here. *)
+    let plans = Array.map Option.get slots in
+    let batch_hist =
+      Option.map
+        (fun tl -> Telemetry.histogram tl "pool.batch_events")
+        options.Engine.telemetry
+    in
+    let batcher =
+      Domain_pool.batcher ?hist:batch_hist
+        ~limit:(max 1 options.Engine.batch_size) pool
+    in
+    Shared_par
+      { sh_pool = pool; sh_plans = plans; sh_batcher = batcher; sh_flushed = false }
+  end
+
+let create_mixed ?(options = Engine.default_options) ?(shared = true) queries =
+  validate (List.map (fun (name, _, _) -> name) queries);
+  let domains = min options.Engine.domains (List.length queries) in
+  let backend =
+    if shared then make_shared options domains queries
+    else make_independent options domains queries
+  in
+  { regs = queries; options; backend }
+
+let create ?options ?(strategy = `Plain) ?shared queries =
+  create_mixed ?options ?shared
     (List.map (fun (name, automaton) -> (name, automaton, strategy)) queries)
 
-let names t = List.map (fun e -> e.name) t.entries
+let names t = List.map (fun (n, _, _) -> n) t.regs
 
 let strategy_names t =
-  List.map (fun e -> (e.name, Executor.name e.exec)) t.entries
+  match t.backend with
+  | Independent entries | Independent_par (entries, _) ->
+      List.map (fun e -> (e.name, Executor.name e.exec)) entries
+  | Shared _ | Shared_par _ ->
+      List.map (fun (n, _, s) -> (n, Executor.strategy_name s)) t.regs
 
 let n_domains t =
-  match t.runtime with
-  | Sequential -> 1
-  | Parallel p -> Domain_pool.size p.pool
+  match t.backend with
+  | Independent _ | Shared _ -> 1
+  | Independent_par (_, p) -> Domain_pool.size p.pool
+  | Shared_par p -> Domain_pool.size p.sh_pool
+
+(* Per-name results in global registration order (each shard preserves
+   its own registration order, but shards interleave). *)
+let reorder t pairs =
+  let idx = Hashtbl.create 16 in
+  List.iteri (fun i (n, _, _) -> Hashtbl.replace idx n i) t.regs;
+  List.sort
+    (fun (a, _) (b, _) ->
+      Int.compare (Hashtbl.find idx a) (Hashtbl.find idx b))
+    pairs
 
 let feed t event =
-  match t.runtime with
-  | Sequential ->
+  match t.backend with
+  | Independent entries ->
       List.filter_map
         (fun e ->
           match Executor.feed e.exec event with
           | [] -> None
           | completed -> Some (e.name, completed))
-        t.entries
-  | Parallel p ->
+        entries
+  | Shared sp -> Shared_plan.feed sp event
+  | Independent_par (_, p) ->
       if p.flushed then invalid_arg "Multi.feed: query set is closed";
       (* Broadcast: every worker receives every event and drives its own
          queries. Per-event completions surface at [close]/[outcomes]. *)
       Domain_pool.broadcast p.batcher event;
       []
+  | Shared_par p ->
+      if p.sh_flushed then invalid_arg "Multi.feed: query set is closed";
+      Domain_pool.broadcast p.sh_batcher event;
+      []
 
 let feed_batch t events =
-  match t.runtime with
-  | Sequential ->
+  match t.backend with
+  | Independent entries ->
       List.filter_map
         (fun e ->
           match Executor.feed_batch e.exec events with
           | [] -> None
           | completed -> Some (e.name, completed))
-        t.entries
-  | Parallel p ->
+        entries
+  | Shared sp -> Shared_plan.feed_batch sp events
+  | Independent_par (_, p) ->
       if p.flushed then invalid_arg "Multi.feed_batch: query set is closed";
       Array.iter (fun event -> Domain_pool.broadcast p.batcher event) events;
       []
+  | Shared_par p ->
+      if p.sh_flushed then invalid_arg "Multi.feed_batch: query set is closed";
+      Array.iter (fun event -> Domain_pool.broadcast p.sh_batcher event) events;
+      []
 
 let close t =
-  match t.runtime with
-  | Sequential ->
+  match t.backend with
+  | Independent entries ->
       List.filter_map
         (fun e ->
           match Executor.close e.exec with
           | [] -> None
           | flushed -> Some (e.name, flushed))
-        t.entries
-  | Parallel p ->
+        entries
+  | Shared sp -> Shared_plan.close sp
+  | Independent_par (entries, p) ->
       (* Join the workers first (shutdown flushes the broadcast batcher
          before closing the queues): afterwards the executors are owned
          by the calling thread again and flush sequentially, in
@@ -169,41 +277,117 @@ let close t =
             match Executor.close e.exec with
             | [] -> None
             | flushed -> Some (e.name, flushed))
-          t.entries
+          entries
+      end
+  | Shared_par p ->
+      Domain_pool.shutdown p.sh_pool;
+      if p.sh_flushed then []
+      else begin
+        p.sh_flushed <- true;
+        reorder t
+          (List.concat_map Shared_plan.close (Array.to_list p.sh_plans))
       end
 
 let quiesce t =
-  match t.runtime with
-  | Sequential -> ()
-  | Parallel p -> Domain_pool.quiesce p.pool
+  match t.backend with
+  | Independent _ | Shared _ -> ()
+  | Independent_par (_, p) -> Domain_pool.quiesce p.pool
+  | Shared_par p -> Domain_pool.quiesce p.sh_pool
 
 let population t =
   quiesce t;
-  List.fold_left (fun acc e -> acc + Executor.population e.exec) 0 t.entries
+  match t.backend with
+  | Independent entries | Independent_par (entries, _) ->
+      List.fold_left (fun acc e -> acc + Executor.population e.exec) 0 entries
+  | Shared sp -> Shared_plan.population sp
+  | Shared_par p ->
+      Array.fold_left
+        (fun acc sp -> acc + Shared_plan.population sp)
+        0 p.sh_plans
+
+(* Shared-mode outcomes: finalization needs the whole raw candidate set
+   per query, and aliased registrations share identical raw, so the
+   finalize pass is memoized per alias id within each plan. *)
+let shared_outcomes t plans =
+  let memo = Hashtbl.create 16 in
+  let per_query =
+    List.concat
+      (List.mapi
+         (fun pi sp ->
+           List.map
+             (fun (r : Shared_plan.query_result) ->
+               let matches =
+                 if t.options.Engine.finalize then (
+                   match Hashtbl.find_opt memo (pi, r.q_alias) with
+                   | Some m -> m
+                   | None ->
+                       let m =
+                         Substitution.finalize ~policy:t.options.Engine.policy
+                           (Automaton.pattern r.q_automaton)
+                           r.q_raw
+                       in
+                       Hashtbl.add memo (pi, r.q_alias) m;
+                       m)
+                 else r.q_raw
+               in
+               ( r.q_name,
+                 { Engine.matches; raw = r.q_raw; metrics = r.q_metrics } ))
+             (Shared_plan.results sp))
+         plans)
+  in
+  reorder t per_query
 
 let outcomes t =
   quiesce t;
-  List.map
-    (fun e ->
-      let raw = Executor.emitted e.exec in
-      let matches =
-        if t.options.Engine.finalize then
-          Substitution.finalize ~policy:t.options.Engine.policy
-            (Automaton.pattern e.automaton) raw
-        else raw
-      in
-      (e.name, { Engine.matches; raw; metrics = Executor.metrics e.exec }))
-    t.entries
+  match t.backend with
+  | Independent entries | Independent_par (entries, _) ->
+      List.map
+        (fun e ->
+          let raw = Executor.emitted e.exec in
+          let matches =
+            if t.options.Engine.finalize then
+              Substitution.finalize ~policy:t.options.Engine.policy
+                (Automaton.pattern e.automaton) raw
+            else raw
+          in
+          (e.name, { Engine.matches; raw; metrics = Executor.metrics e.exec }))
+        entries
+  | Shared sp -> shared_outcomes t [ sp ]
+  | Shared_par p -> shared_outcomes t (Array.to_list p.sh_plans)
 
-(* Every query consumes the whole feed, so the cross-query view uses the
-   replica accounting: input counters agree (max), work counters and the
-   simultaneous-instance peaks sum. *)
+(* Every query observes the whole feed (shared-mode metrics are
+   compensated to the independent view), so the cross-query summary uses
+   the replica accounting: input counters agree (max), work counters and
+   the simultaneous-instance peaks sum. *)
 let merged_metrics t =
   quiesce t;
-  Metrics.merge_replicas (List.map (fun e -> Executor.metrics e.exec) t.entries)
+  match t.backend with
+  | Independent entries | Independent_par (entries, _) ->
+      Metrics.merge_replicas
+        (List.map (fun e -> Executor.metrics e.exec) entries)
+  | Shared sp ->
+      Metrics.merge_replicas
+        (List.map
+           (fun (r : Shared_plan.query_result) -> r.q_metrics)
+           (Shared_plan.results sp))
+  | Shared_par p ->
+      Metrics.merge_replicas
+        (List.concat_map
+           (fun sp ->
+             List.map
+               (fun (r : Shared_plan.query_result) -> r.q_metrics)
+               (Shared_plan.results sp))
+           (Array.to_list p.sh_plans))
 
-let run ?options ?strategy queries events =
-  let t = create ?options ?strategy queries in
+let shared_stats t =
+  quiesce t;
+  match t.backend with
+  | Independent _ | Independent_par _ -> []
+  | Shared sp -> [ Shared_plan.stats sp ]
+  | Shared_par p -> Array.to_list (Array.map Shared_plan.stats p.sh_plans)
+
+let run ?options ?strategy ?shared queries events =
+  let t = create ?options ?strategy ?shared queries in
   Seq.iter (fun e -> ignore (feed t e)) events;
   ignore (close t);
   outcomes t

@@ -48,6 +48,18 @@ let plan automaton =
     analysis;
   }
 
+(* The per-variable constant clauses the plan's Strong filter tests —
+   the pattern's own constant conditions conjoined with the analyzer's
+   inferred extras. [Some] exactly when the plan chose [Strong], so a
+   shared multi-query plan routing only clause-passing events to this
+   query drops precisely the events the planned stream's own filter
+   would have dropped. *)
+let routing_clauses plan automaton =
+  let extra =
+    match plan.analysis with Some a -> a.filter_extras | None -> []
+  in
+  Event_filter.strong_clauses ~extra (Automaton.pattern automaton)
+
 let options_with plan options =
   {
     options with

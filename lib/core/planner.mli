@@ -59,6 +59,20 @@ type t = {
 
 val plan : Automaton.t -> t
 
+val routing_clauses :
+  t ->
+  Automaton.t ->
+  (Ses_event.Schema.Field.t * Ses_event.Predicate.op * Ses_event.Value.t)
+  list
+  list
+  option
+(** The strong-filter clauses of the planned execution — the pattern's
+    constant conditions conjoined with the analyzer's inferred extras.
+    [Some] exactly when the plan chose the [Strong] filter; {!Multi}'s
+    shared plan registers them with its {!Predicate_index} so routed
+    delivery drops exactly the events the planned stream's own filter
+    would drop. *)
+
 val options_with : t -> Engine.options -> Engine.options
 (** [options] with the plan's levers layered on: its [filter],
     [filter_extras] and [precheck_constants] fields are overridden by

@@ -19,6 +19,32 @@ running example's query, and analyze the pattern.
   matches: 8
     {d/e9, c/e13, p+/e14, p+/e18, p+/e21, p+/e30, p+/e33, b/e42}
 
+Several -q patterns run together over one pass of the relation through
+the shared multi-query plan; queries agreeing on a leading run of event
+sets share one instance population, and byte-identical registrations
+collapse to one executor:
+
+  $ ../../bin/ses_cli.exe match -d chemo.csv --strategy plain \
+  >   -q "PATTERN (c) -> (d) WHERE c.L = 'C' AND d.L = 'D' WITHIN 11 DAYS" \
+  >   -q "PATTERN (c) -> (b) WHERE c.L = 'C' AND b.L = 'B' WITHIN 11 DAYS" \
+  >   -q "PATTERN (c) -> (d) WHERE c.L = 'C' AND d.L = 'D' WITHIN 11 DAYS" \
+  >   --metrics | grep -E "^(---|matches:|shared plan)"
+  --- q1 ---
+  matches: 5
+  --- q2 ---
+  matches: 8
+  --- q3 ---
+  matches: 5
+  shared plan: 1 merged group(s) covering 3 quer(ies), 1 alias(es), 3 indexed atom(s), index hit rate 0.7500
+
+Mixing several -q with --query-file or --stream is rejected:
+
+  $ ../../bin/ses_cli.exe match -d chemo.csv --stream \
+  >   -q "PATTERN (c) WHERE c.L = 'C' WITHIN 11 DAYS" \
+  >   -q "PATTERN (d) WHERE d.L = 'D' WITHIN 11 DAYS"
+  error: --stream supports a single query
+  [1]
+
   $ ../../bin/ses_cli.exe analyze -d chemo.csv --query-file q1.ses
   pattern: (<{c, p+, d}, {b}>, {c.L = 'C', p+.L = 'P', d.L = 'D', b.L = 'B', c.ID = p+.ID, c.ID = d.ID, d.ID = b.ID}, 264)
   automaton: 9 states, 17 transitions, 6 orderings
@@ -125,22 +151,23 @@ sharding all reproduce the default run byte for byte:
 Telemetry: a recording run exports a runtime profile. Probe names and
 counts are deterministic — durations are not — so only the stable
 fields are checked. Probes record per batch: the 264-event relation
-fits in one default-size chunk, so the filter pass, the expiry sweep,
-the transition loop (all 72 events the strong filter keeps), the
-ingest/event_ns pair and the population sample each record once:
+spans five default-size (64-event) chunks, so the filter pass and the
+ingest/event_ns pair record once per chunk, while the expiry sweep,
+the transition loop and the population sample record only for the four
+chunks where the strong filter keeps any of its 72 events:
 
   $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1.ses \
   >   --telemetry=prof.json > /dev/null
   $ sed -n 's/^    "\([^"]*\)": {"count":\([0-9]*\),.*/\1 \2/p' prof.json
-  expiry 1
-  filter 1
+  expiry 4
+  filter 5
   finalize 1
-  ingest 1
-  transition 1
-  event_ns 1
-  store.bucket_scan 190
+  ingest 5
+  transition 4
+  event_ns 5
+  store.bucket_scan 181
   $ sed -n 's/^    "\([^"]*\)": {"samples":\([0-9]*\),.*/\1 \2/p' prof.json
-  population 1
+  population 4
 
 The brute-force baseline across 4 worker domains runs one engine per
 ordering (6 for q1), which multiplies the engine-level probes — one
@@ -154,13 +181,13 @@ no-filter):
   $ grep '^matches:' bf.out
   matches: 8
   $ sed -n 's/^    "\([^"]*\)": {"count":\([0-9]*\),.*/\1 \2/p' bf.json
-  expiry 6
+  expiry 30
   filter 0
   finalize 1
-  ingest 1
-  transition 6
-  event_ns 1
-  store.bucket_scan 280
+  ingest 5
+  transition 30
+  event_ns 5
+  store.bucket_scan 269
 
 The flat reference store has no state-indexed buckets to scan (the
 histogram stays empty) and fuses expiry into the per-instance sweep,
@@ -172,11 +199,11 @@ which the transition span covers whole:
   matches: 8
   $ sed -n 's/^    "\([^"]*\)": {"count":\([0-9]*\),.*/\1 \2/p' flat.json
   expiry 0
-  filter 1
+  filter 5
   finalize 1
-  ingest 1
+  ingest 5
   transition 72
-  event_ns 1
+  event_ns 5
   store.bucket_scan 0
 
 Static analysis: contradictory constants are errors, the dead parts of
