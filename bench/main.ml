@@ -46,10 +46,17 @@
    picked against), plus the telemetry overhead at the tuned batch,
    writing the results to BENCH_batch.json.
 
+   Part 9 measures the index-accelerated access paths: the million-event
+   workload of Part 7 with the access path forced to a full scan and to
+   index probes across a selectivity sweep (ID-pinned equality,
+   label-only, label+threshold, and an unselective query the cost model
+   refuses), matches asserted identical, writing the results to
+   BENCH_index.json.
+
    Usage: dune exec bench/main.exe
             [-- --quick] [-- --exp N] [-- --no-micro] [-- --no-stream]
             [-- --store-only] [-- --parallel-only] [-- --telemetry-only]
-            [-- --batch-only] [-- --multi-only] *)
+            [-- --batch-only] [-- --multi-only] [-- --index-only] *)
 
 open Bechamel
 open Toolkit
@@ -69,6 +76,8 @@ let telemetry_only = Array.exists (( = ) "--telemetry-only") Sys.argv
 let batch_only = Array.exists (( = ) "--batch-only") Sys.argv
 
 let multi_only = Array.exists (( = ) "--multi-only") Sys.argv
+
+let index_only = Array.exists (( = ) "--index-only") Sys.argv
 
 let only_exp =
   let rec find i =
@@ -805,6 +814,163 @@ let multi_bench () =
   output_char oc '\n';
   close_out oc
 
+(* Part 9: index-accelerated access paths. The batched-core workload
+   (~1M events as dense simultaneous arrivals over ~1k entity keys)
+   evaluated through {!Ses_harness.Access_exec} with the access path
+   forced both ways, across a selectivity sweep: an ID-pinned equality
+   query (~0.1% of the stream — the headline regime, where the probe
+   touches a thousand rows instead of a million), a label-only query
+   (~8%), a label+threshold query (residual filtering on top of the
+   probes), and a near-unselective query the cost model must refuse to
+   index. Every leg asserts the two paths' matches identical; the JSON
+   records what [`Auto] would have chosen, the estimate the decision
+   rested on, and the probe counters. *)
+
+let index_bench () =
+  let module RW = Ses_gen.Random_workload in
+  let module P = Ses_pattern.Pattern in
+  let module V = Ses_pattern.Variable in
+  let copies = if quick then 16 else 256 in
+  let spec =
+    {
+      RW.n_events = (if quick then 1_000 else 4_000);
+      n_labels = 26;
+      n_ids = 4;
+      min_gap = 2;
+      max_gap = 3;
+      max_value = 5;
+    }
+  in
+  let d = RW.duplicated_relation (Ses_gen.Prng.create 7L) ~copies spec in
+  let n_events = Ses_event.Relation.cardinality d in
+  let prepared, prepare_s =
+    time (fun () -> Ses_harness.Access_exec.prepare d)
+  in
+  let cst v f op c = P.Spec.const v f op (Ses_event.Value.Int c) in
+  let lbl v s =
+    P.Spec.const v "L" Ses_event.Predicate.Eq (Ses_event.Value.Str s)
+  in
+  let join = P.Spec.fields "a" "ID" Ses_event.Predicate.Eq "b" "ID" in
+  let two_set where =
+    P.make_exn ~schema:RW.schema
+      ~sets:[ [ V.singleton "a" ]; [ V.singleton "b" ] ]
+      ~where ~within:4
+  in
+  let legs =
+    [
+      ( "id_pinned_eq",
+        "one entity key of ~1k: the probe reads ~0.1% of the rows",
+        two_set
+          [
+            lbl "a" "a"; lbl "b" "b";
+            cst "a" "ID" Ses_event.Predicate.Eq 7;
+            cst "b" "ID" Ses_event.Predicate.Eq 7;
+            join;
+          ] );
+      ( "label_eq",
+        "two of 26 labels: the candidate union is ~8% of the rows",
+        two_set [ lbl "a" "a"; lbl "b" "b"; join ] );
+      ( "label_and_threshold",
+        "label probes with a V >= 4 residual filtered off the postings",
+        two_set
+          [
+            lbl "a" "a"; lbl "b" "b";
+            cst "a" "V" Ses_event.Predicate.Ge 4;
+            cst "b" "V" Ses_event.Predicate.Ge 4;
+            join;
+          ] );
+      ( "unselective",
+        "V >= 1 keeps most of the stream: the cost model must scan",
+        two_set
+          [
+            cst "a" "V" Ses_event.Predicate.Ge 1;
+            cst "b" "V" Ses_event.Predicate.Ge 1;
+            join;
+          ] );
+    ]
+  in
+  let options =
+    {
+      Ses_core.Engine.default_options with
+      Ses_core.Engine.filter = Ses_core.Event_filter.Strong;
+    }
+  in
+  let reps = if quick then 1 else 3 in
+  let best f =
+    let rec go n acc best_s =
+      if n = 0 then (Option.get acc, best_s)
+      else
+        let r, s = time f in
+        go (n - 1) (Some r) (Float.min best_s s)
+    in
+    go reps None infinity
+  in
+  let canon (o : Ses_harness.Access_exec.outcome) =
+    List.map Ses_core.Substitution.canonical o.Ses_harness.Access_exec.matches
+  in
+  let leg_json (name, description, pattern) =
+    let automaton = Ses_core.Automaton.of_pattern pattern in
+    let run mode =
+      best (fun () ->
+          Ses_harness.Access_exec.run ~options ~mode prepared automaton)
+    in
+    let scan, scan_s = run `Scan in
+    (* The first index run builds the probed indexes on the prepared
+       handle; [best] keeps the warm repetition, and the cold build is
+       priced separately below. *)
+    let index, index_s = run `Index in
+    let matches_equal = canon scan = canon index in
+    if not matches_equal then
+      Printf.eprintf "warning: index path changed the matches on %s\n" name;
+    let auto =
+      Ses_core.Planner.choose_access
+        ~stats:(Ses_harness.Access_exec.stats prepared)
+        (Ses_core.Planner.plan automaton)
+        automaton
+    in
+    let auto_takes, estimate =
+      match auto with
+      | Ses_core.Planner.Index_probe { estimate; _ } -> ("index", estimate)
+      | Ses_core.Planner.Scan _ -> ("scan", n_events)
+    in
+    Printf.sprintf
+      "    {\"query\": %S, \"description\": %S,\n\
+      \     \"scan_s\": %.6f, \"index_s\": %.6f, \"speedup\": %.2f,\n\
+      \     \"auto_access\": %S, \"estimated_candidates\": %d,\n\
+      \     \"candidates\": %d, \"postings_scanned\": %d, \"clipped\": %d,\n\
+      \     \"matches\": %d, \"matches_equal\": %b}"
+      name description scan_s index_s (scan_s /. index_s) auto_takes estimate
+      index.Ses_harness.Access_exec.candidates
+      index.Ses_harness.Access_exec.postings_scanned
+      index.Ses_harness.Access_exec.clipped
+      (List.length index.Ses_harness.Access_exec.matches)
+      matches_equal
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"workload\": {\"events\": %d, \"entity_keys\": %d},\n\
+      \  \"cores_available\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"prepare_stats_s\": %.6f,\n\
+      \  \"runs\": [\n\
+       %s\n\
+      \  ]\n\
+       }"
+      n_events
+      (spec.RW.n_ids * copies)
+      (Ses_core.Domain_pool.recommended ())
+      reps prepare_s
+      (String.concat ",\n" (List.map leg_json legs))
+  in
+  Printf.printf "Index-accelerated access paths (JSON)\n";
+  Printf.printf "-------------------------------------\n";
+  Printf.printf "%s\n\n" json;
+  let oc = open_out "BENCH_index.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc
+
 (* Micro-benchmarks: one Test.make per paper artifact, on the D1 dataset. *)
 
 let micro_tests () =
@@ -903,6 +1069,7 @@ let () =
   else if telemetry_only then telemetry_bench ()
   else if batch_only then batch_bench ()
   else if multi_only then multi_bench ()
+  else if index_only then index_bench ()
   else begin
     run_tables ();
     if not no_stream then stream_bench ();
@@ -911,5 +1078,6 @@ let () =
     parallel_bench ();
     telemetry_bench ();
     batch_bench ();
-    multi_bench ()
+    multi_bench ();
+    index_bench ()
   end

@@ -243,6 +243,38 @@ let batch_arg =
            sub-batches over their queues. Matching output is identical at \
            every batch size; N=1 recovers per-event delivery.")
 
+let access_conv =
+  Arg.conv
+    ( (fun s ->
+        match Ses_core.Planner.access_mode_of_string s with
+        | Ok m -> Ok m
+        | Error msg -> Error (`Msg msg)),
+      fun ppf m ->
+        Format.pp_print_string ppf (Ses_core.Planner.access_mode_name m) )
+
+let access_arg =
+  Arg.(
+    value
+    & opt access_conv `Auto
+    & info [ "access" ] ~docv:"PATH"
+        ~doc:
+          "Access path over the stored relation: auto (cost-based choice \
+           between a full scan and index probes, the default), scan (force \
+           the full scan) or index (force the index path whenever it is \
+           sound). The index path probes per-attribute secondary indexes \
+           with each variable's constant conditions, unions the candidate \
+           sets, clips them to the pattern window and feeds the sparse \
+           stream through the ordinary executor; matches are identical \
+           either way.")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print the execution plan before the results, including the \
+           chosen access path with estimated and actual candidate counts.")
+
 let print_match_results pattern ~raw ~matches ~metrics show_metrics show_raw
     table =
   Format.printf "pattern: %a@." Ses_pattern.Pattern.pp pattern;
@@ -313,8 +345,8 @@ let run_multi_match ~options ~strategy ~queries ~data show_metrics show_raw
           s.Ses_core.Shared_plan.st_index_hit_rate)
       (Ses_core.Multi.shared_stats t)
 
-let run_match data queries query_file strategy stream domains batch filter
-    policy store telemetry show_metrics show_raw table =
+let run_match data queries query_file strategy stream domains batch access
+    explain filter policy store telemetry show_metrics show_raw table =
   Ses_baseline.Brute_force.register ();
   Ses_analysis.Analyzer.register ();
   if domains < 1 then begin
@@ -323,6 +355,12 @@ let run_match data queries query_file strategy stream domains batch filter
   end;
   if batch < 1 then begin
     prerr_endline "error: --batch must be at least 1";
+    exit 1
+  end;
+  if access <> `Auto && (stream || List.length queries > 1) then begin
+    prerr_endline
+      "error: --access applies to a single non-streaming query (the \
+       streaming and multi-query paths always scan)";
     exit 1
   end;
   let query = match queries with [ q ] -> Some q | _ -> None in
@@ -385,15 +423,28 @@ let run_match data queries query_file strategy stream domains batch filter
     let schema = Ses_event.Relation.schema relation in
     let pattern = load_pattern schema query query_file in
     let automaton = Ses_core.Automaton.of_pattern pattern in
+    let prepared = Ses_harness.Access_exec.prepare relation in
     let outcome =
-      Ses_core.Executor.run_relation ~options strategy automaton relation
+      Ses_harness.Access_exec.run ~options ~strategy ~mode:access prepared
+        automaton
     in
-    print_match_results pattern ~raw:outcome.Ses_core.Engine.raw
-      ~matches:outcome.Ses_core.Engine.matches
-      ~metrics:outcome.Ses_core.Engine.metrics show_metrics show_raw table;
-    if show_metrics then
+    if explain then
+      Format.printf "%s"
+        (Ses_core.Planner.describe
+           ~access:outcome.Ses_harness.Access_exec.access
+           (Ses_core.Planner.plan automaton));
+    print_match_results pattern ~raw:outcome.Ses_harness.Access_exec.raw
+      ~matches:outcome.Ses_harness.Access_exec.matches
+      ~metrics:outcome.Ses_harness.Access_exec.metrics show_metrics show_raw
+      table;
+    if show_metrics then begin
       Format.printf "executor: %s@."
-        (Ses_core.Executor.strategy_name strategy)
+        outcome.Ses_harness.Access_exec.executor;
+      Format.printf "%s@."
+        (Ses_core.Planner.describe_access
+           ~actual:outcome.Ses_harness.Access_exec.candidates
+           outcome.Ses_harness.Access_exec.access)
+    end
   end
   in
   (try run_match_body ()
@@ -437,7 +488,8 @@ let match_cmd =
     Term.(
       const run_match $ data_arg $ match_queries_arg $ query_file_arg
       $ strategy_arg
-      $ stream_arg $ domains_arg $ batch_arg $ filter_arg $ policy_arg
+      $ stream_arg $ domains_arg $ batch_arg $ access_arg $ explain_arg
+      $ filter_arg $ policy_arg
       $ store_arg $ telemetry_arg $ show_metrics_arg $ show_raw_arg
       $ table_arg)
 
@@ -570,9 +622,16 @@ let run_analyze data schema_spec query query_file json dot =
             let w = Ses_event.Relation.window_size relation tau in
             Format.printf "window size W = %d@." w;
             print_endline (Ses_harness.Bounds.describe pattern ~w));
+        let plan = Ses_core.Planner.plan automaton in
+        let access =
+          Option.map
+            (fun r ->
+              Ses_core.Planner.choose_access
+                ~stats:(Ses_event.Stats.of_relation r) plan automaton)
+            relation
+        in
         Format.printf "execution plan:@.%s"
-          (Ses_core.Planner.describe
-             (Ses_core.Planner.plan automaton))
+          (Ses_core.Planner.describe ?access plan)
       end;
       if Diagnostic.has_errors diags then exit 1
 
@@ -728,6 +787,88 @@ let experiments_cmd =
       const run_experiments $ quick_arg $ csv_dir_arg $ exp_patients_arg
       $ exp_datasets_arg)
 
+(* store *)
+
+let run_store_stats data catalog name refresh cap =
+  match data, catalog with
+  | Some file, None ->
+      let _schema, s = or_die (Ses_store.Csv_stream.stats ?cap file) in
+      Format.printf "%a@." Ses_event.Stats.pp s
+  | None, Some dir -> begin
+      let cat = or_die (Ses_store.Catalog.open_dir dir) in
+      match name with
+      | None ->
+          (* No relation named: list what the catalog holds. *)
+          List.iter print_endline (Ses_store.Catalog.list cat)
+      | Some name ->
+          let s =
+            or_die
+              (if refresh || cap <> None then
+                 Ses_store.Catalog.refresh_stats ?cap cat name
+               else Ses_store.Catalog.stats cat name)
+          in
+          Format.printf "%a@." Ses_event.Stats.pp s
+    end
+  | Some _, Some _ ->
+      prerr_endline "error: pass either --data or --catalog, not both";
+      exit 1
+  | None, None ->
+      prerr_endline "error: a source is required (--data or --catalog)";
+      exit 1
+
+let catalog_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "catalog" ] ~docv:"DIR"
+        ~doc:
+          "Catalog directory of stored relations; reads the persisted \
+           [.stats] sidecar when it is fresh and recomputes (and \
+           re-persists) it otherwise.")
+
+let store_name_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"NAME"
+        ~doc:
+          "Relation name inside the catalog; omitted, the stored relations \
+           are listed instead.")
+
+let refresh_arg =
+  Arg.(
+    value & flag
+    & info [ "refresh" ]
+        ~doc:
+          "Force a streaming recompute of the sidecar even when it looks \
+           fresh (e.g. after editing the CSV in place).")
+
+let cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cap" ] ~docv:"N"
+        ~doc:
+          "Bound the per-attribute histograms to the N most frequent \
+           values (implies --refresh for catalog relations).")
+
+let store_stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print catalog statistics (row count, per-attribute cardinality \
+          and histograms) for a relation — the numbers the access-path \
+          planner costs index probes with")
+    Term.(
+      const run_store_stats $ data_opt_arg $ catalog_arg $ store_name_arg
+      $ refresh_arg $ cap_arg)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect the event store (catalogs, statistics sidecars)")
+    [ store_stats_cmd ]
+
 let () =
   let info =
     Cmd.info "ses" ~version:"1.0.0"
@@ -744,5 +885,6 @@ let () =
             analyze_cmd;
             explain_cmd;
             trace_cmd;
+            store_cmd;
             experiments_cmd;
           ]))

@@ -157,7 +157,17 @@ let cmd_plan st name =
   Result.map
     (fun p ->
       let a = Ses_core.Automaton.of_pattern p in
-      String.trim (Ses_core.Planner.describe (Ses_core.Planner.plan a)))
+      let plan = Ses_core.Planner.plan a in
+      (* With a relation loaded the plan can also say which access path
+         the cost model would take against it. *)
+      let access =
+        Option.map
+          (fun r ->
+            Ses_core.Planner.choose_access
+              ~stats:(Ses_event.Stats.of_relation r) plan a)
+          st.relation
+      in
+      String.trim (Ses_core.Planner.describe ?access plan))
     (pattern_of st name)
 
 let cmd_run st name =

@@ -11,6 +11,7 @@ type result = {
   automaton : Automaton.t;
   filter_extras :
     (int * (Schema.Field.t * Predicate.op * Value.t) list) list;
+  domains : (int * (Schema.Field.t * Predicate.Domain.t) list) list;
   pruned_transitions : int;
   pruned_states : int;
   never_matches : bool;
@@ -217,6 +218,25 @@ let build_tables p =
     bind = build_bind p alone;
     matched = build_match p alone;
   }
+
+(* The per-variable field narrowings exported to the planner's access
+   paths. A positive variable's candidates may be pruned by anything
+   guaranteed at bind time ([bind]); a negated variable never binds, so
+   only its own constant conditions ([alone]) constrain the events that
+   can trigger it. Top entries carry no information and are skipped. *)
+let domains_of t =
+  let p = t.p in
+  List.filter_map
+    (fun v ->
+      let table = if Pattern.is_negated p v then t.alone else t.bind in
+      let fields =
+        KMap.fold
+          (fun (u, f) d acc ->
+            if u = v && not (D.is_top d) then (f, d) :: acc else acc)
+          table []
+      in
+      if fields = [] then None else Some (v, List.rev fields))
+    (all_var_ids p)
 
 (* ------------------------------------------------------------------ *)
 (* Per-variable satisfiability and lints                               *)
@@ -844,6 +864,7 @@ let analyze automaton =
     original = automaton;
     automaton = pruned;
     filter_extras;
+    domains = domains_of t;
     pruned_transitions =
       Automaton.n_transitions automaton - Automaton.n_transitions pruned;
     pruned_states = Automaton.n_states automaton - Automaton.n_states pruned;
@@ -871,6 +892,7 @@ let to_planner (r : result) =
   {
     Planner.automaton = r.automaton;
     filter_extras = r.filter_extras;
+    domains = r.domains;
     pruned_transitions = r.pruned_transitions;
     pruned_states = r.pruned_states;
     never_matches = r.never_matches;

@@ -53,6 +53,12 @@ type result = {
     (int * (Schema.Field.t * Predicate.op * Value.t) list) list;
       (** implied constant constraints per variable id, for
           {!Ses_core.Event_filter.make} *)
+  domains : (int * (Schema.Field.t * Predicate.Domain.t) list) list;
+      (** per variable id, the non-top field narrowings guaranteed of
+          every event the variable can involve: the enforced-at-bind
+          domain for positive variables, the own-constant-conditions
+          domain for negated ones — exported to
+          {!Ses_core.Planner.choose_access} *)
   pruned_transitions : int;
   pruned_states : int;
   never_matches : bool;

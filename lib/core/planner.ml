@@ -5,6 +5,11 @@ type analysis = {
   filter_extras :
     (int * (Ses_event.Schema.Field.t * Ses_event.Predicate.op * Ses_event.Value.t) list)
     list;
+  domains :
+    (int * (Ses_event.Schema.Field.t * Ses_event.Predicate.Domain.t) list) list;
+      (** Per variable id, the analyzer's narrowing of each field any
+          binding of the variable is guaranteed to satisfy. Non-top
+          entries only. *)
   pruned_transitions : int;
   pruned_states : int;
   never_matches : bool;
@@ -17,6 +22,8 @@ type analysis = {
 let analyzer : (Automaton.t -> analysis) option ref = ref None
 
 let set_analyzer f = analyzer := Some f
+
+let clear_analyzer () = analyzer := None
 
 let analyze automaton = Option.map (fun f -> f automaton) !analyzer
 
@@ -47,6 +54,191 @@ let plan automaton =
     cases = Exclusivity.classify p;
     analysis;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Access paths: full scan vs index-probe-then-union.                  *)
+(* ------------------------------------------------------------------ *)
+
+type probe = {
+  probe_var : int;
+  probe_var_name : string;
+  probe_field : int;
+  probe_attr_name : string;
+  probe_keys : Ses_event.Value.t list option;
+  probe_domain : Ses_event.Predicate.Domain.t;
+  probe_residual :
+    (Ses_event.Schema.Field.t * Ses_event.Predicate.op * Ses_event.Value.t) list;
+  probe_required : bool;
+  probe_estimate : int;
+}
+
+type access =
+  | Scan of string
+  | Index_probe of { probes : probe list; estimate : int; rows : int }
+
+type access_mode = [ `Auto | `Scan | `Index ]
+
+let access_mode_of_string s =
+  match String.lowercase_ascii s with
+  | "auto" -> Ok `Auto
+  | "scan" -> Ok `Scan
+  | "index" -> Ok `Index
+  | other ->
+      Error
+        (Printf.sprintf "unknown access mode %S (expected auto, scan or index)"
+           other)
+
+let access_mode_name = function
+  | `Auto -> "auto"
+  | `Scan -> "scan"
+  | `Index -> "index"
+
+(* The analyzer's narrowing of a variable's field, when registered. *)
+let analysis_domain plan v field =
+  match plan.analysis with
+  | None -> None
+  | Some a ->
+      Option.bind (List.assoc_opt v a.domains) (fun fields ->
+          Option.map snd
+            (List.find_opt
+               (fun (f, _) -> Ses_event.Schema.Field.equal f field)
+               fields))
+
+(* Estimated rows whose attribute falls in [dom], from the histogram:
+   exact counts for listed values, plus everything outside the histogram
+   when it is incomplete (any of those rows might fall in [dom]). *)
+let estimate_domain stats name dom =
+  let module D = Ses_event.Predicate.Domain in
+  match Ses_event.Stats.find stats name with
+  | None -> Ses_event.Stats.rows stats
+  | Some a ->
+      let in_hist =
+        List.fold_left
+          (fun acc (v, c) -> if D.mem dom v then acc + c else acc)
+          0 a.Ses_event.Stats.histogram
+      in
+      if a.Ses_event.Stats.complete then in_hist
+      else
+        in_hist
+        + (Ses_event.Stats.rows stats - a.Ses_event.Stats.histogram_rows)
+
+(* Per variable: the best single-attribute index probe covering its
+   constant clause, or the reason none exists. The full clause rides
+   along as [probe_residual] and is re-checked on every posting, so the
+   probe attribute only has to be a sound over-approximation. *)
+let probe_of_var ~stats plan schema ~required v ~var_name clause =
+  let module D = Ses_event.Predicate.Domain in
+  let module F = Ses_event.Schema.Field in
+  let attr_atoms =
+    List.filter_map
+      (fun (f, op, c) ->
+        match f with F.Attr i -> Some (i, (op, c)) | F.Timestamp -> None)
+      clause
+  in
+  if attr_atoms = [] then
+    Error
+      (Printf.sprintf "variable %d is constrained only on the timestamp" v)
+  else begin
+    let fields = List.sort_uniq Int.compare (List.map fst attr_atoms) in
+    let candidates =
+      List.map
+        (fun i ->
+          let ty = Ses_event.Schema.type_of schema i in
+          let atoms =
+            List.filter_map
+              (fun (j, a) -> if j = i then Some a else None)
+              attr_atoms
+          in
+          let dom = D.of_atoms ty atoms in
+          let dom =
+            match analysis_domain plan v (F.Attr i) with
+            | Some d -> D.inter dom d
+            | None -> dom
+          in
+          let name = Ses_event.Schema.name_of schema i in
+          let keys, estimate =
+            if D.is_empty dom then (Some [], 0)
+            else
+              match D.constant dom with
+              | Some c ->
+                  ( Some [ c ],
+                    Option.value
+                      ~default:(Ses_event.Stats.rows stats)
+                      (Ses_event.Stats.estimate_eq stats name c) )
+              | None -> (None, estimate_domain stats name dom)
+          in
+          {
+            probe_var = v;
+            probe_var_name = var_name;
+            probe_field = i;
+            probe_attr_name = name;
+            probe_keys = keys;
+            probe_domain = dom;
+            probe_residual = clause;
+            probe_required = required;
+            probe_estimate = estimate;
+          })
+        fields
+    in
+    Ok
+      (List.fold_left
+         (fun best p ->
+           if p.probe_estimate < best.probe_estimate then p else best)
+         (List.hd candidates) (List.tl candidates))
+  end
+
+let choose_access ?(mode = `Auto) ~stats plan automaton =
+  let p = Automaton.pattern automaton in
+  let schema = Pattern.schema p in
+  let extras =
+    match plan.analysis with Some a -> a.filter_extras | None -> []
+  in
+  let n_pos = Pattern.n_vars p in
+  let n_all = n_pos + List.length (Pattern.negations p) in
+  let rows = Ses_event.Stats.rows stats in
+  (* Candidate soundness needs every variable — negated ones included —
+     to carry a constant clause: the candidate union is then exactly the
+     events the Strong filter keeps (see Event_filter). *)
+  let rec collect acc v =
+    if v >= n_all then Ok (List.rev acc)
+    else
+      let clause =
+        Pattern.constant_conditions_on p v
+        @ Option.value ~default:[] (List.assoc_opt v extras)
+      in
+      if clause = [] then
+        Error
+          (Printf.sprintf "variable %s has no constant condition"
+             (Pattern.var_name p v))
+      else
+        match
+          probe_of_var ~stats plan schema ~required:(v < n_pos) v
+            ~var_name:(Pattern.var_name p v) clause
+        with
+        | Error _ as e -> e
+        | Ok probe -> collect (probe :: acc) (v + 1)
+  in
+  match mode with
+  | `Scan -> Scan "forced by caller"
+  | (`Auto | `Index) as mode -> (
+      match collect [] 0 with
+      | Error reason -> Scan reason
+      | Ok probes ->
+          let estimate =
+            List.fold_left (fun acc p -> acc + p.probe_estimate) 0 probes
+          in
+          if mode = `Index then Index_probe { probes; estimate; rows }
+          else if
+            (* Auto: probing pays off when the candidate union is clearly
+               sparser than the relation — the index path re-sorts and
+               τ-clips candidates, so demand at least a 2× margin. *)
+            rows > 0 && 2 * estimate <= rows
+          then Index_probe { probes; estimate; rows }
+          else
+            Scan
+              (Printf.sprintf
+                 "estimated %d candidate rows of %d: not selective enough"
+                 estimate rows))
 
 (* The per-variable constant clauses the plan's Strong filter tests —
    the pattern's own constant conditions conjoined with the analyzer's
@@ -129,10 +321,46 @@ let run ?options automaton events =
 let run_relation ?options automaton relation =
   run ?options automaton (Ses_event.Relation.to_seq relation)
 
-let describe plan =
+let describe_access ?actual access =
+  let buf = Buffer.create 128 in
+  (match access with
+  | Scan reason ->
+      Buffer.add_string buf (Printf.sprintf "access path: full scan (%s)\n" reason)
+  | Index_probe { probes; estimate; rows } ->
+      Buffer.add_string buf
+        (Printf.sprintf "access path: index probes (estimated %d of %d rows)\n"
+           estimate rows);
+      List.iter
+        (fun pr ->
+          let keys =
+            match pr.probe_keys with
+            | Some [ c ] -> Ses_event.Value.to_string c
+            | Some cs ->
+                Printf.sprintf "%d keys" (List.length cs)
+            | None ->
+                Format.asprintf "keys in %a" Ses_event.Predicate.Domain.pp
+                  pr.probe_domain
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %s: index(%s) = %s, estimated %d row%s%s\n"
+               pr.probe_var_name pr.probe_attr_name keys pr.probe_estimate
+               (if pr.probe_estimate = 1 then "" else "s")
+               (if pr.probe_required then "" else " (guard only)")))
+        probes);
+  (match actual with
+  | Some n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  actual candidates after residual + tau clip: %d\n" n)
+  | None -> ());
+  Buffer.contents buf
+
+let describe ?access plan =
   let buf = Buffer.create 128 in
   Buffer.add_string buf
     (Format.asprintf "event filter: %a\n" Event_filter.pp_mode plan.filter);
+  (match access with
+  | Some a -> Buffer.add_string buf (describe_access a)
+  | None -> ());
   (match plan.partition with
   | Some _ -> Buffer.add_string buf "partitioning: per key value\n"
   | None -> Buffer.add_string buf "partitioning: not applicable\n");

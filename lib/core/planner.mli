@@ -23,6 +23,12 @@ type analysis = {
     list;
       (** inferred constant constraints per variable id, fed to
           {!Event_filter.make} and {!Engine.options.filter_extras} *)
+  domains :
+    (int * (Ses_event.Schema.Field.t * Ses_event.Predicate.Domain.t) list) list;
+      (** per variable id, the analyzer's narrowing of each field that
+          every binding of the variable is guaranteed to satisfy at bind
+          time (non-top entries only) — consulted by {!choose_access} to
+          shrink index probes beyond the syntactic constant conditions *)
   pruned_transitions : int;
   pruned_states : int;
   never_matches : bool;
@@ -35,6 +41,10 @@ val set_analyzer : (Automaton.t -> analysis) -> unit
     {!Ses_baseline.Brute_force.register} registers the baseline
     executor: [Ses_analysis] depends on this library, so it injects its
     planning hook here. Subsequent {!plan} calls consult it. *)
+
+val clear_analyzer : unit -> unit
+(** Removes the registered analyzer. Primarily for differential tests
+    that compare planning with and without analysis. *)
 
 val analyze : Automaton.t -> analysis option
 (** Runs the registered analyzer, if any. *)
@@ -58,6 +68,66 @@ type t = {
 }
 
 val plan : Automaton.t -> t
+
+(** {1 Access paths}
+
+    How a stored relation's events reach the planned stream: a full
+    chronological scan, or a union of secondary-index probes — one per
+    variable — materializing only the events some variable's constant
+    clause accepts. The probe union is exactly the event set the plan's
+    [Strong] filter would keep, so feeding it (τ-clipped, see
+    {!Ses_harness.Access_exec}) to the engine preserves every match; the
+    cost model below merely decides whether that sparse set is worth
+    assembling. *)
+
+type probe = {
+  probe_var : int;  (** variable id (positive or negated) *)
+  probe_var_name : string;
+  probe_field : int;  (** attribute position probed *)
+  probe_attr_name : string;
+  probe_keys : Ses_event.Value.t list option;
+      (** [Some ks]: probe exactly these keys (equality atoms); [None]:
+          enumerate the index's keys and probe those inside
+          [probe_domain] *)
+  probe_domain : Ses_event.Predicate.Domain.t;
+      (** conjunction of the clause's atoms on the probed field,
+          intersected with the analyzer's narrowing *)
+  probe_residual :
+    (Ses_event.Schema.Field.t * Ses_event.Predicate.op * Ses_event.Value.t) list;
+      (** the variable's whole constant clause, re-checked on every
+          posting — the probe only over-approximates *)
+  probe_required : bool;
+      (** positive variable: every match binds it (min_count ≥ 1), so
+          its candidates bound the τ-clip *)
+  probe_estimate : int;  (** statistics-estimated candidate rows *)
+}
+
+type access =
+  | Scan of string  (** with the reason indexing was not chosen *)
+  | Index_probe of { probes : probe list; estimate : int; rows : int }
+
+type access_mode = [ `Auto | `Scan | `Index ]
+
+val access_mode_of_string : string -> (access_mode, string) result
+
+val access_mode_name : access_mode -> string
+
+val choose_access :
+  ?mode:access_mode -> stats:Ses_event.Stats.t -> t -> Automaton.t -> access
+(** The cost-based decision (default mode [`Auto]). Indexing requires
+    every variable — negated ones included — to carry a constant clause
+    with at least one non-timestamp atom (otherwise the candidate union
+    is unsound or unbounded, and the result is [Scan] with the reason).
+    Per variable the cheapest single-attribute probe is chosen by the
+    catalog statistics; [`Auto] then takes the index path only when the
+    summed estimate clears a 2× selectivity margin over the row count.
+    [`Index] forces the index path whenever it is sound; [`Scan] always
+    scans. *)
+
+val describe_access : ?actual:int -> access -> string
+(** Human-readable access-path lines ("access path: …"), with the
+    measured candidate count when [?actual] is given — estimated vs
+    actual is how a misleading histogram shows up. *)
 
 val routing_clauses :
   t ->
@@ -130,5 +200,6 @@ val run : ?options:Engine.options -> Automaton.t -> Ses_event.Event.t Seq.t -> E
 val run_relation :
   ?options:Engine.options -> Automaton.t -> Ses_event.Relation.t -> Engine.outcome
 
-val describe : t -> string
-(** Multi-line human-readable summary. *)
+val describe : ?access:access -> t -> string
+(** Multi-line human-readable summary; [?access] adds the chosen access
+    path (via {!describe_access}). *)

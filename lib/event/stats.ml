@@ -1,0 +1,292 @@
+type attr = {
+  ty : Value.ty;
+  cardinality : int;
+  histogram : (Value.t * int) list;
+  histogram_rows : int;
+  complete : bool;
+}
+
+type t = {
+  rows : int;
+  attrs : (string * attr) list;
+}
+
+let default_cap = 64
+
+(* --------------------------------------------------------------- *)
+(* Accumulation                                                    *)
+(* --------------------------------------------------------------- *)
+
+type builder = {
+  schema : Schema.t;
+  counts : (Value.t, int ref) Hashtbl.t array;
+  mutable n : int;
+}
+
+let builder schema =
+  {
+    schema;
+    counts = Array.init (Schema.arity schema) (fun _ -> Hashtbl.create 64);
+    n = 0;
+  }
+
+let observe b (e : Event.t) =
+  b.n <- b.n + 1;
+  Array.iteri
+    (fun i table ->
+      let v = e.Event.payload.(i) in
+      match Hashtbl.find_opt table v with
+      | Some r -> incr r
+      | None -> Hashtbl.add table v (ref 1))
+    b.counts
+
+(* Most frequent first; ties broken by value order so the listing (and
+   the serialized form) is deterministic. *)
+let order_entries entries =
+  List.sort
+    (fun (v, c) (v', c') ->
+      if c <> c' then Int.compare c' c else Value.compare v v')
+    entries
+
+let finish ?(cap = default_cap) b =
+  let attrs =
+    List.mapi
+      (fun i (name, ty) ->
+        let entries =
+          order_entries
+            (Hashtbl.fold (fun v r acc -> (v, !r) :: acc) b.counts.(i) [])
+        in
+        let cardinality = List.length entries in
+        let histogram = List.filteri (fun j _ -> j < cap) entries in
+        let histogram_rows =
+          List.fold_left (fun acc (_, c) -> acc + c) 0 histogram
+        in
+        ( name,
+          {
+            ty;
+            cardinality;
+            histogram;
+            histogram_rows;
+            complete = cardinality <= cap;
+          } ))
+      (Schema.attributes b.schema)
+  in
+  { rows = b.n; attrs }
+
+let of_relation ?cap r =
+  let b = builder (Relation.schema r) in
+  Relation.iter (fun e -> observe b e) r;
+  finish ?cap b
+
+(* --------------------------------------------------------------- *)
+(* Lookup and estimation                                           *)
+(* --------------------------------------------------------------- *)
+
+let rows t = t.rows
+
+let find t name = List.assoc_opt name t.attrs
+
+let estimate_eq t name v =
+  match find t name with
+  | None -> None
+  | Some a -> (
+      match List.find_opt (fun (k, _) -> Value.equal k v) a.histogram with
+      | Some (_, c) -> Some c
+      | None ->
+          if a.complete then Some 0
+          else
+            (* The histogram keeps the most frequent values, so any key
+               outside it carries at most the smallest kept count; the
+               uniform share of the remainder is the usual estimate. *)
+            let rest_rows = t.rows - a.histogram_rows in
+            let rest_keys = max 1 (a.cardinality - List.length a.histogram) in
+            Some (max 1 (rest_rows / rest_keys)))
+
+(* --------------------------------------------------------------- *)
+(* Serialization (line-oriented, hand-rolled like the CSV layer)    *)
+(* --------------------------------------------------------------- *)
+
+let magic = "ses-stats 1"
+
+let escape s =
+  if not (String.exists (fun c -> c = '\\' || c = '\n' || c = '\r') s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 4) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let unescape s =
+  if not (String.contains s '\\') then Ok s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let rec go i =
+      if i >= n then Ok (Buffer.contents buf)
+      else if s.[i] <> '\\' then begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+      else if i + 1 >= n then Error "stats: dangling escape"
+      else begin
+        (match s.[i + 1] with
+        | '\\' -> Buffer.add_char buf '\\'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | c -> Buffer.add_char buf c);
+        go (i + 2)
+      end
+    in
+    go 0
+  end
+
+let ty_name = function
+  | Value.Tint -> "int"
+  | Value.Tfloat -> "float"
+  | Value.Tstr -> "string"
+
+let ty_of_name = function
+  | "int" -> Ok Value.Tint
+  | "float" -> Ok Value.Tfloat
+  | "string" -> Ok Value.Tstr
+  | other -> Error (Printf.sprintf "stats: unknown type %S" other)
+
+(* Values are rendered raw (not [Value.to_string]'s quoted form) so they
+   round-trip through [Value.of_string], which parses raw text. *)
+let render_value = function
+  | Value.Int x -> string_of_int x
+  | Value.Float x -> Value.to_string (Value.Float x)
+  | Value.Str s -> s
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "rows %d\n" t.rows);
+  List.iter
+    (fun (name, a) ->
+      Buffer.add_string buf
+        (Printf.sprintf "attr %s %d %d %b %s\n" (ty_name a.ty) a.cardinality
+           a.histogram_rows a.complete (escape name));
+      List.iter
+        (fun (v, c) ->
+          Buffer.add_string buf
+            (Printf.sprintf "k %d %s\n" c (escape (render_value v))))
+        a.histogram)
+    t.attrs;
+  Buffer.contents buf
+
+let split_line line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+      (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+
+let of_string text =
+  let ( let* ) = Result.bind in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "stats: empty input"
+  | first :: rest ->
+      if String.trim first <> magic then
+        Error "stats: not a ses-stats file"
+      else
+        let* rows, rest =
+          match rest with
+          | l :: rest -> (
+              match split_line l with
+              | "rows", n -> (
+                  match int_of_string_opt (String.trim n) with
+                  | Some n when n >= 0 -> Ok (n, rest)
+                  | Some _ | None -> Error "stats: malformed row count")
+              | _ -> Error "stats: expected a rows line")
+          | [] -> Error "stats: expected a rows line"
+        in
+        (* One pass: attr lines open a new attribute, k lines append to
+           the latest one. Histograms are rebuilt in file order, which
+           [to_string] keeps deterministic. *)
+        let rec go acc current lines =
+          let close acc = function
+            | None -> Ok acc
+            | Some (name, ty, cardinality, histogram_rows, complete, keys) ->
+                Ok
+                  (( name,
+                     {
+                       ty;
+                       cardinality;
+                       histogram = List.rev keys;
+                       histogram_rows;
+                       complete;
+                     } )
+                  :: acc)
+          in
+          match lines with
+          | [] ->
+              let* acc = close acc current in
+              Ok (List.rev acc)
+          | line :: lines -> (
+              match split_line line with
+              | "attr", body -> (
+                  match String.split_on_char ' ' body with
+                  | ty :: card :: hrows :: complete :: name_parts
+                    when name_parts <> [] -> (
+                      let* ty = ty_of_name ty in
+                      let* name = unescape (String.concat " " name_parts) in
+                      match
+                        ( int_of_string_opt card,
+                          int_of_string_opt hrows,
+                          bool_of_string_opt complete )
+                      with
+                      | Some card, Some hrows, Some complete ->
+                          let* acc = close acc current in
+                          go acc (Some (name, ty, card, hrows, complete, [])) lines
+                      | _ -> Error "stats: malformed attr line")
+                  | _ -> Error "stats: malformed attr line")
+              | "k", body -> (
+                  match current with
+                  | None -> Error "stats: k line outside an attr block"
+                  | Some (name, ty, card, hrows, complete, keys) -> (
+                      let count, raw = split_line body in
+                      match int_of_string_opt count with
+                      | None -> Error "stats: malformed key count"
+                      | Some c ->
+                          let* raw = unescape raw in
+                          let* v =
+                            Result.map_error
+                              (fun e -> "stats: " ^ e)
+                              (Value.of_string ty raw)
+                          in
+                          go acc
+                            (Some (name, ty, card, hrows, complete, (v, c) :: keys))
+                            lines))
+              | other, _ ->
+                  Error (Printf.sprintf "stats: unknown line kind %S" other))
+        in
+        let* attrs = go [] None rest in
+        Ok { rows; attrs }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>rows: %d" t.rows;
+  List.iter
+    (fun (name, a) ->
+      Format.fprintf ppf "@,@[<hov 2>%s (%a): %d distinct value%s%s" name
+        Value.pp_ty a.ty a.cardinality
+        (if a.cardinality = 1 then "" else "s")
+        (if a.complete then ""
+         else Printf.sprintf ", top %d shown" (List.length a.histogram));
+      List.iter
+        (fun (v, c) -> Format.fprintf ppf "@ %a: %d" Value.pp v c)
+        a.histogram;
+      Format.fprintf ppf "@]")
+    t.attrs;
+  Format.fprintf ppf "@]"

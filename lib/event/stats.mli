@@ -1,0 +1,66 @@
+(** Per-relation catalog statistics.
+
+    The access-path planner needs to know, before touching a relation,
+    roughly how many events an index probe would return. These statistics
+    — row count, per-attribute distinct counts and a most-frequent-values
+    histogram — are computed in one pass over a relation (or streamed from
+    a CSV by {!Ses_store.Csv_stream.stats}), persisted by the catalog as a
+    sidecar file, and consulted by the planner's cost model. They are plain
+    data with no store or engine dependencies so both layers can share the
+    type. *)
+
+type attr = {
+  ty : Value.ty;
+  cardinality : int;  (** Exact distinct-value count. *)
+  histogram : (Value.t * int) list;
+      (** Most frequent values first (ties by {!Value.compare}), capped at
+          the builder's [cap]; counts are exact. *)
+  histogram_rows : int;  (** Rows covered by the histogram entries. *)
+  complete : bool;
+      (** The histogram lists every distinct value: any key absent from it
+          has frequency zero. *)
+}
+
+type t = {
+  rows : int;
+  attrs : (string * attr) list;  (** In schema order. *)
+}
+
+val default_cap : int
+(** Histogram size bound used when [?cap] is omitted (64). *)
+
+val of_relation : ?cap:int -> Relation.t -> t
+
+(** {2 Streaming accumulation} — one event at a time, for sources that
+    never materialize a relation. Distinct counts are exact (the builder
+    keeps full per-attribute count tables; the [cap] only bounds the
+    persisted histogram). *)
+
+type builder
+
+val builder : Schema.t -> builder
+
+val observe : builder -> Event.t -> unit
+
+val finish : ?cap:int -> builder -> t
+
+(** {2 Lookup and estimation} *)
+
+val rows : t -> int
+
+val find : t -> string -> attr option
+
+val estimate_eq : t -> string -> Value.t -> int option
+(** Estimated number of rows whose attribute equals the value: exact when
+    the value is in the histogram, [0] when absent from a complete one,
+    otherwise the uniform share of the rows outside the histogram
+    (at least 1). [None] when the attribute is unknown. *)
+
+(** {2 Persistence} — a line-oriented text format ([ses-stats 1]) written
+    next to the relation's CSV by the catalog. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,226 @@
+open Ses_event
+open Ses_pattern
+open Ses_core
+
+type prepared = {
+  relation : Relation.t;
+  stats : Stats.t;
+  indexes : (int, Ses_store.Index.t) Hashtbl.t;
+}
+
+let prepare ?stats relation =
+  let stats =
+    match stats with Some s -> s | None -> Stats.of_relation relation
+  in
+  { relation; stats; indexes = Hashtbl.create 4 }
+
+let relation p = p.relation
+
+let stats p = p.stats
+
+let index_on p attr =
+  match Hashtbl.find_opt p.indexes attr with
+  | Some idx -> idx
+  | None ->
+      let idx = Ses_store.Index.build p.relation attr in
+      Hashtbl.add p.indexes attr idx;
+      idx
+
+type sparse = {
+  candidates : Event.t array;
+  postings_scanned : int;
+  key_probes : int;
+  clipped : int;
+}
+
+(* First index with [a.(i) >= x] in a sorted int array. *)
+let lower_bound a x =
+  let l = ref 0 and r = ref (Array.length a) in
+  while !l < !r do
+    let mid = (!l + !r) / 2 in
+    if a.(mid) < x then l := mid + 1 else r := mid
+  done;
+  !l
+
+(* Some timestamp of [a] lies in [[lo, hi]]. *)
+let any_within a ~lo ~hi =
+  let i = lower_bound a lo in
+  i < Array.length a && a.(i) <= hi
+
+let materialize ?telemetry prepared probes ~tau =
+  let module D = Predicate.Domain in
+  let c_probe, c_postings, c_candidates =
+    match telemetry with
+    | None -> (None, None, None)
+    | Some tl ->
+        ( Some (Telemetry.counter tl "index.probe"),
+          Some (Telemetry.counter tl "index.postings_scanned"),
+          Some (Telemetry.counter tl "index.candidates") )
+  in
+  let postings_scanned = ref 0 in
+  let key_probes = ref 0 in
+  (* The union of per-variable candidate sets, deduplicated by sequence
+     number: one event can satisfy several variables' clauses but must
+     enter the engine once. *)
+  let union : (int, Event.t) Hashtbl.t = Hashtbl.create 1024 in
+  let probe_arrays =
+    List.map
+      (fun (pr : Planner.probe) ->
+        let idx = index_on prepared pr.Planner.probe_field in
+        let keys =
+          match pr.Planner.probe_keys with
+          | Some ks -> ks
+          | None ->
+              List.filter
+                (fun k -> D.mem pr.Planner.probe_domain k)
+                (Ses_store.Index.keys idx)
+        in
+        let accepted = ref [] in
+        let n_accepted = ref 0 in
+        List.iter
+          (fun k ->
+            incr key_probes;
+            let es = Ses_store.Index.postings idx k in
+            postings_scanned := !postings_scanned + Array.length es;
+            Array.iter
+              (fun e ->
+                if
+                  List.for_all
+                    (fun atom -> Event_filter.satisfies_atom e atom)
+                    pr.Planner.probe_residual
+                then begin
+                  accepted := e :: !accepted;
+                  incr n_accepted
+                end)
+              es)
+          keys;
+        (pr, List.rev !accepted, !n_accepted))
+      probes
+  in
+  (* Per required (positive) variable, the sorted timestamps of its
+     accepted candidates — these bound the τ-clip below. *)
+  let required =
+    List.filter_map
+      (fun ((pr : Planner.probe), accepted, n) ->
+        if pr.Planner.probe_required then begin
+          let ts = Array.make n 0 in
+          List.iteri (fun i e -> ts.(i) <- Event.ts e) accepted;
+          Array.sort Int.compare ts;
+          Some ts
+        end
+        else None)
+      probe_arrays
+  in
+  List.iter
+    (fun (_, accepted, _) ->
+      List.iter
+        (fun e ->
+          if not (Hashtbl.mem union (Event.seq e)) then
+            Hashtbl.add union (Event.seq e) e)
+        accepted)
+    probe_arrays;
+  (* τ-clip: a candidate farther than the window from {e every} candidate
+     of some required variable can appear in no match (each match binds
+     at least one event of each positive variable, and all events of a
+     match — negation killers included — lie within τ of each other), so
+     it is dropped before the engine allocates anything for it. *)
+  let kept = ref [] in
+  let n_kept = ref 0 in
+  let clipped = ref 0 in
+  Hashtbl.iter
+    (fun _ e ->
+      let t = Event.ts e in
+      if
+        List.for_all
+          (fun ts_arr -> any_within ts_arr ~lo:(t - tau) ~hi:(t + tau))
+          required
+      then begin
+        kept := e :: !kept;
+        incr n_kept
+      end
+      else incr clipped)
+    union;
+  let candidates =
+    match !kept with
+    | [] -> [||]
+    | hd :: _ ->
+        let arr = Array.make !n_kept hd in
+        List.iteri (fun i e -> arr.(i) <- e) !kept;
+        arr
+  in
+  Array.sort Event.compare_chrono candidates;
+  Option.iter (fun c -> Telemetry.Counter.add c !key_probes) c_probe;
+  Option.iter
+    (fun c -> Telemetry.Counter.add c !postings_scanned)
+    c_postings;
+  Option.iter
+    (fun c -> Telemetry.Counter.add c (Array.length candidates))
+    c_candidates;
+  {
+    candidates;
+    postings_scanned = !postings_scanned;
+    key_probes = !key_probes;
+    clipped = !clipped;
+  }
+
+type outcome = {
+  matches : Substitution.t list;
+  raw : Substitution.t list;
+  metrics : Metrics.snapshot;
+  executor : string;
+  access : Planner.access;
+  candidates : int;
+  postings_scanned : int;
+  clipped : int;
+}
+
+let run ?(options = Engine.default_options) ?(strategy = `Auto)
+    ?(mode = `Auto) prepared automaton =
+  let plan = Planner.plan automaton in
+  let access = Planner.choose_access ~mode ~stats:prepared.stats plan automaton in
+  match access with
+  | Planner.Scan _ ->
+      let o = Executor.run_relation ~options strategy automaton prepared.relation in
+      {
+        matches = o.Engine.matches;
+        raw = o.Engine.raw;
+        metrics = o.Engine.metrics;
+        executor = Executor.strategy_name strategy;
+        access;
+        candidates = Relation.cardinality prepared.relation;
+        postings_scanned = 0;
+        clipped = 0;
+      }
+  | Planner.Index_probe { probes; _ } ->
+      let tau = Pattern.tau (Automaton.pattern automaton) in
+      let sparse =
+        materialize ?telemetry:options.Engine.telemetry prepared probes ~tau
+      in
+      let o =
+        Executor.run ~options strategy automaton
+          (Array.to_seq sparse.candidates)
+      in
+      (* Fold the rows the access path never delivered into the snapshot
+         the way the stream runner folds store-side drops: every stored
+         row counts as seen, the skipped ones as filtered, so the input
+         side of the metrics reads the same across access paths. *)
+      let rows = Relation.cardinality prepared.relation in
+      let dropped = rows - Array.length sparse.candidates in
+      let m = o.Engine.metrics in
+      let metrics =
+        {
+          m with
+          Metrics.events_seen = m.Metrics.events_seen + dropped;
+          events_filtered = m.Metrics.events_filtered + dropped;
+        }
+      in
+      {
+        matches = o.Engine.matches;
+        raw = o.Engine.raw;
+        metrics;
+        executor = Executor.strategy_name strategy;
+        access;
+        candidates = Array.length sparse.candidates;
+        postings_scanned = sparse.postings_scanned;
+        clipped = sparse.clipped;
+      }

@@ -1,0 +1,82 @@
+(** Index-accelerated execution over a stored relation.
+
+    The physical side of {!Ses_core.Planner.choose_access}: when the
+    planner picks an index path, this module probes the relation's
+    secondary indexes (built lazily, one per probed attribute, and cached
+    on the {!prepared} handle), residual-filters the postings against
+    each variable's whole constant clause, unions the per-variable
+    candidate sets, τ-clips the union, and feeds the surviving events —
+    a sparse but still chronological stream — through the ordinary
+    batched executor.
+
+    {b Why the result is preserved.} The candidate union contains every
+    event satisfying some variable's constant clause — exactly the events
+    the plan's [Strong] filter keeps, which is every event any sound run
+    can bind (negation triggers included). The τ-clip then drops a
+    candidate only when some positive variable has {e no} candidate
+    within τ of it: every match binds at least one event of each positive
+    variable, and all events participating in a match — including the
+    events that would kill it via a negation guard, which occur between
+    the match's bound events — lie within τ of each other, so a clipped
+    event can appear in no emitted match and kill no surviving one. *)
+
+open Ses_event
+open Ses_core
+
+type prepared
+
+val prepare : ?stats:Stats.t -> Relation.t -> prepared
+(** Wraps a relation for repeated index-path runs. Statistics are
+    computed on the spot when not supplied (catalog callers pass the
+    persisted sidecar); indexes are built on first use per attribute and
+    cached. *)
+
+val relation : prepared -> Relation.t
+
+val stats : prepared -> Stats.t
+
+type sparse = {
+  candidates : Event.t array;
+      (** the τ-clipped candidate union, chronological *)
+  postings_scanned : int;  (** events fetched from index postings *)
+  key_probes : int;  (** individual key lookups issued *)
+  clipped : int;  (** candidates dropped by the τ-clip *)
+}
+
+val materialize :
+  ?telemetry:Telemetry.t ->
+  prepared ->
+  Planner.probe list ->
+  tau:Time.duration ->
+  sparse
+(** Executes the probes. With [?telemetry], bumps the [index.probe],
+    [index.postings_scanned] and [index.candidates] counters. *)
+
+type outcome = {
+  matches : Substitution.t list;
+  raw : Substitution.t list;
+  metrics : Metrics.snapshot;
+      (** input-compensated: rows the access path never delivered are
+          folded into [events_seen]/[events_filtered], mirroring
+          {!Stream_runner}'s treatment of store-side drops, so the input
+          side reads the same across access paths. The work-side
+          counters legitimately differ — doing less work is the point *)
+  executor : string;
+  access : Planner.access;  (** the decision actually taken *)
+  candidates : int;  (** events the engine consumed *)
+  postings_scanned : int;
+  clipped : int;
+}
+
+val run :
+  ?options:Engine.options ->
+  ?strategy:Executor.strategy ->
+  ?mode:Planner.access_mode ->
+  prepared ->
+  Automaton.t ->
+  outcome
+(** Plans, chooses the access path under [?mode] (default [`Auto]) and
+    runs it: [Scan] delegates to {!Ses_core.Executor.run_relation},
+    [Index_probe] feeds the materialized candidates through
+    {!Ses_core.Executor.run}. Matches and raw emissions are equal either
+    way. *)

@@ -21,6 +21,8 @@ let path t = t.dir
 
 let file t name = Filename.concat t.dir (name ^ ".csv")
 
+let stats_file t name = Filename.concat t.dir (name ^ ".stats")
+
 let list t =
   Sys.readdir t.dir |> Array.to_list
   |> List.filter_map (fun f -> Filename.chop_suffix_opt ~suffix:".csv" f)
@@ -28,10 +30,23 @@ let list t =
 
 let exists t name = valid_name name && Sys.file_exists (file t name)
 
+let write_stats_file path stats =
+  try
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Ses_event.Stats.to_string stats));
+    Ok ()
+  with Sys_error msg -> Error msg
+
 let save t name r =
   if not (valid_name name) then
     Error (Printf.sprintf "catalog: invalid relation name %S" name)
-  else Csv.save (file t name) r
+  else
+    Result.bind (Csv.save (file t name) r) (fun () ->
+        (* Refresh the sidecar from the in-memory relation — no second
+           file pass. A failure to write statistics does not fail the
+           save: the planner recomputes stale or missing sidecars. *)
+        ignore (write_stats_file (stats_file t name) (Ses_event.Stats.of_relation r));
+        Ok ())
 
 let load t name =
   if not (valid_name name) then
@@ -40,11 +55,46 @@ let load t name =
     Error (Printf.sprintf "catalog: no relation named %S" name)
   else Csv.load (file t name)
 
+let refresh_stats ?cap t name =
+  if not (valid_name name) then
+    Error (Printf.sprintf "catalog: invalid relation name %S" name)
+  else if not (Sys.file_exists (file t name)) then
+    Error (Printf.sprintf "catalog: no relation named %S" name)
+  else
+    Result.bind (Csv_stream.stats ?cap (file t name)) (fun (_, stats) ->
+        Result.map (fun () -> stats) (write_stats_file (stats_file t name) stats))
+
+let mtime path = try Some (Unix.stat path).Unix.st_mtime with _ -> None
+
+let stats t name =
+  if not (valid_name name) then
+    Error (Printf.sprintf "catalog: invalid relation name %S" name)
+  else if not (Sys.file_exists (file t name)) then
+    Error (Printf.sprintf "catalog: no relation named %S" name)
+  else
+    let csv = file t name and sidecar = stats_file t name in
+    let fresh =
+      match (mtime csv, mtime sidecar) with
+      | Some c, Some s -> s >= c
+      | _ -> false
+    in
+    let cached =
+      if not fresh then None
+      else
+        match In_channel.with_open_text sidecar In_channel.input_all with
+        | exception Sys_error _ -> None
+        | text -> Result.to_option (Ses_event.Stats.of_string text)
+    in
+    match cached with
+    | Some stats -> Ok stats
+    | None -> refresh_stats t name
+
 let remove t name =
   if not (exists t name) then
     Error (Printf.sprintf "catalog: no relation named %S" name)
   else
     try
       Sys.remove (file t name);
+      (try Sys.remove (stats_file t name) with Sys_error _ -> ());
       Ok ()
     with Sys_error msg -> Error msg

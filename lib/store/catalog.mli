@@ -18,7 +18,20 @@ val list : t -> string list
 val exists : t -> string -> bool
 
 val save : t -> string -> Relation.t -> (unit, string) result
+(** Writes [<name>.csv] and refreshes the [<name>.stats] sidecar from the
+    in-memory relation. A sidecar write failure is ignored — {!stats}
+    recomputes missing or stale sidecars on demand. *)
 
 val load : t -> string -> (Relation.t, string) result
 
+val stats : t -> string -> (Stats.t, string) result
+(** Statistics for a stored relation: the persisted sidecar when it is at
+    least as new as the CSV and parses, otherwise recomputed by one
+    streaming pass (and re-persisted). *)
+
+val refresh_stats : ?cap:int -> t -> string -> (Stats.t, string) result
+(** Forces a streaming recompute of the sidecar, e.g. after the CSV was
+    edited in place. [?cap] bounds the histograms. *)
+
 val remove : t -> string -> (unit, string) result
+(** Removes the CSV and its stats sidecar, if any. *)

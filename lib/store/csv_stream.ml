@@ -155,3 +155,10 @@ let iter path ~f =
 
 let count path =
   Result.map snd (fold path ~init:0 ~f:(fun acc _ -> acc + 1))
+
+let stats ?cap path =
+  with_source path (fun src ->
+      let b = Stats.builder src.schema in
+      Result.map
+        (fun () -> (src.schema, Stats.finish ?cap b))
+        (fold_source src ~init:() ~f:(fun () e -> Stats.observe b e)))

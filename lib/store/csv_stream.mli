@@ -79,3 +79,9 @@ val iter : string -> f:(Event.t -> unit) -> (Schema.t, string) result
 
 val count : string -> (int, string) result
 (** Number of events, without materializing them. *)
+
+val stats : ?cap:int -> string -> (Schema.t * Stats.t, string) result
+(** One streaming pass accumulating {!Ses_event.Stats} — row count,
+    per-attribute cardinality and value histograms — without
+    materializing the relation. [?cap] bounds the persisted histogram
+    (default {!Ses_event.Stats.default_cap}). *)

@@ -1,24 +1,87 @@
 open Ses_event
 
+type posting = {
+  events : Event.t array;  (** chronological *)
+  ts : int array;  (** zone map: [ts.(i) = Event.ts events.(i)] *)
+}
+
 type t = {
   attribute : int;
-  table : (Value.t, Event.t list) Hashtbl.t;  (** values kept newest-first *)
+  table : (Value.t, posting) Hashtbl.t;
 }
 
 let build r attr =
-  let table = Hashtbl.create 64 in
+  (* Accumulate newest-first lists, then freeze each into a chronological
+     array once: relations iterate in chronological order, so a single
+     [rev] per key suffices and no sort is needed. *)
+  let acc : (Value.t, Event.t list * int) Hashtbl.t = Hashtbl.create 64 in
   Relation.iter
     (fun e ->
       let key = Event.attr e attr in
-      let existing = Option.value ~default:[] (Hashtbl.find_opt table key) in
-      Hashtbl.replace table key (e :: existing))
+      match Hashtbl.find_opt acc key with
+      | Some (es, n) -> Hashtbl.replace acc key (e :: es, n + 1)
+      | None -> Hashtbl.add acc key ([ e ], 1))
     r;
+  let table = Hashtbl.create (Hashtbl.length acc) in
+  Hashtbl.iter
+    (fun key (es, n) ->
+      match es with
+      | [] -> ()
+      | last :: _ ->
+          let events = Array.make n last in
+          List.iteri (fun i e -> events.(n - 1 - i) <- e) es;
+          let ts = Array.map Event.ts events in
+          Hashtbl.add table key { events; ts })
+    acc;
   { attribute = attr; table }
 
 let attribute t = t.attribute
 
-let lookup t key =
-  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.table key))
+let empty_posting = [||]
+
+let postings t key =
+  match Hashtbl.find_opt t.table key with
+  | Some p -> p.events
+  | None -> empty_posting
+
+let count t key =
+  match Hashtbl.find_opt t.table key with
+  | Some p -> Array.length p.events
+  | None -> 0
+
+(* First index with [ts.(i) >= lo] — the lower bound in a sorted array. *)
+let lower_bound ts lo =
+  let n = Array.length ts in
+  let l = ref 0 and r = ref n in
+  while !l < !r do
+    let mid = (!l + !r) / 2 in
+    if ts.(mid) < lo then l := mid + 1 else r := mid
+  done;
+  !l
+
+(* First index with [ts.(i) > hi]. *)
+let upper_bound ts hi =
+  let n = Array.length ts in
+  let l = ref 0 and r = ref n in
+  while !l < !r do
+    let mid = (!l + !r) / 2 in
+    if ts.(mid) <= hi then l := mid + 1 else r := mid
+  done;
+  !l
+
+let postings_between t key ~lo ~hi =
+  match Hashtbl.find_opt t.table key with
+  | None -> empty_posting
+  | Some p ->
+      if hi < lo then empty_posting
+      else
+        let i = lower_bound p.ts lo in
+        let j = upper_bound p.ts hi in
+        if i = 0 && j = Array.length p.events then p.events
+        else if j <= i then empty_posting
+        else Array.sub p.events i (j - i)
+
+let lookup t key = Array.to_list (postings t key)
 
 let keys t =
   List.sort Value.compare

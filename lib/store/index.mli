@@ -1,8 +1,12 @@
 (** Secondary hash index on one attribute of a relation.
 
-    Maps each distinct attribute value to the events carrying it, in
-    chronological order. Used by {!Partition} and by callers that look up
-    events by entity id (e.g. all events of one patient). *)
+    Maps each distinct attribute value to the events carrying it, stored
+    once at {!build} as a chronological [Event.t array] with a parallel
+    timestamp zone map, so lookups share a prebuilt array instead of
+    re-reversing a list per call and τ-windows slice postings by binary
+    search. Used by {!Partition}, by the access-path executor, and by
+    callers that look up events by entity id (e.g. all events of one
+    patient). *)
 
 open Ses_event
 
@@ -13,8 +17,21 @@ val build : Relation.t -> int -> t
 
 val attribute : t -> int
 
+val postings : t -> Value.t -> Event.t array
+(** Chronological events carrying the key; empty for absent keys. The
+    array is the index's own storage, shared across calls — callers must
+    not mutate it. *)
+
+val postings_between : t -> Value.t -> lo:Time.t -> hi:Time.t -> Event.t array
+(** The slice of [postings] with timestamps in [[lo, hi]] (inclusive),
+    located by binary search on the zone map. Returns the shared full
+    array when the range covers it, a fresh sub-array otherwise. *)
+
+val count : t -> Value.t -> int
+(** Number of events carrying the key, without touching the postings. *)
+
 val lookup : t -> Value.t -> Event.t list
-(** Chronological; empty for absent keys. *)
+(** List view of {!postings} (fresh, chronological). *)
 
 val keys : t -> Value.t list
 (** Distinct values, sorted by {!Ses_event.Value.compare}. *)

@@ -2,9 +2,20 @@ open Ses_event
 
 let by_attribute r attr =
   let index = Index.build r attr in
+  let schema = Relation.schema r in
+  (* Build each sub-relation straight from the index's chronological
+     postings: O(n) total instead of one O(n) [Relation.filter] pass per
+     key. [of_rows_exn]'s stable sort sees already-sorted rows and only
+     reassigns dense sequence numbers, as [filter] did. *)
   List.map
     (fun key ->
-      (key, Relation.filter (fun e -> Value.equal (Event.attr e attr) key) r))
+      let rows =
+        Array.to_list
+          (Array.map
+             (fun e -> (Array.copy e.Event.payload, Event.ts e))
+             (Index.postings index key))
+      in
+      (key, Relation.of_rows_exn schema rows))
     (Index.keys index)
 
 let by_name r name =

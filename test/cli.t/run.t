@@ -55,6 +55,11 @@ Mixing several -q with --query-file or --stream is rejected:
   overall: 48
   execution plan:
   event filter: strong filter
+  access path: index probes (estimated 72 of 264 rows)
+    c: index(L) = 'C', estimated 8 rows
+    p+: index(L) = 'P', estimated 40 rows
+    d: index(L) = 'D', estimated 8 rows
+    b: index(L) = 'B', estimated 16 rows
   partitioning: not applicable
   constant pre-check: true
   V1: case 1 (pairwise mutually exclusive)
@@ -154,10 +159,12 @@ fields are checked. Probes record per batch: the 264-event relation
 spans five default-size (64-event) chunks, so the filter pass and the
 ingest/event_ns pair record once per chunk, while the expiry sweep,
 the transition loop and the population sample record only for the four
-chunks where the strong filter keeps any of its 72 events:
+chunks where the strong filter keeps any of its 72 events (--access
+scan pins the full-scan path this narrative describes; the cost-based
+default would probe the indexes here):
 
   $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1.ses \
-  >   --telemetry=prof.json > /dev/null
+  >   --access scan --telemetry=prof.json > /dev/null
   $ sed -n 's/^    "\([^"]*\)": {"count":\([0-9]*\),.*/\1 \2/p' prof.json
   expiry 4
   filter 5
@@ -177,7 +184,7 @@ span exists but never fires: the batched path skips it entirely under
 no-filter):
 
   $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1.ses \
-  >   --strategy brute-force --domains 4 --telemetry=bf.json > bf.out
+  >   --access scan --strategy brute-force --domains 4 --telemetry=bf.json > bf.out
   $ grep '^matches:' bf.out
   matches: 8
   $ sed -n 's/^    "\([^"]*\)": {"count":\([0-9]*\),.*/\1 \2/p' bf.json
@@ -194,7 +201,7 @@ histogram stays empty) and fuses expiry into the per-instance sweep,
 which the transition span covers whole:
 
   $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1.ses \
-  >   --store flat --telemetry=flat.json > flat.out
+  >   --access scan --store flat --telemetry=flat.json > flat.out
   $ grep '^matches:' flat.out
   matches: 8
   $ sed -n 's/^    "\([^"]*\)": {"count":\([0-9]*\),.*/\1 \2/p' flat.json
@@ -205,6 +212,64 @@ which the transition span covers whole:
   transition 72
   event_ns 5
   store.bucket_scan 0
+
+The cost-based access path: per-attribute secondary indexes replace
+the full scan when the catalog statistics estimate the candidate union
+below half the relation (q1's constant conditions keep 72 of 264
+rows, so the auto mode would pick it here too). --explain prints the
+plan with the decision before the results; with --metrics the measured
+candidate count joins the estimate. Matches are identical to the
+scan's:
+
+  $ ../../bin/ses_cli.exe match -d chemo.csv --query-file q1.ses \
+  >   --access index --explain --telemetry=idx.json > idx.out
+  $ head -7 idx.out
+  event filter: strong filter
+  access path: index probes (estimated 72 of 264 rows)
+    c: index(L) = 'C', estimated 8 rows
+    p+: index(L) = 'P', estimated 40 rows
+    d: index(L) = 'D', estimated 8 rows
+    b: index(L) = 'B', estimated 16 rows
+  partitioning: not applicable
+  $ grep '^matches:' idx.out
+  matches: 8
+
+The probe counters surface in telemetry: 4 key probes fetched 72
+postings, and all 72 survived the residual filter and the window clip
+to reach the engine:
+
+  $ sed -n 's/^    "\(index[^"]*\)": \([0-9]*\),*$/\1 \2/p' idx.json
+  index.candidates 72
+  index.postings_scanned 72
+  index.probe 4
+
+A variable without any constant condition makes the candidate union
+unsound, so even the forced index mode refuses and explains itself:
+
+  $ ../../bin/ses_cli.exe match -d chemo.csv \
+  >   -q "PATTERN (c) -> (b) WHERE c.L = 'C' WITHIN 11 DAYS" \
+  >   --access index --metrics | grep '^access path'
+  access path: full scan (variable b has no constant condition)
+
+Catalog statistics: `ses store stats` prints the row count,
+per-attribute cardinalities and histograms the planner costs probes
+with — from a CSV directly, or from a catalog directory where the
+.stats sidecar is persisted next to the CSV and reused while fresh:
+
+  $ ../../bin/ses_cli.exe store stats -d chemo.csv | head -4
+  rows: 264
+  ID (int): 2 distinct values 1: 132 2: 132
+  L (string): 12 distinct values 'P': 40 'N5': 39 'N2': 36 'N1': 32 'N3': 31
+    'N4': 30 'B': 16 'C': 8 'D': 8 'L': 8 'R': 8 'V': 8
+  $ mkdir catalog && cp chemo.csv catalog/chemo.csv
+  $ ../../bin/ses_cli.exe store stats --catalog catalog chemo | head -2
+  rows: 264
+  ID (int): 2 distinct values 1: 132 2: 132
+  $ ls catalog
+  chemo.csv
+  chemo.stats
+  $ ../../bin/ses_cli.exe store stats --catalog catalog
+  chemo
 
 Static analysis: contradictory constants are errors, the dead parts of
 the automaton are pruned from the plan, and the exit code reflects the

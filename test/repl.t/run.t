@@ -47,6 +47,11 @@ The REPL drives the whole pipeline from a piped script.
   automaton: 9 states, 17 transitions, 6 orderings
   V1 case 1 (pairwise mutually exclusive); V2 case 1 (pairwise mutually exclusive)
   event filter: strong filter
+  access path: index probes (estimated 72 of 264 rows)
+    c: index(L) = 'C', estimated 8 rows
+    p+: index(L) = 'P', estimated 40 rows
+    d: index(L) = 'D', estimated 8 rows
+    b: index(L) = 'B', estimated 16 rows
   partitioning: not applicable
   constant pre-check: true
   V1: case 1 (pairwise mutually exclusive)

@@ -1,0 +1,296 @@
+(* Access-path planning and index-path execution.
+
+   The τ-boundary fixtures pin the delicate edge of the candidate clip:
+   a match whose events straddle exactly the window must survive (the
+   clip's window test is inclusive), one event past the window must not
+   reappear, and negation killers — events that bind nothing but kill
+   instances — must stay in the candidate stream. The planning tests pin
+   the cost model's decisions and the statistics estimates they rest
+   on. *)
+
+open Ses_event
+open Ses_pattern
+open Ses_core
+open Ses_harness
+open Helpers
+
+let () = Ses_baseline.Brute_force.register ()
+
+let two_set ~within where =
+  Pattern.make_exn ~schema ~sets:[ [ v "a" ]; [ v "b" ] ] ~where ~within
+
+let ab_pattern ~within =
+  two_set ~within
+    ([ label "a" "a"; label "b" "b" ]
+    @ [ Pattern.Spec.fields "a" "ID" Predicate.Eq "b" "ID" ])
+
+let run_both ?options pat r =
+  let prepared = Access_exec.prepare r in
+  let automaton = Automaton.of_pattern pat in
+  let scan = Access_exec.run ?options ~mode:`Scan prepared automaton in
+  let index = Access_exec.run ?options ~mode:`Index prepared automaton in
+  (scan, index)
+
+let check_equal_outcomes pat name (scan : Access_exec.outcome)
+    (index : Access_exec.outcome) =
+  Alcotest.(check (list (list (pair string int))))
+    (name ^ ": matches equal")
+    (substs_repr pat scan.Access_exec.matches)
+    (substs_repr pat index.Access_exec.matches);
+  Alcotest.(check (list (list (pair string int))))
+    (name ^ ": raw equal")
+    (substs_repr pat scan.Access_exec.raw)
+    (substs_repr pat index.Access_exec.raw)
+
+(* An a–b pair exactly τ apart must match, and the index path must keep
+   both events: the clip window is inclusive on both sides. *)
+let test_tau_straddling_match () =
+  let pat = ab_pattern ~within:10 in
+  let r =
+    rel [ (1, "a", 0, 0); (1, "b", 0, 10) (* |10 - 0| = τ exactly *) ]
+  in
+  let scan, index = run_both pat r in
+  check_equal_outcomes pat "straddling" scan index;
+  check_substs pat [ [ ("a", 1); ("b", 2) ] ] index.Access_exec.matches;
+  Alcotest.(check bool)
+    "index path taken" true
+    (match index.Access_exec.access with
+    | Planner.Index_probe _ -> true
+    | Planner.Scan _ -> false);
+  Alcotest.(check int) "nothing clipped" 0 index.Access_exec.clipped
+
+(* One past the window: no match either way, and the clip removes both
+   candidates (each variable's only candidate has no counterpart of the
+   other required variable within τ). *)
+let test_tau_plus_one_clipped () =
+  let pat = ab_pattern ~within:10 in
+  let r = rel [ (1, "a", 0, 0); (1, "b", 0, 11) ] in
+  let scan, index = run_both pat r in
+  check_equal_outcomes pat "past window" scan index;
+  Alcotest.(check int) "no matches" 0 (List.length index.Access_exec.matches);
+  Alcotest.(check int) "both clipped" 2 index.Access_exec.clipped;
+  Alcotest.(check int) "engine saw nothing" 0 index.Access_exec.candidates
+
+(* A mixed relation: matches at the window boundary survive, candidates
+   isolated beyond the window are clipped without affecting them. *)
+let test_clip_keeps_boundary_matches () =
+  let pat = ab_pattern ~within:10 in
+  let r =
+    rel
+      [
+        (1, "a", 0, 0);
+        (2, "a", 0, 3);
+        (1, "b", 0, 10);
+        (* isolated candidates, > τ from every counterpart *)
+        (3, "a", 0, 50);
+        (4, "b", 0, 80);
+      ]
+  in
+  let scan, index = run_both pat r in
+  check_equal_outcomes pat "mixed" scan index;
+  check_substs pat [ [ ("a", 1); ("b", 3) ] ] index.Access_exec.matches;
+  Alcotest.(check int) "isolated candidates clipped" 2
+    index.Access_exec.clipped
+
+(* Negation: the killer event binds nothing but must reach the engine
+   through the index path, both when it kills (id 2) and when the match
+   completes before it arrives (id 1). The fixture is the batch-equiv
+   suite's, judged here across access paths. *)
+let neg_pattern =
+  Pattern.make_full_exn ~schema
+    ~sets:[ [ v "a" ]; [ v "b" ] ]
+    ~negations:[ (0, v "x") ]
+    ~where:
+      ([ label "a" "a"; label "b" "b"; label "x" "x" ]
+      @ Pattern.Spec.
+          [
+            fields "a" "ID" Predicate.Eq "b" "ID";
+            fields "x" "ID" Predicate.Eq "a" "ID";
+          ])
+    ~within:20
+
+let test_negation_killer_retained () =
+  let r =
+    rel
+      [
+        (1, "a", 0, 0);
+        (2, "a", 0, 1);
+        (2, "x", 0, 5);
+        (1, "b", 0, 8);
+        (2, "b", 0, 9);
+        (1, "x", 0, 15);
+      ]
+  in
+  let scan, index = run_both neg_pattern r in
+  check_equal_outcomes neg_pattern "negation" scan index;
+  (* id 2's match is killed by its x at ts 5; id 1 completes at ts 8
+     before its x arrives. *)
+  check_substs neg_pattern
+    [ [ ("a", 1); ("b", 4) ] ]
+    index.Access_exec.matches
+
+(* A killer sitting exactly at the τ edge of the match it kills: the
+   clip must not drop it. a(ts 0), b(ts 1), x(ts 20) with a trailing
+   negation guard and τ = 20: the emission at ts 1 is killed only if x
+   survives materialization. *)
+let test_trailing_killer_at_tau_edge () =
+  let pat =
+    Pattern.make_full_exn ~schema
+      ~sets:[ [ v "a" ]; [ v "b" ] ]
+      ~negations:[ (1, v "x") ]
+      ~where:
+        ([ label "a" "a"; label "b" "b"; label "x" "x" ]
+        @ Pattern.Spec.
+            [
+              fields "a" "ID" Predicate.Eq "b" "ID";
+              fields "x" "ID" Predicate.Eq "a" "ID";
+            ])
+      ~within:20
+  in
+  let r = rel [ (1, "a", 0, 0); (1, "b", 0, 1); (1, "x", 0, 20) ] in
+  let scan, index = run_both pat r in
+  check_equal_outcomes pat "trailing kill at edge" scan index
+
+(* ---------------- planning decisions ---------------- *)
+
+let plan_access ?mode pat r =
+  let automaton = Automaton.of_pattern pat in
+  let plan = Planner.plan automaton in
+  Planner.choose_access ?mode ~stats:(Stats.of_relation r) plan automaton
+
+let test_choose_access_decisions () =
+  let selective =
+    rel
+      ((1, "a", 0, 0) :: (1, "b", 0, 1)
+      :: List.init 200 (fun i -> (9, "z", 0, 2 + i)))
+  in
+  (match plan_access (ab_pattern ~within:10) selective with
+  | Planner.Index_probe { probes; rows; _ } ->
+      Alcotest.(check int) "rows" 202 rows;
+      Alcotest.(check int) "one probe per variable" 2 (List.length probes)
+  | Planner.Scan reason -> Alcotest.failf "expected index path, got %s" reason);
+  (* Every row carries label "a": probing buys nothing. *)
+  let dense = rel (List.init 40 (fun i -> (1, "a", 0, i))) in
+  (match
+     plan_access
+       (two_set ~within:5 [ label "a" "a"; label "b" "a" ])
+       dense
+   with
+  | Planner.Scan _ -> ()
+  | Planner.Index_probe _ -> Alcotest.fail "expected scan on dense relation");
+  (* An unconstrained variable makes the candidate union unsound: even
+     the forced index mode must refuse. *)
+  let unconstrained = two_set ~within:5 [ label "a" "a" ] in
+  (match plan_access ~mode:`Index unconstrained selective with
+  | Planner.Scan reason ->
+      Alcotest.(check bool)
+        "reason names the variable" true
+        (String.length reason > 0)
+  | Planner.Index_probe _ ->
+      Alcotest.fail "unconstrained variable must force a scan");
+  match plan_access ~mode:`Scan (ab_pattern ~within:10) selective with
+  | Planner.Scan _ -> ()
+  | Planner.Index_probe _ -> Alcotest.fail "`Scan must force a scan"
+
+let test_describe_access () =
+  let pat = ab_pattern ~within:10 in
+  let r = rel [ (1, "a", 0, 0); (1, "b", 0, 1) ] in
+  let automaton = Automaton.of_pattern pat in
+  let plan = Planner.plan automaton in
+  let access =
+    Planner.choose_access ~mode:`Index ~stats:(Stats.of_relation r) plan
+      automaton
+  in
+  let text = Planner.describe ~access plan in
+  Alcotest.(check bool)
+    "describe names the access path" true
+    (let re = "access path: index probes" in
+     let n = String.length re in
+     let rec find i =
+       i + n <= String.length text && (String.sub text i n = re || find (i + 1))
+     in
+     find 0);
+  let scan_text = Planner.describe ~access:(Planner.Scan "forced") plan in
+  Alcotest.(check bool)
+    "scan reason shown" true
+    (let re = "full scan" in
+     let n = String.length re in
+     let rec find i =
+       i + n <= String.length scan_text
+       && (String.sub scan_text i n = re || find (i + 1))
+     in
+     find 0)
+
+(* ---------------- statistics ---------------- *)
+
+let test_stats_estimates () =
+  let r =
+    rel
+      (List.init 60 (fun i -> (1, "hot", 0, i))
+      @ List.init 3 (fun i -> (2, "warm", 0, 100 + i))
+      @ [ (3, "cold", 0, 200) ])
+  in
+  let s = Stats.of_relation r in
+  Alcotest.(check int) "rows" 64 (Stats.rows s);
+  Alcotest.(check (option int))
+    "exact histogram count" (Some 60)
+    (Stats.estimate_eq s "L" (Value.Str "hot"));
+  Alcotest.(check (option int))
+    "absent value, complete histogram" (Some 0)
+    (Stats.estimate_eq s "L" (Value.Str "absent"));
+  Alcotest.(check (option int))
+    "unknown attribute" None
+    (Stats.estimate_eq s "nope" (Value.Int 1));
+  (* With a cap of 1 the histogram keeps only the hot value; absent keys
+     get the uniform share of the remainder: (64-60)/(3-1) = 2. *)
+  let capped = Stats.of_relation ~cap:1 r in
+  (match Stats.find capped "L" with
+  | None -> Alcotest.fail "attribute L missing"
+  | Some a ->
+      Alcotest.(check bool) "incomplete" false a.Stats.complete;
+      Alcotest.(check int) "cardinality exact despite cap" 3
+        a.Stats.cardinality);
+  Alcotest.(check (option int))
+    "uniform remainder estimate" (Some 2)
+    (Stats.estimate_eq capped "L" (Value.Str "cold"))
+
+let test_stats_round_trip () =
+  let r =
+    rel
+      [
+        (1, "with space", 0, 0);
+        (1, "line\nbreak", 5, 1);
+        (2, "back\\slash", -3, 2);
+      ]
+  in
+  let s = Stats.of_relation r in
+  match Stats.of_string (Stats.to_string s) with
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg
+  | Ok s' ->
+      Alcotest.(check bool) "round trip preserves stats" true (s = s');
+      (match Stats.of_string "garbage" with
+      | Ok _ -> Alcotest.fail "garbage accepted"
+      | Error _ -> ());
+      (match Stats.of_string "ses-stats 1\nrows nope" with
+      | Ok _ -> Alcotest.fail "bad row count accepted"
+      | Error _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "match exactly at tau survives the clip" `Quick
+      test_tau_straddling_match;
+    Alcotest.test_case "tau + 1 is clipped and matchless" `Quick
+      test_tau_plus_one_clipped;
+    Alcotest.test_case "clip keeps boundary matches" `Quick
+      test_clip_keeps_boundary_matches;
+    Alcotest.test_case "negation killer retained" `Quick
+      test_negation_killer_retained;
+    Alcotest.test_case "trailing killer at the tau edge" `Quick
+      test_trailing_killer_at_tau_edge;
+    Alcotest.test_case "choose_access decisions" `Quick
+      test_choose_access_decisions;
+    Alcotest.test_case "describe names the access path" `Quick
+      test_describe_access;
+    Alcotest.test_case "statistics estimates" `Quick test_stats_estimates;
+    Alcotest.test_case "statistics round trip" `Quick test_stats_round_trip;
+  ]

@@ -62,6 +62,38 @@ let test_index () =
   Alcotest.(check int) "keys sorted" 1
     (match Index.keys idx with Value.Int k :: _ -> k | _ -> -1)
 
+let test_index_postings () =
+  let r =
+    Helpers.rel
+      [ (1, "a", 0, 0); (2, "b", 0, 3); (1, "c", 0, 5); (1, "d", 0, 9) ]
+  in
+  let idx = Index.build r 0 in
+  (* The postings array is the index's shared storage: chronological,
+     and physically the same array on every call. *)
+  let p1 = Index.postings idx (Value.Int 1) in
+  Alcotest.(check (list int)) "chronological seqs" [ 0; 2; 3 ]
+    (Array.to_list (Array.map Event.seq p1));
+  Alcotest.(check bool) "shared across calls" true
+    (p1 == Index.postings idx (Value.Int 1));
+  Alcotest.(check int) "count without postings" 3 (Index.count idx (Value.Int 1));
+  Alcotest.(check int) "absent count" 0 (Index.count idx (Value.Int 9));
+  Alcotest.(check int) "absent postings" 0
+    (Array.length (Index.postings idx (Value.Int 9)));
+  (* Zone-map slicing: inclusive bounds, shared array when the range
+     covers everything, empty on a disjoint range. *)
+  let between lo hi =
+    Array.to_list
+      (Array.map Event.seq (Index.postings_between idx (Value.Int 1) ~lo ~hi))
+  in
+  Alcotest.(check (list int)) "inner slice" [ 2 ] (between 1 8);
+  Alcotest.(check (list int)) "inclusive bounds" [ 0; 2; 3 ] (between 0 9);
+  Alcotest.(check (list int)) "left edge" [ 0 ] (between 0 0);
+  Alcotest.(check (list int)) "right edge" [ 3 ] (between 9 20);
+  Alcotest.(check (list int)) "disjoint" [] (between 10 20);
+  Alcotest.(check (list int)) "inverted range" [] (between 8 1);
+  Alcotest.(check bool) "full range shares storage" true
+    (p1 == Index.postings_between idx (Value.Int 1) ~lo:0 ~hi:9)
+
 let test_partition () =
   let r =
     Helpers.rel [ (1, "a", 0, 0); (2, "b", 0, 1); (1, "c", 0, 2); (2, "d", 0, 3) ]
@@ -180,6 +212,93 @@ x,5
   Alcotest.(check bool) "missing file" true
     (Result.is_error (Csv_stream.count "/nonexistent/file.csv"))
 
+let test_catalog_stats () =
+  with_catalog (fun c ->
+      (* save refreshes the sidecar; stats then reads it back. *)
+      (match Catalog.save c "events" sample with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check bool) "sidecar written" true
+        (Sys.file_exists (Filename.concat (Catalog.path c) "events.stats"));
+      (match Catalog.stats c "events" with
+      | Ok s ->
+          Alcotest.(check int) "rows" 2 (Stats.rows s);
+          Alcotest.(check (option int)) "ID cardinality" (Some 2)
+            (Option.map
+               (fun a -> a.Stats.cardinality)
+               (Stats.find s "ID"))
+      | Error e -> Alcotest.fail e);
+      (* A CSV rewritten behind the catalog's back makes the sidecar
+         stale; [stats] must recompute from the newer file. The CSV's
+         mtime is pushed into the future so the staleness comparison
+         does not depend on filesystem timestamp granularity. *)
+      let bigger = Helpers.rel [ (1, "a", 0, 0); (2, "b", 1, 5); (3, "c", 2, 9) ] in
+      (match Ses_store.Csv.save (Filename.concat (Catalog.path c) "events.csv") bigger with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      let future = Unix.time () +. 10. in
+      Unix.utimes (Filename.concat (Catalog.path c) "events.csv") future future;
+      (match Catalog.stats c "events" with
+      | Ok s -> Alcotest.(check int) "recomputed rows" 3 (Stats.rows s)
+      | Error e -> Alcotest.fail e);
+      (* refresh_stats forces a recompute even with a fresh sidecar. *)
+      (match Catalog.refresh_stats ~cap:1 c "events" with
+      | Ok s -> (
+          match Stats.find s "ID" with
+          | Some a ->
+              Alcotest.(check int) "capped histogram" 1
+                (List.length a.Stats.histogram)
+          | None -> Alcotest.fail "ID attr missing")
+      | Error e -> Alcotest.fail e);
+      (* Error paths: invalid names and missing relations. *)
+      Alcotest.(check bool) "invalid name" true
+        (Result.is_error (Catalog.stats c "a/b"));
+      Alcotest.(check bool) "invalid name (refresh)" true
+        (Result.is_error (Catalog.refresh_stats c ".."));
+      Alcotest.(check bool) "missing relation" true
+        (Result.is_error (Catalog.stats c "nothere"));
+      (* A malformed CSV surfaces the row error instead of statistics. *)
+      let bad = Filename.concat (Catalog.path c) "bad.csv" in
+      let oc = open_out bad in
+      output_string oc "A:int,T\n1,5\nx,6\n";
+      close_out oc;
+      (match Catalog.stats c "bad" with
+      | Error msg ->
+          Alcotest.(check bool) "malformed row reported" true
+            (String.length msg > 0)
+      | Ok _ -> Alcotest.fail "malformed CSV accepted");
+      (* A corrupt sidecar is ignored and recomputed, not an error. *)
+      let sidecar = Filename.concat (Catalog.path c) "events.stats" in
+      let oc = open_out sidecar in
+      output_string oc "not a stats file";
+      close_out oc;
+      Unix.utimes sidecar (future +. 10.) (future +. 10.);
+      (match Catalog.stats c "events" with
+      | Ok s -> Alcotest.(check int) "recovered from corrupt sidecar" 3 (Stats.rows s)
+      | Error e -> Alcotest.fail e);
+      (* remove drops the sidecar along with the CSV. *)
+      (match Catalog.remove c "events" with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check bool) "sidecar removed" false (Sys.file_exists sidecar))
+
+let test_csv_stream_stats () =
+  let path = Filename.temp_file "ses_stream" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match Ses_store.Csv.save path Helpers.figure_1 with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      match Csv_stream.stats path with
+      | Error e -> Alcotest.fail e
+      | Ok (schema, s) ->
+          Alcotest.(check bool) "schema" true
+            (Schema.equal schema Helpers.chemo_schema);
+          Alcotest.(check int) "rows" 14 (Stats.rows s);
+          Alcotest.(check (option int)) "L='B' count" (Some 5)
+            (Stats.estimate_eq s "L" (Value.Str "B")))
+
 let test_store_then_match () =
   (* Integration: persist Figure 1 in a catalog, load it back, and run Q1
      — the paper's full pipeline (store → scan → match). *)
@@ -200,7 +319,10 @@ let suite =
     Alcotest.test_case "catalog remove" `Quick test_catalog_remove;
     Alcotest.test_case "catalog name validation" `Quick test_catalog_names;
     Alcotest.test_case "index" `Quick test_index;
+    Alcotest.test_case "index postings + zone map" `Quick test_index_postings;
     Alcotest.test_case "partition" `Quick test_partition;
+    Alcotest.test_case "catalog stats" `Quick test_catalog_stats;
+    Alcotest.test_case "csv stream stats" `Quick test_csv_stream_stats;
     Alcotest.test_case "selection" `Quick test_selection;
     Alcotest.test_case "csv streaming" `Quick test_csv_stream;
     Alcotest.test_case "csv streaming errors" `Quick test_csv_stream_errors;

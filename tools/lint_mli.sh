@@ -26,4 +26,21 @@ if [ -n "$new" ]; then
   printf '%s\n' "$new" >&2
   exit 1
 fi
+
+# Allowlist entries must stay honest: an entry whose module gained an
+# .mli (or disappeared) no longer exempts anything and would silently
+# mask a future regression under the same path.
+stale=$(grep -v '^#' "$allow" | grep -v '^$' | while IFS= read -r f; do
+  if [ ! -f "$f" ]; then
+    printf '%s (file no longer exists)\n' "$f"
+  elif [ -f "${f%.ml}.mli" ]; then
+    printf '%s (now has an .mli)\n' "$f"
+  fi
+done)
+
+if [ -n "$stale" ]; then
+  echo "error: stale entries in tools/mli_allowlist.txt — remove them:" >&2
+  printf '%s\n' "$stale" >&2
+  exit 1
+fi
 echo "mli lint: ok"
