@@ -869,6 +869,177 @@ let store_cmd =
        ~doc:"Inspect the event store (catalogs, statistics sidecars)")
     [ store_stats_cmd ]
 
+(* ---- serve ---- *)
+
+let run_serve schema_text host port port_file overflow capacity idle quota
+    no_telemetry =
+  (* Accept a CSV header pasted verbatim: strip the trailing timestamp
+     column (the wire rows still carry it, like the file rows do). *)
+  let schema_text =
+    let t = String.trim schema_text in
+    if String.length t >= 2 && String.sub t (String.length t - 2) 2 = ",T"
+    then String.sub t 0 (String.length t - 2)
+    else t
+  in
+  let schema = or_die (Ses_event.Schema.of_string schema_text) in
+  let telemetry =
+    if no_telemetry then None else Some (Ses_core.Telemetry.create ())
+  in
+  let rt_config =
+    {
+      (Ses_server.Runtime.default_config ~schema) with
+      Ses_server.Runtime.overflow =
+        (match overflow with
+        | `Drop -> Ses_server.Runtime.Drop_oldest
+        | `Block -> Ses_server.Runtime.Block);
+      queue_capacity = capacity;
+      idle_timeout = idle;
+      drain_quota = quota;
+      telemetry;
+    }
+  in
+  Ses_server.Tcp.serve
+    ~config:{ Ses_server.Tcp.host; port; port_file }
+    rt_config
+
+let schema_arg =
+  Arg.(
+    value
+    & opt string "ID:int,L:string,V:int"
+    & info [ "schema" ] ~docv:"SCHEMA"
+        ~doc:
+          "Row schema for EVENT/BATCH lines, as $(i,name:type) pairs \
+           (types: int, string, float), matching the header of the CSV \
+           files the offline commands read.")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind (serve) or reach \
+                                         (client).")
+
+let port_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port; 0 asks the kernel for an ephemeral one.")
+
+let port_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "port-file" ] ~docv:"FILE"
+        ~doc:"Write the bound port here once listening (for scripts \
+              driving an ephemeral port).")
+
+let overflow_arg =
+  Arg.(
+    value
+    & opt (enum [ ("drop", `Drop); ("block", `Block) ]) `Block
+    & info [ "overflow" ] ~docv:"POLICY"
+        ~doc:
+          "Ingest-queue overflow policy: $(b,drop) sheds the oldest \
+           queued events and keeps reading; $(b,block) stops reading the \
+           tenant's connections until the queue drains. Both signal \
+           SLOW/RESUME.")
+
+let capacity_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "queue-capacity" ] ~docv:"N"
+        ~doc:"Per-tenant ingest queue bound.")
+
+let idle_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "idle-timeout" ] ~docv:"SECONDS"
+        ~doc:"Close connections idle longer than this (0 disables).")
+
+let quota_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "drain-quota" ] ~docv:"N"
+        ~doc:"Events fed per tenant per loop iteration.")
+
+let no_telemetry_arg =
+  Arg.(
+    value & flag
+    & info [ "no-telemetry" ]
+        ~doc:"Disable the server.* probes and the /metrics exposition.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the multi-tenant CEP server: a TCP line protocol (AUTH, \
+          REGISTER, EVENT/BATCH, SUBSCRIBE, METRICS, ...) streaming \
+          matches to subscribers, with a Prometheus /metrics endpoint on \
+          the same port. SIGTERM shuts down gracefully.")
+    Term.(
+      const run_serve $ schema_arg $ host_arg $ port_arg ~default:0
+      $ port_file_arg $ overflow_arg $ capacity_arg $ idle_arg $ quota_arg
+      $ no_telemetry_arg)
+
+(* ---- client ---- *)
+
+let run_client host port port_file script timeout =
+  let port =
+    match (port, port_file) with
+    | Some p, _ -> p
+    | None, Some f -> (
+        match int_of_string_opt (String.trim (read_file f)) with
+        | Some p -> p
+        | None ->
+            prerr_endline ("error: bad port file " ^ f);
+            exit 1)
+    | None, None ->
+        prerr_endline "error: pass --port or --port-file";
+        exit 1
+  in
+  let text = match script with "-" -> In_channel.input_all stdin | f -> read_file f in
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  match Ses_server.Client.run_script ~host ~port ~timeout lines with
+  | Ok out ->
+      print_string out;
+      flush stdout
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+
+let script_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "script" ] ~docv:"FILE"
+        ~doc:
+          "File of protocol lines to send ($(b,-) reads stdin). End with \
+           QUIT so the server closes the connection and bounds the read.")
+
+let client_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let client_timeout_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Give up connecting/reading after this long.")
+
+let client_cmd =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send a script of protocol lines to a running ses serve and \
+          print everything it replies (including streamed MATCH/RESULT \
+          lines) until it closes the connection.")
+    Term.(
+      const run_client $ host_arg $ client_port_arg $ port_file_arg
+      $ script_arg $ client_timeout_arg)
+
 let () =
   let info =
     Cmd.info "ses" ~version:"1.0.0"
@@ -887,4 +1058,6 @@ let () =
             trace_cmd;
             store_cmd;
             experiments_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

@@ -43,16 +43,26 @@ type shared_parallel = {
   mutable sh_flushed : bool;
 }
 
+(* Sequential shared mode keeps the plan plus any "extras": queries
+   registered after the first event, which cannot join the already-fed
+   shared population and therefore run as independent executors beside
+   it. Registrations before the first event rebuild the (empty) plan so
+   they share fully. *)
+type shared_state = {
+  mutable plan : Shared_plan.t;
+  mutable extras : entry list;  (* registration order *)
+}
+
 type backend =
   | Independent of entry list
   | Independent_par of entry list * parallel
-  | Shared of Shared_plan.t
+  | Shared of shared_state
   | Shared_par of shared_parallel
 
 type t = {
-  regs : (string * Automaton.t * Executor.strategy) list;
+  mutable regs : (string * Automaton.t * Executor.strategy) list;
   options : Engine.options;
-  backend : backend;
+  mutable backend : backend;
 }
 
 let validate names =
@@ -126,7 +136,8 @@ let plan_regs queries =
 
 let make_shared options domains queries =
   if domains <= 1 then
-    Shared (Shared_plan.create ~options (plan_regs queries))
+    Shared
+      { plan = Shared_plan.create ~options (plan_regs queries); extras = [] }
   else begin
     let shards =
       Shared_plan.partition ~options ~shards:domains (plan_regs queries)
@@ -213,16 +224,21 @@ let reorder t pairs =
       Int.compare (Hashtbl.find idx a) (Hashtbl.find idx b))
     pairs
 
+let feed_entries entries event =
+  List.filter_map
+    (fun e ->
+      match Executor.feed e.exec event with
+      | [] -> None
+      | completed -> Some (e.name, completed))
+    entries
+
 let feed t event =
   match t.backend with
-  | Independent entries ->
-      List.filter_map
-        (fun e ->
-          match Executor.feed e.exec event with
-          | [] -> None
-          | completed -> Some (e.name, completed))
-        entries
-  | Shared sp -> Shared_plan.feed sp event
+  | Independent entries -> feed_entries entries event
+  | Shared s ->
+      let from_plan = Shared_plan.feed s.plan event in
+      if s.extras = [] then from_plan
+      else reorder t (from_plan @ feed_entries s.extras event)
   | Independent_par (_, p) ->
       if p.flushed then invalid_arg "Multi.feed: query set is closed";
       (* Broadcast: every worker receives every event and drives its own
@@ -234,16 +250,21 @@ let feed t event =
       Domain_pool.broadcast p.sh_batcher event;
       []
 
+let feed_batch_entries entries events =
+  List.filter_map
+    (fun e ->
+      match Executor.feed_batch e.exec events with
+      | [] -> None
+      | completed -> Some (e.name, completed))
+    entries
+
 let feed_batch t events =
   match t.backend with
-  | Independent entries ->
-      List.filter_map
-        (fun e ->
-          match Executor.feed_batch e.exec events with
-          | [] -> None
-          | completed -> Some (e.name, completed))
-        entries
-  | Shared sp -> Shared_plan.feed_batch sp events
+  | Independent entries -> feed_batch_entries entries events
+  | Shared s ->
+      let from_plan = Shared_plan.feed_batch s.plan events in
+      if s.extras = [] then from_plan
+      else reorder t (from_plan @ feed_batch_entries s.extras events)
   | Independent_par (_, p) ->
       if p.flushed then invalid_arg "Multi.feed_batch: query set is closed";
       Array.iter (fun event -> Domain_pool.broadcast p.batcher event) events;
@@ -253,16 +274,21 @@ let feed_batch t events =
       Array.iter (fun event -> Domain_pool.broadcast p.sh_batcher event) events;
       []
 
+let close_entries entries =
+  List.filter_map
+    (fun e ->
+      match Executor.close e.exec with
+      | [] -> None
+      | flushed -> Some (e.name, flushed))
+    entries
+
 let close t =
   match t.backend with
-  | Independent entries ->
-      List.filter_map
-        (fun e ->
-          match Executor.close e.exec with
-          | [] -> None
-          | flushed -> Some (e.name, flushed))
-        entries
-  | Shared sp -> Shared_plan.close sp
+  | Independent entries -> close_entries entries
+  | Shared s ->
+      let from_plan = Shared_plan.close s.plan in
+      if s.extras = [] then from_plan
+      else reorder t (from_plan @ close_entries s.extras)
   | Independent_par (entries, p) ->
       (* Join the workers first (shutdown flushes the broadcast batcher
          before closing the queues): afterwards the executors are owned
@@ -299,7 +325,11 @@ let population t =
   match t.backend with
   | Independent entries | Independent_par (entries, _) ->
       List.fold_left (fun acc e -> acc + Executor.population e.exec) 0 entries
-  | Shared sp -> Shared_plan.population sp
+  | Shared s ->
+      Shared_plan.population s.plan
+      + List.fold_left
+          (fun acc e -> acc + Executor.population e.exec)
+          0 s.extras
   | Shared_par p ->
       Array.fold_left
         (fun acc sp -> acc + Shared_plan.population sp)
@@ -337,22 +367,30 @@ let shared_outcomes t plans =
   in
   reorder t per_query
 
+let finalized t automaton raw metrics =
+  let matches =
+    if t.options.Engine.finalize then
+      Substitution.finalize ~policy:t.options.Engine.policy
+        (Automaton.pattern automaton) raw
+    else raw
+  in
+  { Engine.matches; raw; metrics }
+
+let entry_outcome t e =
+  ( e.name,
+    finalized t e.automaton (Executor.emitted e.exec) (Executor.metrics e.exec)
+  )
+
 let outcomes t =
   quiesce t;
   match t.backend with
   | Independent entries | Independent_par (entries, _) ->
-      List.map
-        (fun e ->
-          let raw = Executor.emitted e.exec in
-          let matches =
-            if t.options.Engine.finalize then
-              Substitution.finalize ~policy:t.options.Engine.policy
-                (Automaton.pattern e.automaton) raw
-            else raw
-          in
-          (e.name, { Engine.matches; raw; metrics = Executor.metrics e.exec }))
-        entries
-  | Shared sp -> shared_outcomes t [ sp ]
+      List.map (entry_outcome t) entries
+  | Shared s ->
+      if s.extras = [] then shared_outcomes t [ s.plan ]
+      else
+        reorder t
+          (shared_outcomes t [ s.plan ] @ List.map (entry_outcome t) s.extras)
   | Shared_par p -> shared_outcomes t (Array.to_list p.sh_plans)
 
 (* Every query observes the whole feed (shared-mode metrics are
@@ -365,11 +403,12 @@ let merged_metrics t =
   | Independent entries | Independent_par (entries, _) ->
       Metrics.merge_replicas
         (List.map (fun e -> Executor.metrics e.exec) entries)
-  | Shared sp ->
+  | Shared s ->
       Metrics.merge_replicas
         (List.map
            (fun (r : Shared_plan.query_result) -> r.q_metrics)
-           (Shared_plan.results sp))
+           (Shared_plan.results s.plan)
+        @ List.map (fun e -> Executor.metrics e.exec) s.extras)
   | Shared_par p ->
       Metrics.merge_replicas
         (List.concat_map
@@ -383,8 +422,86 @@ let shared_stats t =
   quiesce t;
   match t.backend with
   | Independent _ | Independent_par _ -> []
-  | Shared sp -> [ Shared_plan.stats sp ]
+  | Shared s -> [ Shared_plan.stats s.plan ]
   | Shared_par p -> Array.to_list (Array.map Shared_plan.stats p.sh_plans)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime registration (sequential backends only).                   *)
+(* ------------------------------------------------------------------ *)
+
+let sequential_only t op =
+  match t.backend with
+  | Independent_par _ | Shared_par _ ->
+      invalid_arg
+        ("Multi." ^ op ^ ": domain-parallel query sets are fixed at creation")
+  | Independent _ | Shared _ -> ()
+
+let register t (name, automaton, strategy) =
+  sequential_only t "register";
+  if name = "" then invalid_arg "Multi.register: empty query name";
+  if List.exists (fun (n, _, _) -> n = name) t.regs then
+    invalid_arg ("Multi.register: duplicate query name " ^ name);
+  (match t.backend with
+  | Independent entries ->
+      let e =
+        {
+          name;
+          automaton;
+          exec = Executor.create ~options:t.options strategy automaton;
+        }
+      in
+      t.backend <- Independent (entries @ [ e ])
+  | Shared s ->
+      if Shared_plan.events_fed s.plan = 0 && s.extras = [] then
+        (* Nothing fed yet: rebuild the (empty) plan so the newcomer
+           shares fully — "register everything, then feed" gets the same
+           plan as creation-time registration. *)
+        s.plan <-
+          Shared_plan.create ~options:t.options
+            (plan_regs (t.regs @ [ (name, automaton, strategy) ]))
+      else
+        (* The shared population already reflects fed events the
+           newcomer must not observe: run it independently beside the
+           plan. *)
+        s.extras <-
+          s.extras
+          @ [
+              {
+                name;
+                automaton;
+                exec = Executor.create ~options:t.options strategy automaton;
+              };
+            ]
+  | Independent_par _ | Shared_par _ -> assert false);
+  t.regs <- t.regs @ [ (name, automaton, strategy) ]
+
+let unregister t name =
+  sequential_only t "unregister";
+  let outcome =
+    match t.backend with
+    | Independent entries -> (
+        match List.find_opt (fun e -> e.name = name) entries with
+        | None -> invalid_arg ("Multi.unregister: unknown query " ^ name)
+        | Some e ->
+            ignore (Executor.close e.exec);
+            t.backend <-
+              Independent (List.filter (fun x -> x.name <> name) entries);
+            snd (entry_outcome t e))
+    | Shared s -> (
+        match List.find_opt (fun e -> e.name = name) s.extras with
+        | Some e ->
+            ignore (Executor.close e.exec);
+            s.extras <- List.filter (fun x -> x.name <> name) s.extras;
+            snd (entry_outcome t e)
+        | None -> (
+            match Shared_plan.retire s.plan name with
+            | r -> finalized t r.q_automaton r.q_raw r.q_metrics
+            | exception Invalid_argument _ ->
+                invalid_arg ("Multi.unregister: unknown query " ^ name)))
+    | Independent_par _ | Shared_par _ -> assert false
+  in
+  t.regs <- List.filter (fun (n, _, _) -> n <> name) t.regs;
+  outcome
 
 let run ?options ?strategy ?shared queries events =
   let t = create ?options ?strategy ?shared queries in

@@ -57,6 +57,22 @@ val create_mixed :
   t
 (** Per-query strategies. *)
 
+val register : t -> string * Automaton.t * Executor.strategy -> unit
+(** Adds a query to a live sequential query set. Before the first event
+    is fed, a shared backend rebuilds its (still empty) plan so the
+    newcomer shares fully; afterwards it runs as an independent executor
+    beside the plan (it must not observe events fed before it existed).
+    Raises [Invalid_argument] on an empty or duplicate name, or on a
+    domain-parallel query set (those are fixed at creation). *)
+
+val unregister : t -> string -> Engine.outcome
+(** Removes a query from a live sequential query set and returns its
+    finalized outcome to date, accepting instances flushed in close
+    order. The remaining queries' future matches and metrics are as if
+    the set had been built without it (see {!Shared_plan.retire}).
+    Raises [Invalid_argument] on an unknown name or a domain-parallel
+    query set. *)
+
 val names : t -> string list
 
 val strategy_names : t -> (string * string) list

@@ -276,7 +276,10 @@ type boundary = {
 }
 
 type owner = {
-  o_regs : int list;
+  mutable o_regs : int list;
+  mutable o_retired : bool;
+      (* all registrations gone: bit cleared from every mask, stores
+         empty, never routed or processed again *)
   o_bit : int;
   o_index : int;  (* position in [g_owners]; [o_bit = 1 lsl o_index] *)
   o_automaton : Automaton.t;  (* the registered automaton, for finalize *)
@@ -319,7 +322,7 @@ type merged = {
   g_start : mslot;
   g_merge : mslot;
   g_owners : owner array;
-  g_all_gated : bool;
+  mutable g_all_gated : bool;
   g_fresh : minst;
   mutable g_emitters : owner list;  (* owners with uncollected emissions *)
   mutable g_stamp : int;
@@ -488,6 +491,7 @@ let create_merged ~options ~telemetry_idx ~depth members =
            in
            {
              o_regs = u.a_regs;
+             o_retired = false;
              o_bit = 1 lsl k;
              o_index = k;
              o_automaton = u.a_automaton;
@@ -963,7 +967,8 @@ let process_merged g e rmask =
           Instance_store.commit o.o_store;
           Metrics.sample_population o.o_m o.o_pop
         end
-        else if not o.o_gated then Metrics.sample_population o.o_m o.o_pop)
+        else if (not o.o_gated) && not o.o_retired then
+          Metrics.sample_population o.o_m o.o_pop)
       g.g_owners;
     (match g.g_span with None -> () | Some sp -> Telemetry.Span.stop sp tok);
     match g.g_gauge with
@@ -1010,7 +1015,8 @@ type feed_mode =
           while the unit holds instances — expiry timing) *)
 
 type single = {
-  s_regs : int list;
+  mutable s_regs : int list;
+  mutable s_retired : bool;  (* all registrations gone: executor closed *)
   s_automaton : Automaton.t;
   s_exec : Executor.packed;
   s_mode : feed_mode;
@@ -1033,6 +1039,7 @@ type t = {
   sp_index : Predicate_index.t;
   sp_slot_target : (int * int) array;  (* index slot -> (unit, owner|-1) *)
   sp_rmask : int array;  (* per-unit scratch: owner bits routed this event *)
+  sp_retired : bool array;  (* per registration: removed by {!retire} *)
   sp_templates : int list list;
   mutable sp_total_events : int;
   mutable sp_last_ts : Time.t option;
@@ -1073,6 +1080,7 @@ let create ~options regs_list =
                ( U_single
                    {
                      s_regs = u.a_regs;
+                     s_retired = false;
                      s_automaton = u.a_automaton;
                      s_exec =
                        Executor.create ~options:exec_options u.a_strategy
@@ -1142,6 +1150,7 @@ let create ~options regs_list =
     sp_index = index;
     sp_slot_target = Array.of_list (List.rev !slot_targets);
     sp_rmask = Array.make (Array.length units) 0;
+    sp_retired = Array.make (Array.length regs) false;
     sp_templates = g_templates;
     sp_total_events = 0;
     sp_last_ts = None;
@@ -1182,12 +1191,16 @@ let dispatch t e =
       let ui, oi = t.sp_slot_target.(slot) in
       match t.sp_units.(ui) with
       | U_single s ->
-          s.s_pending_routed <- true;
-          s.s_routed <- s.s_routed + 1
+          if not s.s_retired then begin
+            s.s_pending_routed <- true;
+            s.s_routed <- s.s_routed + 1
+          end
       | U_merged g ->
           let o = g.g_owners.(oi) in
-          o.o_routed <- o.o_routed + 1;
-          t.sp_rmask.(ui) <- t.sp_rmask.(ui) lor o.o_bit)
+          if not o.o_retired then begin
+            o.o_routed <- o.o_routed + 1;
+            t.sp_rmask.(ui) <- t.sp_rmask.(ui) lor o.o_bit
+          end)
     (Predicate_index.relevant t.sp_index e)
 
 let take_rmask t ui =
@@ -1202,7 +1215,7 @@ let single_take s =
       if s.s_pending_routed then true else if gated then false else s.s_live
 
 let single_feed_now s e =
-  let take = single_take s in
+  let take = (not s.s_retired) && single_take s in
   s.s_pending_routed <- false;
   if take then begin
     s.s_fed <- s.s_fed + 1;
@@ -1311,7 +1324,7 @@ let feed_batch t events =
           (fun ui unit ->
             match unit with
             | U_single s ->
-                if single_take s then begin
+                if (not s.s_retired) && single_take s then begin
                   s.s_buf.(s.s_buf_n) <- e;
                   s.s_buf_n <- s.s_buf_n + 1;
                   (* a routed event may create instances: from here the
@@ -1345,9 +1358,10 @@ let close t =
       (fun ui unit ->
         match unit with
         | U_single s -> (
-            match Executor.close s.s_exec with
-            | [] -> ()
-            | flushed -> out := (ui, -1, flushed) :: !out)
+            if not s.s_retired then
+              match Executor.close s.s_exec with
+              | [] -> ()
+              | flushed -> out := (ui, -1, flushed) :: !out)
         | U_merged g ->
             close_merged g;
             collect_merged g ui out)
@@ -1355,6 +1369,74 @@ let close t =
     sync_counters t;
     assemble t (List.rev !out)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Owner-mask retirement: remove one registration mid-stream.         *)
+(* ------------------------------------------------------------------ *)
+
+(* Retiring the last registration of a merged owner ends that member's
+   run as [Engine.close] would: flush its accepting instances (enders
+   accept at the merge state, everyone else in a private slot), then
+   clear its bit from every shared instance — instances owned by nobody
+   else die with it — and empty its private store. The surviving
+   owners' masks, stores and metrics are untouched, so their behaviour
+   from here on equals a plan built without the retired member. *)
+let retire_owner g (o : owner) =
+  (* Close-order flush: merge bucket first (enders), then the private
+     accepting buckets in slot order — matching [close_merged]. *)
+  let flushed = ref [] in
+  let emit inst =
+    flushed := substitution_of inst :: !flushed;
+    Metrics.on_match o.o_m
+  in
+  if o.o_is_ender then begin
+    let insts = Instance_store.take_all_h g.g_merge.ms_bucket in
+    List.iter
+      (fun inst ->
+        if o.o_bit land inst.mowners <> 0 && minima_ok o inst.mcounts then
+          emit inst)
+      insts;
+    Instance_store.put_back_h g.g_merge.ms_bucket insts
+  end;
+  Array.iter
+    (fun slot ->
+      if slot.ms_accepting then
+        List.iter
+          (fun inst -> if minima_ok o inst.mcounts then emit inst)
+          (Instance_store.take_all_h slot.ms_bucket))
+    o.o_slots;
+  (* Clear the owner's bit from the shared region; sole-owner instances
+     drop out entirely. *)
+  Array.iter
+    (fun slot ->
+      if Instance_store.handle_size slot.ms_bucket > 0 then begin
+        let insts = Instance_store.take_all_h slot.ms_bucket in
+        let kept =
+          List.filter
+            (fun (i : minst) ->
+              let m = i.mowners land lnot o.o_bit in
+              if m = 0 then false
+              else begin
+                i.mowners <- m;
+                true
+              end)
+            insts
+        in
+        Instance_store.put_back_h slot.ms_bucket kept
+      end)
+    g.g_slots;
+  Instance_store.clear o.o_store;
+  o.o_pop <- 0;
+  o.o_deferred_expired <- 0;
+  o.o_retired <- true;
+  o.o_base <- o.o_emissions;
+  g.g_fresh.mowners <- g.g_fresh.mowners land lnot o.o_bit;
+  g.g_all_gated <-
+    Array.for_all (fun o -> o.o_retired || o.o_gated) g.g_owners;
+  (* Full raw history, oldest first: the live emissions then the flush. *)
+  List.rev (!flushed @ o.o_emissions)
+
+let events_fed t = t.sp_total_events
 
 (* ------------------------------------------------------------------ *)
 (* Read-side: per-registration results.                               *)
@@ -1427,28 +1509,97 @@ type query_result = {
   q_metrics : Metrics.snapshot;
 }
 
+let result_of t r =
+  let ui, oi = t.sp_reg_unit.(r) in
+  {
+    q_name = t.sp_regs.(r).r_name;
+    q_automaton = t.sp_regs.(r).r_automaton;
+    q_alias = (ui * (max_owners + 2)) + oi + 1;
+    q_raw = reg_raw t r;
+    q_metrics = reg_metrics t r;
+  }
+
 let results t =
-  List.init (Array.length t.sp_regs) (fun r ->
-      let ui, oi = t.sp_reg_unit.(r) in
-      {
-        q_name = t.sp_regs.(r).r_name;
-        q_automaton = t.sp_regs.(r).r_automaton;
-        q_alias = (ui * (max_owners + 2)) + oi + 1;
-        q_raw = reg_raw t r;
-        q_metrics = reg_metrics t r;
-      })
+  List.filter_map
+    (fun r -> if t.sp_retired.(r) then None else Some (result_of t r))
+    (List.init (Array.length t.sp_regs) Fun.id)
 
 let population t =
   (* Each registered name counts its instances, as independent execution
      would: aliases multiply. *)
-  Array.fold_left
-    (fun acc (ui, oi) ->
-      acc
-      +
-      match t.sp_units.(ui) with
-      | U_single s -> Executor.population s.s_exec
-      | U_merged g -> g.g_owners.(oi).o_pop)
-    0 t.sp_reg_unit
+  let acc = ref 0 in
+  Array.iteri
+    (fun r (ui, oi) ->
+      if not t.sp_retired.(r) then
+        acc :=
+          !acc
+          +
+          match t.sp_units.(ui) with
+          | U_single s -> Executor.population s.s_exec
+          | U_merged g -> g.g_owners.(oi).o_pop)
+    t.sp_reg_unit;
+  !acc
+
+let retire t name =
+  if t.sp_closed then invalid_arg "Shared_plan.retire: plan is closed";
+  let r =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i (reg : reg) ->
+        if !found < 0 && (not t.sp_retired.(i)) && String.equal reg.r_name name
+        then found := i)
+      t.sp_regs;
+    if !found < 0 then
+      invalid_arg ("Shared_plan.retire: unknown query " ^ name)
+    else !found
+  in
+  (* Capture the registration's outcome-to-date before mutating, close
+     order included; the snapshot keeps its meaning after retirement
+     because nothing reads the unit's probes for this name again. *)
+  let result =
+    match t.sp_reg_unit.(r) with
+    | ui, -1 -> (
+        match t.sp_units.(ui) with
+        | U_single s ->
+            s.s_regs <- List.filter (fun x -> x <> r) s.s_regs;
+            if s.s_regs = [] then begin
+              (* Last name on the unit: the executor's run ends here. *)
+              ignore (Executor.close s.s_exec);
+              s.s_retired <- true;
+              s.s_live <- false
+            end;
+            (* An aliased sibling keeps the executor open, so this
+               name's raw lacks the close-time flush — documented. *)
+            let raw = Executor.emitted s.s_exec in
+            let metrics =
+              adjust_metrics t ~mode:s.s_mode ~fed:s.s_fed
+                (Executor.metrics s.s_exec)
+            in
+            (raw, metrics)
+        | U_merged _ -> assert false)
+    | ui, oi -> (
+        match t.sp_units.(ui) with
+        | U_merged g ->
+            let o = g.g_owners.(oi) in
+            o.o_regs <- List.filter (fun x -> x <> r) o.o_regs;
+            if o.o_regs = [] then begin
+              let raw = retire_owner g o in
+              (raw, owner_metrics t o)
+            end
+            else (List.rev o.o_emissions, owner_metrics t o)
+        | U_single _ -> assert false)
+  in
+  t.sp_retired.(r) <- true;
+  let raw, metrics = result in
+  {
+    q_name = name;
+    q_automaton = t.sp_regs.(r).r_automaton;
+    q_alias =
+      (let ui, oi = t.sp_reg_unit.(r) in
+       (ui * (max_owners + 2)) + oi + 1);
+    q_raw = raw;
+    q_metrics = metrics;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Introspection for benchmarks and the CLI.                          *)

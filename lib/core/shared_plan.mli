@@ -65,7 +65,23 @@ type query_result = {
 
 val results : t -> query_result list
 (** Per-registration raw emissions and metrics, in registration order.
-    Metrics are compensated so they equal independent execution's. *)
+    Metrics are compensated so they equal independent execution's.
+    Registrations removed by {!retire} are omitted. *)
+
+val retire : t -> string -> query_result
+(** Removes a registered query from a live plan and returns its outcome
+    to date, with accepting instances flushed in the engine's close
+    order. The remaining queries' future matches and metrics are as if
+    the plan had been built without the retired one: its owner bit is
+    cleared from every shared instance (sole-owner instances drop out),
+    its predicate-index slots stop routing, and aliased siblings keep
+    their executor. Exception: when an aliased sibling keeps the shared
+    executor open, the retiree's raw lacks the close-time flush.
+    Raises [Invalid_argument] on an unknown (or already retired) name,
+    or if the plan is closed. *)
+
+val events_fed : t -> int
+(** Events pushed so far ([feed] counts 1, [feed_batch] its length). *)
 
 (** {1 Introspection} *)
 

@@ -1,0 +1,31 @@
+(* A FIFO with a soft capacity. Pushes always succeed — the ingest path
+   has already parsed the rows and must not lose protocol framing — so
+   "bounded" is enforced by the caller's policy: either [drop_oldest]
+   back down to capacity (drop-oldest overflow) or stop reading the
+   offending connections until [drain] gets the depth back under the
+   low-water mark (block overflow). *)
+
+type 'a t = { q : 'a Queue.t; capacity : int }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bounded_queue.create: capacity < 1";
+  { q = Queue.create (); capacity }
+
+let capacity t = t.capacity
+let length t = Queue.length t.q
+let push t x = Queue.push x t.q
+let over t = Queue.length t.q > t.capacity
+
+let below_low_water t = Queue.length t.q <= t.capacity / 2
+
+let drop_oldest t =
+  let dropped = ref 0 in
+  while Queue.length t.q > t.capacity do
+    ignore (Queue.pop t.q);
+    incr dropped
+  done;
+  !dropped
+
+let drain t ~max =
+  let n = min max (Queue.length t.q) in
+  List.init n (fun _ -> Queue.pop t.q)

@@ -1,0 +1,29 @@
+(** A FIFO with a soft capacity, backing the per-tenant ingest queues.
+
+    Pushes always succeed (the rows are already parsed; losing them here
+    would break protocol framing) — the bound is enforced by the
+    caller's overflow policy: {!drop_oldest} back to capacity, or stop
+    reading the offending connections until {!drain} brings the depth
+    under {!below_low_water}. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+val over : 'a t -> bool
+(** Depth strictly above capacity. *)
+
+val below_low_water : 'a t -> bool
+(** Depth at or under half the capacity — when a slowed connection is
+    resumed. *)
+
+val drop_oldest : 'a t -> int
+(** Pops from the front until depth = capacity; returns the count. *)
+
+val drain : 'a t -> max:int -> 'a list
+(** Pops up to [max] elements, FIFO order. *)

@@ -1,0 +1,64 @@
+(* A tiny scripted client for cram tests and smoke checks: connect,
+   send every script line, then print everything the server says until
+   it closes the connection (scripts end with QUIT, so the server's BYE
+   and close bound the read). *)
+
+let connect ~host ~port ~timeout =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> Ok fd
+    | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Unix.gettimeofday () > deadline then Error "connect: timed out"
+        else begin
+          ignore (Unix.select [] [] [] 0.05);
+          go ()
+        end
+  in
+  go ()
+
+let send_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  go 0
+
+let run_script ~host ~port ~timeout lines =
+  match connect ~host ~port ~timeout with
+  | Error e -> Error e
+  | Ok fd -> (
+      let finish r =
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        r
+      in
+      match
+        List.iter (fun l -> send_all fd (l ^ "\n")) lines;
+        let buf = Bytes.create 65536 in
+        let out = Buffer.create 4096 in
+        let deadline = Unix.gettimeofday () +. timeout in
+        let rec read_all () =
+          let remaining = deadline -. Unix.gettimeofday () in
+          if remaining <= 0. then Error "read: timed out"
+          else
+            match Unix.select [ fd ] [] [] remaining with
+            | [], _, _ -> Error "read: timed out"
+            | _ -> (
+                match Unix.read fd buf 0 (Bytes.length buf) with
+                | 0 -> Ok (Buffer.contents out)
+                | n ->
+                    Buffer.add_subbytes out buf 0 n;
+                    read_all ()
+                | exception Unix.Unix_error (EINTR, _, _) -> read_all ())
+        in
+        read_all ()
+      with
+      | r -> finish r
+      | exception Unix.Unix_error (e, _, _) ->
+          finish (Error ("client: " ^ Unix.error_message e)))

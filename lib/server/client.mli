@@ -1,0 +1,14 @@
+(** A tiny scripted protocol client, backing [ses client --script]:
+    connect (retrying until [timeout] — the server may still be
+    binding), send every script line, then collect everything the
+    server sends until it closes the connection. Scripts end with
+    [QUIT] so the server's BYE-and-close bounds the read. *)
+
+val run_script :
+  host:string ->
+  port:int ->
+  timeout:float ->
+  string list ->
+  (string, string) result
+(** The server's entire output, verbatim. [Error] on connect failure or
+    when [timeout] seconds pass without the server closing. *)

@@ -1,0 +1,183 @@
+(* Wire protocol: newline-delimited commands and replies. Parsing and
+   rendering are pure and total — any byte sequence yields [Ok] or
+   [Error], never an exception — so the fuzz suite can hammer them. *)
+
+let max_line_length = 4096
+let max_token_length = 64
+let max_batch = 100_000
+
+type command =
+  | Auth of string
+  | Register of string * string  (* name, query text *)
+  | Unregister of string
+  | Event of string  (* one CSV row, verbatim *)
+  | Batch of int  (* the next n lines are CSV rows *)
+  | Metrics
+  | Subscribe
+  | Ping
+  | Quit
+
+type reply =
+  | Ok_done of string option
+  | Err of string
+  | Pong
+  | Bye
+  | Slow
+  | Resume
+  | Match of { tenant : string; query : string; subst : string }
+  | Result of { tenant : string; query : string; subst : string }
+  | Stats of (string * string) list
+
+(* ---- validation ---- *)
+
+let token_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.'
+
+let token_ok s =
+  s <> ""
+  && String.length s <= max_token_length
+  && String.for_all token_char s
+
+let text_char c = c <> '\000' && c <> '\n' && c <> '\r'
+let text_ok s = String.for_all text_char s
+
+(* ---- shared line scanning ---- *)
+
+let line_ok line =
+  if String.length line > max_line_length then Error "line too long"
+  else if not (text_ok line) then Error "illegal control byte in line"
+  else Ok ()
+
+(* First space-separated word and the verbatim remainder (leading
+   separator stripped, inner bytes untouched). *)
+let split_word line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+      (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+
+let no_arg cmd rest = if rest = "" then Ok cmd else Error "unexpected argument"
+
+let token_arg what rest k =
+  if token_ok rest then k rest
+  else Error (what ^ ": expected a name ([A-Za-z0-9_.-], max 64 bytes)")
+
+(* ---- commands ---- *)
+
+let parse_command line =
+  match line_ok line with
+  | Error _ as e -> e
+  | Ok () -> (
+      let word, rest = split_word line in
+      match word with
+      | "AUTH" -> token_arg "AUTH" rest (fun t -> Ok (Auth t))
+      | "REGISTER" ->
+          let name, query = split_word rest in
+          if not (token_ok name) then
+            Error "REGISTER: expected a name ([A-Za-z0-9_.-], max 64 bytes)"
+          else if String.trim query = "" then
+            Error "REGISTER: missing query text"
+          else Ok (Register (name, query))
+      | "UNREGISTER" -> token_arg "UNREGISTER" rest (fun n -> Ok (Unregister n))
+      | "EVENT" ->
+          if String.trim rest = "" then Error "EVENT: missing row"
+          else Ok (Event rest)
+      | "BATCH" -> (
+          match int_of_string_opt rest with
+          | Some n when n >= 1 && n <= max_batch -> Ok (Batch n)
+          | Some _ ->
+              Error
+                (Printf.sprintf "BATCH: count must be in [1, %d]" max_batch)
+          | None -> Error "BATCH: expected a count")
+      | "METRICS" -> no_arg Metrics rest
+      | "SUBSCRIBE" -> no_arg Subscribe rest
+      | "PING" -> no_arg Ping rest
+      | "QUIT" -> no_arg Quit rest
+      | "" -> Error "empty command"
+      | w ->
+          if String.length w > max_token_length || not (text_ok w) then
+            Error "unknown command"
+          else Error ("unknown command " ^ w))
+
+let render_command = function
+  | Auth t -> "AUTH " ^ t
+  | Register (n, q) -> "REGISTER " ^ n ^ " " ^ q
+  | Unregister n -> "UNREGISTER " ^ n
+  | Event row -> "EVENT " ^ row
+  | Batch n -> "BATCH " ^ string_of_int n
+  | Metrics -> "METRICS"
+  | Subscribe -> "SUBSCRIBE"
+  | Ping -> "PING"
+  | Quit -> "QUIT"
+
+(* ---- replies ---- *)
+
+(* Free text going onto the wire must not break line framing. *)
+let sanitize s = String.map (fun c -> if text_char c then c else ' ') s
+
+let parse_stats rest =
+  let fields = String.split_on_char ' ' rest in
+  let rec go acc = function
+    | [] -> Ok (Stats (List.rev acc))
+    | f :: tl -> (
+        match String.index_opt f '=' with
+        | None -> Error "STATS: expected key=value fields"
+        | Some i ->
+            let k = String.sub f 0 i in
+            let v = String.sub f (i + 1) (String.length f - i - 1) in
+            if not (token_ok k) then Error "STATS: bad key"
+            else if v = "" || String.contains v ' ' then
+              Error "STATS: bad value"
+            else go ((k, v) :: acc) tl)
+  in
+  match fields with [ "" ] -> Ok (Stats []) | _ -> go [] fields
+
+let parse_tagged rest k =
+  let tenant, rest = split_word rest in
+  let query, subst = split_word rest in
+  if not (token_ok tenant) then Error "expected a tenant name"
+  else if not (token_ok query) then Error "expected a query name"
+  else if subst = "" then Error "missing substitution"
+  else Ok (k tenant query subst)
+
+let parse_reply line =
+  match line_ok line with
+  | Error _ as e -> e
+  | Ok () -> (
+      let word, rest = split_word line in
+      match word with
+      | "OK" -> if rest = "" then Ok (Ok_done None) else Ok (Ok_done (Some rest))
+      | "ERR" ->
+          if rest = "" then Error "ERR: missing message" else Ok (Err rest)
+      | "PONG" -> no_arg Pong rest
+      | "BYE" -> no_arg Bye rest
+      | "SLOW" -> no_arg Slow rest
+      | "RESUME" -> no_arg Resume rest
+      | "MATCH" ->
+          parse_tagged rest (fun tenant query subst ->
+              Match { tenant; query; subst })
+      | "RESULT" ->
+          parse_tagged rest (fun tenant query subst ->
+              Result { tenant; query; subst })
+      | "STATS" -> parse_stats rest
+      | "" -> Error "empty reply"
+      | _ -> Error "unknown reply")
+
+let render_reply = function
+  | Ok_done None -> "OK"
+  | Ok_done (Some msg) -> "OK " ^ sanitize msg
+  | Err msg -> "ERR " ^ sanitize msg
+  | Pong -> "PONG"
+  | Bye -> "BYE"
+  | Slow -> "SLOW"
+  | Resume -> "RESUME"
+  | Match { tenant; query; subst } ->
+      "MATCH " ^ tenant ^ " " ^ query ^ " " ^ sanitize subst
+  | Result { tenant; query; subst } ->
+      "RESULT " ^ tenant ^ " " ^ query ^ " " ^ sanitize subst
+  | Stats [] -> "STATS"
+  | Stats fields ->
+      "STATS " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) fields)

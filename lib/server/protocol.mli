@@ -1,0 +1,70 @@
+(** The `ses serve` wire protocol: newline-delimited commands (client →
+    server) and replies (server → client).
+
+    Grammar (one line each, LF-terminated on the wire; CR tolerated by
+    the session layer, lines capped at {!max_line_length} bytes, NUL and
+    bare CR/LF rejected):
+
+    {v
+    command  ::= "AUTH" token            — pick a tenant
+               | "REGISTER" token text   — add a named query (SES text)
+               | "UNREGISTER" token      — remove it, flushing results
+               | "EVENT" text            — one CSV row
+               | "BATCH" int             — the next n lines are CSV rows
+               | "METRICS" | "SUBSCRIBE" | "PING" | "QUIT"
+    reply    ::= "OK" [text] | "ERR" text | "PONG" | "BYE"
+               | "SLOW" | "RESUME"       — backpressure signals
+               | "MATCH" token token text    — tenant query substitution
+               | "RESULT" token token text   — finalized, at UNREGISTER
+               | "STATS" (key "=" value)*
+    token    ::= [A-Za-z0-9_.-]{1,64}
+    v}
+
+    Parsing and rendering are pure and total: any byte sequence yields
+    [Ok] or [Error], never an exception, and [render] output always
+    parses back to the same value ([parse ∘ render = Ok] — the qcheck
+    round-trip property). *)
+
+val max_line_length : int
+(** Longest accepted line, in bytes (4096). *)
+
+val max_token_length : int
+
+val max_batch : int
+(** Largest accepted [BATCH] count. *)
+
+type command =
+  | Auth of string
+  | Register of string * string  (** name, query text *)
+  | Unregister of string
+  | Event of string  (** one CSV row, verbatim *)
+  | Batch of int  (** the next n lines are CSV rows *)
+  | Metrics
+  | Subscribe
+  | Ping
+  | Quit
+
+type reply =
+  | Ok_done of string option
+  | Err of string
+  | Pong
+  | Bye
+  | Slow
+  | Resume
+  | Match of { tenant : string; query : string; subst : string }
+  | Result of { tenant : string; query : string; subst : string }
+  | Stats of (string * string) list
+
+val token_ok : string -> bool
+
+val parse_command : string -> (command, string) result
+(** One line, without its terminator. *)
+
+val render_command : command -> string
+(** Without the terminator. *)
+
+val parse_reply : string -> (reply, string) result
+
+val render_reply : reply -> string
+(** Free-text fields are sanitized (NUL/CR/LF become spaces) so a
+    rendered reply can never break line framing. *)

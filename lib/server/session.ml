@@ -1,0 +1,142 @@
+(* Per-connection state machine: bytes in, effects out. Owns everything
+   that needs no engine — line framing (with oversized-line recovery),
+   command parsing, the AUTH gate, BATCH body assembly, PING/QUIT — and
+   hands the rest to the runtime as [Op]s. Pure in the testable sense:
+   no sockets, no clocks, no engine; [feed] is deterministic in the
+   bytes seen so far, however they are chunked. *)
+
+type op =
+  | Auth of string
+  | Register of string * string
+  | Unregister of string
+  | Ingest of { rows : string list; announced : int option }
+      (* [announced = None] for a single EVENT, [Some n] for a BATCH of
+         n lines; [rows] excludes lines the session itself rejected
+         (oversized / control bytes), so |rows| <= n. *)
+  | Query_metrics
+  | Subscribe
+
+type effect_ = Reply of Protocol.reply | Op of op | Close
+
+type batch = {
+  announced : int;
+  mutable remaining : int;
+  mutable rows : string list;
+}
+
+type t = {
+  buf : Buffer.t;  (* partial line *)
+  mutable discarding : bool;  (* inside an oversized line, skip to LF *)
+  mutable tenant : string option;
+  mutable subscribed : bool;
+  mutable batch : batch option;
+  mutable closed : bool;
+}
+
+let create () =
+  {
+    buf = Buffer.create 256;
+    discarding = false;
+    tenant = None;
+    subscribed = false;
+    batch = None;
+    closed = false;
+  }
+
+let tenant t = t.tenant
+let subscribed t = t.subscribed
+let in_batch t = match t.batch with Some b -> b.remaining > 0 | None -> false
+
+let err msg = Reply (Protocol.Err msg)
+
+let batch_row t b line effects =
+  b.remaining <- b.remaining - 1;
+  let ok = String.length line <= Protocol.max_line_length in
+  if ok then b.rows <- line :: b.rows;
+  if b.remaining = 0 then begin
+    t.batch <- None;
+    (* The runtime reports acceptances against [announced]; rows the
+       session dropped (oversized) count as rejected via |rows| < n. *)
+    Op (Ingest { rows = List.rev b.rows; announced = Some b.announced })
+    :: effects
+  end
+  else effects
+
+let authed t k = match t.tenant with None -> [ err "not authenticated (use AUTH <tenant>)" ] | Some _ -> k ()
+
+let command t (c : Protocol.command) =
+  match c with
+  | Ping -> [ Reply Protocol.Pong ]
+  | Quit ->
+      t.closed <- true;
+      [ Reply Protocol.Bye; Close ]
+  | Auth name -> (
+      match t.tenant with
+      | Some _ -> [ err "already authenticated" ]
+      | None ->
+          t.tenant <- Some name;
+          [ Op (Auth name) ])
+  | Register (name, query) -> authed t (fun () -> [ Op (Register (name, query)) ])
+  | Unregister name -> authed t (fun () -> [ Op (Unregister name) ])
+  | Event row ->
+      authed t (fun () -> [ Op (Ingest { rows = [ row ]; announced = None }) ])
+  | Batch n ->
+      authed t (fun () ->
+          t.batch <- Some { announced = n; remaining = n; rows = [] };
+          [])
+  | Metrics -> authed t (fun () -> [ Op Query_metrics ])
+  | Subscribe ->
+      authed t (fun () ->
+          t.subscribed <- true;
+          [ Op Subscribe ])
+
+let line t line effects =
+  (* CRLF tolerated: strip one trailing CR. *)
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  match t.batch with
+  | Some b when b.remaining > 0 -> batch_row t b line effects
+  | _ -> (
+      match Protocol.parse_command line with
+      | Error msg -> err msg :: effects
+      | Ok c -> List.rev_append (command t c) effects)
+
+let feed t data =
+  if t.closed then []
+  else begin
+    let effects = ref [] in
+    String.iter
+      (fun c ->
+        if t.closed then ()
+        else if c = '\n' then begin
+          if t.discarding then t.discarding <- false
+          else begin
+            let l = Buffer.contents t.buf in
+            effects := line t l !effects
+          end;
+          Buffer.clear t.buf
+        end
+        else begin
+          Buffer.add_char t.buf c;
+          if
+            (not t.discarding)
+            && Buffer.length t.buf > Protocol.max_line_length
+          then begin
+            (* Oversized: report once, then skip to the next LF. Inside
+               a BATCH the line still consumes one announced row so the
+               framing survives. *)
+            t.discarding <- true;
+            Buffer.clear t.buf;
+            match t.batch with
+            | Some b when b.remaining > 0 ->
+                effects :=
+                  batch_row t b (String.make (Protocol.max_line_length + 1) 'x')
+                    !effects
+            | _ -> effects := err "line too long" :: !effects
+          end
+        end)
+      data;
+    List.rev !effects
+  end

@@ -1,0 +1,41 @@
+(** Per-connection protocol state machine: bytes in, effects out.
+
+    Owns everything that needs no engine — line framing with
+    oversized-line recovery, command parsing, the AUTH gate, BATCH body
+    assembly, PING/QUIT — and emits {!op}s for the parts the
+    {!Runtime} must execute against tenant state. Deterministic in the
+    bytes seen so far, regardless of how they are chunked; never
+    raises on any input. *)
+
+type op =
+  | Auth of string
+  | Register of string * string
+  | Unregister of string
+  | Ingest of { rows : string list; announced : int option }
+      (** [announced = None] for a single [EVENT], [Some n] for a
+          [BATCH n]; [rows] excludes lines the session itself rejected
+          (oversized), so [List.length rows <= n]. *)
+  | Query_metrics
+  | Subscribe
+
+type effect_ =
+  | Reply of Protocol.reply  (** write this line *)
+  | Op of op  (** execute against tenant state *)
+  | Close  (** close the connection once output is flushed *)
+
+type t
+
+val create : unit -> t
+
+val tenant : t -> string option
+(** The AUTHed tenant, once [Op (Auth _)] has been emitted. *)
+
+val subscribed : t -> bool
+
+val in_batch : t -> bool
+(** A [BATCH] body is still owed rows. *)
+
+val feed : t -> string -> effect_ list
+(** Consume a chunk of input bytes (any framing) and return the effects
+    of every line completed by it, in order. After [Close] has been
+    emitted, further input is ignored. *)

@@ -1,0 +1,25 @@
+(** The socket adapter: a [select]-based event loop over non-blocking
+    TCP sockets, shuttling bytes between the kernel and {!Runtime}.
+
+    A connection whose first bytes are ["GET "] is treated as an
+    HTTP/1.0 request instead: [/metrics] is answered with the
+    Prometheus exposition of the runtime's telemetry and the socket is
+    closed — the scrape endpoint shares the protocol port.
+
+    [SIGTERM]/[SIGINT] trigger a graceful stop: {!Runtime.shutdown}
+    (drain tenants, close engines, BYE every connection), best-effort
+    flush, exit. All protocol logic lives in {!Runtime}/{!Session};
+    the integration tests bypass this module entirely. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port *)
+  port_file : string option;  (** write the bound port here, for scripts *)
+}
+
+val default_config : config
+(** 127.0.0.1, ephemeral port, no port file. *)
+
+val serve : ?config:config -> Runtime.config -> unit
+(** Binds, prints ["ses serve: listening on <host>:<port>"], and runs
+    the loop until a stop signal arrives. *)

@@ -162,3 +162,15 @@ let stats ?cap path =
       Result.map
         (fun () -> (src.schema, Stats.finish ?cap b))
         (fold_source src ~init:() ~f:(fun () e -> Stats.observe b e)))
+
+(* One CSV data record outside any file scan — the entry point a live
+   ingestion path (the server's [EVENT] lines) uses: the caller owns the
+   sequence counter and the chronological-order check, this function
+   owns the CSV grammar. *)
+let row_of_line schema ~seq line =
+  match Csv.split_line line with
+  | Error _ as e -> e
+  | Ok fields -> (
+      match Csv.row_of_fields schema fields with
+      | Error _ as e -> e
+      | Ok (payload, ts) -> Ok (Event.make ~seq ~ts payload))

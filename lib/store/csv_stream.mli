@@ -85,3 +85,13 @@ val stats : ?cap:int -> string -> (Schema.t * Stats.t, string) result
     per-attribute cardinality and value histograms — without
     materializing the relation. [?cap] bounds the persisted histogram
     (default {!Ses_event.Stats.default_cap}). *)
+
+(** {1 Row-at-a-time entry point} *)
+
+val row_of_line : Schema.t -> seq:int -> string -> (Event.t, string) result
+(** Parses one CSV data record (no header, no trailing newline) against
+    a known schema into an event with the given sequence number — the
+    entry point for live ingestion paths that receive rows one line at a
+    time rather than as a file scan. The caller owns sequence numbering
+    and the chronological-order check. Errors are the CSV layer's
+    (malformed quoting, arity mismatch, bad value or timestamp). *)

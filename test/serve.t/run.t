@@ -1,0 +1,124 @@
+The long-running server: spin one up on an ephemeral port, drive it
+over TCP with scripted clients, scrape Prometheus metrics through the
+same port, and stop it with SIGTERM.
+
+  $ ../../bin/ses_cli.exe generate --kind chemo --patients 80 --seed 7 --out chemo.csv
+  wrote 10296 events to chemo.csv
+
+The server takes the CSV header verbatim as its row schema and
+announces the bound port through --port-file.
+
+  $ ../../bin/ses_cli.exe serve --schema "$(head -1 chemo.csv)" \
+  >   --queue-capacity 20000 --port-file port.txt > serve.log 2>&1 &
+  $ SERVE_PID=$!
+  $ for _ in $(seq 1 100); do [ -s port.txt ] && break; sleep 0.1; done
+
+Tenant acme runs two queries over the whole stream, fed in two halves
+over two separate connections (tenant state outlives connections).
+The first connection registers both queries, feeds the first half and
+unregisters one query mid-stream; its RESULT lines must be exactly
+the offline matches of the first half.
+
+  $ tail -n +2 chemo.csv > rows.csv
+  $ head -n 5148 rows.csv > rows1.csv
+  $ tail -n +5149 rows.csv > rows2.csv
+  $ Q_CD="PATTERN (c) -> (d) WHERE c.L = 'C' AND d.L = 'D' AND c.ID = d.ID WITHIN 11 DAYS"
+  $ Q_CB="PATTERN (c) -> (b) WHERE c.L = 'C' AND b.L = 'B' AND c.ID = b.ID WITHIN 11 DAYS"
+  $ { echo "AUTH acme"; echo "SUBSCRIBE"; \
+  >   echo "REGISTER cd $Q_CD"; echo "REGISTER cb $Q_CB"; \
+  >   echo "BATCH 5148"; cat rows1.csv; \
+  >   echo "UNREGISTER cd"; echo "QUIT"; } > a1.txt
+  $ ../../bin/ses_cli.exe client --port-file port.txt --script a1.txt > a1.out
+  $ grep -v '^MATCH\|^RESULT' a1.out
+  OK tenant acme
+  OK subscribed
+  OK registered cd
+  OK registered cb
+  OK batch 5148
+  OK unregistered cd matches=77
+  BYE
+
+  $ (head -1 chemo.csv; cat rows1.csv) > first.csv
+  $ ../../bin/ses_cli.exe match -d first.csv -q "$Q_CD" | sed -n 's/^  {/{/p' | sort > want_cd.txt
+  $ grep '^RESULT acme cd ' a1.out | sed 's/^RESULT acme cd //' | sort > got_cd.txt
+  $ diff want_cd.txt got_cd.txt && echo retiree-identical
+  retiree-identical
+
+A second tenant is completely isolated from acme. Its whole exchange
+is deterministic: barriers (REGISTER/METRICS/UNREGISTER/QUIT) drain
+the tenant queue first, the match streams one drain after its window
+provably closed, and UNREGISTER flushes the finalized results.
+
+  $ { echo "AUTH beta"; echo "SUBSCRIBE"; \
+  >   echo "REGISTER q1 PATTERN (c) -> (d) WHERE c.L = 'C' AND d.L = 'D' AND c.ID = d.ID WITHIN 11"; \
+  >   echo "EVENT 1,C,5.0,mg,2"; echo "EVENT 1,D,6.0,mg,4"; \
+  >   echo "EVENT 9,C,0.5,mg,50"; echo "METRICS"; \
+  >   echo "EVENT 9,D,0.5,mg,51"; echo "METRICS"; \
+  >   echo "UNREGISTER q1"; echo "QUIT"; } > b.txt
+  $ ../../bin/ses_cli.exe client --port-file port.txt --script b.txt
+  OK tenant beta
+  OK subscribed
+  OK registered q1
+  STATS tenant=beta queries=1 events=3 queued=0 dropped=0 matches=0 connections=1
+  MATCH beta q1 {c/e1, d/e2}
+  STATS tenant=beta queries=1 events=4 queued=0 dropped=0 matches=1 connections=1
+  RESULT beta q1 {c/e1, d/e2}
+  RESULT beta q1 {c/e3, d/e4}
+  OK unregistered q1 matches=2
+  BYE
+
+Malformed input never kills the loop: a garbage command and an
+out-of-schema row get ERR replies on the same connection.
+
+  $ { echo "AUTH beta"; echo "FROB 1"; echo "EVENT not,a,row"; \
+  >   echo "PING"; echo "QUIT"; } > bad.txt
+  $ ../../bin/ses_cli.exe client --port-file port.txt --script bad.txt
+  OK tenant beta
+  ERR unknown command FROB
+  ERR event: csv: expected 5 fields, found 3
+  PONG
+  BYE
+
+The second acme connection picks the tenant back up, feeds the rest
+of the stream and retires the surviving query; its results must be
+byte-identical to an offline run over the full file (the mid-stream
+removal of cd left no trace on cb).
+
+  $ { echo "AUTH acme"; echo "SUBSCRIBE"; \
+  >   echo "BATCH 5148"; cat rows2.csv; \
+  >   echo "METRICS"; echo "UNREGISTER cb"; echo "QUIT"; } > a2.txt
+  $ ../../bin/ses_cli.exe client --port-file port.txt --script a2.txt > a2.out
+  $ grep -v '^MATCH\|^RESULT' a2.out | sed '/^STATS/s/ matches=[0-9]*//'
+  OK tenant acme
+  OK subscribed
+  OK batch 5148
+  STATS tenant=acme queries=1 events=10296 queued=0 dropped=0 connections=1
+  OK unregistered cb matches=298
+  BYE
+
+  $ ../../bin/ses_cli.exe match -d chemo.csv -q "$Q_CB" | sed -n 's/^  {/{/p' | sort > want_cb.txt
+  $ grep '^RESULT acme cb ' a2.out | sed 's/^RESULT acme cb //' | sort > got_cb.txt
+  $ diff want_cb.txt got_cb.txt && echo survivor-identical
+  survivor-identical
+
+The same port answers HTTP/1.0 GETs: /metrics serves the Prometheus
+exposition of the server.* probes, anything else is a 404.
+
+  $ printf 'GET /metrics HTTP/1.0\n\n' > scrape.txt
+  $ ../../bin/ses_cli.exe client --port-file port.txt --script scrape.txt > scrape.out
+  $ head -1 scrape.out
+  HTTP/1.0 200 OK
+  $ grep 'server.events.acme\|gauge_last{name="server.connections"}' scrape.out
+  ses_gauge_last{name="server.connections"} 0
+  ses_counter{name="server.events.acme"} 10296
+  $ printf 'GET /nope HTTP/1.0\n\n' > nope.txt
+  $ ../../bin/ses_cli.exe client --port-file port.txt --script nope.txt | head -1
+  HTTP/1.0 404 Not Found
+
+SIGTERM stops it cleanly.
+
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+  $ sed 's/:[0-9]*$/:PORT/' serve.log
+  ses serve: listening on 127.0.0.1:PORT
+  ses serve: shut down

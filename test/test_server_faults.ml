@@ -1,0 +1,190 @@
+(* Fault injection against the socket-free server core: connections
+   dying mid-BATCH, readers that stall until Block-mode backpressure
+   trips, REGISTER with queries that fail analysis. The invariants: the
+   runtime object stays usable, other tenants observe nothing, and the
+   [server.connections] gauge settles back to its baseline. *)
+
+open Ses_event
+open Ses_core
+open Ses_server
+
+let schema = Result.get_ok (Schema.of_string "ID:int,L:string,V:int")
+
+let take_lines rt id =
+  List.filter (fun l -> l <> "")
+    (String.split_on_char '\n' (Runtime.take_output rt id))
+
+let send rt id line = Runtime.input rt id (line ^ "\n")
+
+let q_join =
+  "PATTERN (c) -> (d) WHERE c.L = 'C' AND d.L = 'D' AND c.ID = d.ID WITHIN 8"
+
+let conn_gauge_last tl =
+  match
+    List.assoc_opt "server.connections"
+      (Telemetry.snapshot tl).Telemetry.gauges
+  with
+  | Some g -> g.Telemetry.gauge_last
+  | None -> Alcotest.fail "server.connections gauge missing"
+
+(* A second tenant, sharing nothing with the faulty one: its whole
+   exchange must come out byte-identical whether or not the faults
+   happen. *)
+let innocent_exchange rt =
+  let id = Runtime.add_conn rt in
+  List.iter (send rt id)
+    [
+      "AUTH innocent"; "SUBSCRIBE"; "REGISTER w " ^ q_join; "EVENT 1,C,5,2";
+      "EVENT 1,D,6,4"; "UNREGISTER w"; "QUIT";
+    ];
+  let lines = take_lines rt id in
+  (* the transport reaps the connection once BYE is flushed *)
+  Runtime.close_conn rt id;
+  lines
+
+let expected_innocent =
+  [
+    "OK tenant innocent";
+    "OK subscribed";
+    "OK registered w";
+    "RESULT innocent w {c/e1, d/e2}";
+    "OK unregistered w matches=1";
+    "BYE";
+  ]
+
+let test_kill_mid_batch () =
+  let tl = Telemetry.create () in
+  let cfg =
+    { (Runtime.default_config ~schema) with Runtime.telemetry = Some tl }
+  in
+  let rt = Runtime.create cfg in
+  let baseline = Runtime.connections rt in
+  let victim = Runtime.add_conn rt in
+  send rt victim "AUTH faulty";
+  send rt victim ("REGISTER q " ^ q_join);
+  send rt victim "BATCH 1000";
+  Runtime.input rt victim "1,C,5,2\n1,D,6,4\n";
+  (* the peer vanishes with 998 rows still owed *)
+  Runtime.close_conn rt victim;
+  Alcotest.(check int)
+    "victim forgotten" baseline
+    (Runtime.connections rt);
+  (* the runtime keeps ticking and serving others *)
+  Runtime.tick rt;
+  Alcotest.(check (list string))
+    "other tenant unaffected" expected_innocent (innocent_exchange rt);
+  (* the incomplete BATCH body was never ingested (batches are atomic),
+     and the tenant's query survives its connection: a new connection
+     picks the tenant up, re-feeds the rows and finishes the work *)
+  let heir = Runtime.add_conn rt in
+  send rt heir "AUTH faulty";
+  send rt heir "SUBSCRIBE";
+  send rt heir "METRICS";
+  let lines = take_lines rt heir in
+  Alcotest.(check bool)
+    "partial batch discarded" true
+    (List.exists
+       (fun l ->
+         match Protocol.parse_reply l with
+         | Ok (Protocol.Stats kvs) ->
+             List.assoc "events" kvs = "0" && List.assoc "queries" kvs = "1"
+         | _ -> false)
+       lines);
+  send rt heir "EVENT 1,C,5,2";
+  send rt heir "EVENT 1,D,6,4";
+  send rt heir "UNREGISTER q";
+  let lines = take_lines rt heir in
+  Alcotest.(check bool)
+    "heir finishes the work" true
+    (List.mem "RESULT faulty q {c/e1, d/e2}" lines
+    && List.mem "OK unregistered q matches=1" lines);
+  Runtime.close_conn rt heir;
+  Alcotest.(check int)
+    "gauge back to baseline" baseline (conn_gauge_last tl)
+
+let test_stalled_reader_isolated () =
+  let tl = Telemetry.create () in
+  let cfg =
+    {
+      (Runtime.default_config ~schema) with
+      Runtime.telemetry = Some tl;
+      queue_capacity = 4;
+      overflow = Runtime.Block;
+    }
+  in
+  let rt = Runtime.create cfg in
+  let staller = Runtime.add_conn rt in
+  send rt staller "AUTH hog";
+  send rt staller "BATCH 10";
+  Runtime.input rt staller
+    (String.concat ""
+       (List.init 10 (fun i -> Printf.sprintf "%d,C,0,%d\n" i (i + 1))));
+  Alcotest.(check bool)
+    "hog is backpressured" false
+    (Runtime.want_read rt staller);
+  (* never drained for the hog: the other tenant still gets served *)
+  Alcotest.(check (list string))
+    "other tenant unaffected" expected_innocent (innocent_exchange rt);
+  Alcotest.(check bool)
+    "hog still backpressured" false
+    (Runtime.want_read rt staller);
+  Runtime.close_conn rt staller;
+  Alcotest.(check int) "gauge settles" 0 (conn_gauge_last tl)
+
+let test_register_failure_harmless () =
+  let rt = Runtime.create (Runtime.default_config ~schema) in
+  let id = Runtime.add_conn rt in
+  send rt id "AUTH a";
+  send rt id "REGISTER bad PATTERN (c) -> (";
+  send rt id "REGISTER worse PATTERN (c) WHERE c.NO_SUCH = 1 WITHIN 5";
+  (match take_lines rt id with
+  | [ ok; e1; e2 ] ->
+      Alcotest.(check string) "auth ok" "OK tenant a" ok;
+      List.iter
+        (fun l ->
+          Alcotest.(check bool)
+            ("is an ERR: " ^ l)
+            true
+            (String.length l > 4 && String.sub l 0 4 = "ERR "))
+        [ e1; e2 ]
+  | ls -> Alcotest.failf "expected 3 lines, got %d" (List.length ls));
+  (* the same connection and tenant still work *)
+  send rt id "SUBSCRIBE";
+  send rt id ("REGISTER good " ^ q_join);
+  send rt id "EVENT 1,C,5,2";
+  send rt id "EVENT 1,D,6,4";
+  send rt id "UNREGISTER good";
+  let lines = take_lines rt id in
+  Alcotest.(check bool)
+    "recovers fully" true
+    (List.mem "RESULT a good {c/e1, d/e2}" lines
+    && List.mem "OK unregistered good matches=1" lines)
+
+(* Shutdown after faults: every surviving connection gets BYE, queued
+   work is flushed to subscribers first. *)
+let test_shutdown_flushes () =
+  let rt = Runtime.create (Runtime.default_config ~schema) in
+  let id = Runtime.add_conn rt in
+  send rt id "AUTH a";
+  send rt id "SUBSCRIBE";
+  send rt id ("REGISTER q " ^ q_join);
+  send rt id "BATCH 2";
+  Runtime.input rt id "1,C,5,2\n1,D,6,4\n";
+  Runtime.shutdown rt;
+  let lines = take_lines rt id in
+  Alcotest.(check bool) "BYE sent" true (List.mem "BYE" lines);
+  Alcotest.(check bool)
+    "close-time match flushed" true
+    (List.mem "MATCH a q {c/e1, d/e2}" lines);
+  Alcotest.(check bool) "closing" true (Runtime.is_closing rt id)
+
+let suite =
+  [
+    Alcotest.test_case "kill mid-BATCH" `Quick test_kill_mid_batch;
+    Alcotest.test_case "stalled reader is isolated" `Quick
+      test_stalled_reader_isolated;
+    Alcotest.test_case "REGISTER failures are harmless" `Quick
+      test_register_failure_harmless;
+    Alcotest.test_case "shutdown flushes subscribers" `Quick
+      test_shutdown_flushes;
+  ]
