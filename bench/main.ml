@@ -764,7 +764,9 @@ let multi_bench () =
   let raw_of t =
     List.map
       (fun (n, (o : Ses_core.Engine.outcome)) ->
-        (n, List.sort compare (List.map Ses_core.Substitution.canonical o.raw)))
+        ( n,
+          List.sort Ses_core.Substitution.compare_canonical
+            (List.map Ses_core.Substitution.canonical o.raw) ))
       (Ses_core.Multi.outcomes t)
   in
   let matches_equal = raw_of t_ind = raw_of t_sh in
@@ -777,7 +779,8 @@ let multi_bench () =
   in
   let module SP = Ses_core.Shared_plan in
   let group_counts =
-    List.sort (fun a b -> compare b a)
+    List.sort
+      (fun a b -> Int.compare b a)
       (List.map List.length stats.SP.st_template_groups)
   in
   let json =
@@ -1060,7 +1063,11 @@ let run_micro () =
       if Float.is_nan ns then Format.printf "  %-28s (no estimate)@." name
       else if ns > 1e6 then Format.printf "  %-28s %10.3f ms@." name (ns /. 1e6)
       else Format.printf "  %-28s %10.3f us@." name (ns /. 1e3))
-    (List.sort compare !rows);
+    (List.sort
+       (fun (a, x) (b, y) ->
+         let c = String.compare a b in
+         if c <> 0 then c else Float.compare x y)
+       !rows);
   Format.printf "@."
 
 let () =

@@ -756,7 +756,7 @@ let run_experiments quick csv_dir patients datasets =
         Option.value ~default:base.Ses_harness.Experiments.n_datasets datasets;
     }
   in
-  Ses_harness.Experiments.run_all ?csv_dir cfg
+  Ses_harness.Experiments.run_all ?csv_dir ~ppf:Format.std_formatter cfg
 
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Use the small test workload.")
@@ -899,7 +899,16 @@ let run_serve schema_text host port port_file overflow capacity idle quota
     }
   in
   Ses_server.Tcp.serve
-    ~config:{ Ses_server.Tcp.host; port; port_file }
+    ~config:
+      {
+        Ses_server.Tcp.host;
+        port;
+        port_file;
+        log =
+          (fun line ->
+            print_string line;
+            flush stdout);
+      }
     rt_config
 
 let schema_arg =

@@ -52,6 +52,10 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
+val json_string : string -> string
+(** Quotes and escapes [s] as a JSON string literal — shared by every
+    consumer that assembles JSON around {!to_json} objects. *)
+
 val to_json : t -> string
 (** One JSON object: severity, code, message and the span (when any). *)
 

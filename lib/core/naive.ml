@@ -73,7 +73,9 @@ let all_satisfying_1_3_events ?(limit = 1_000_000) p all_events =
   in
   assign [] per_var;
   List.sort
-    (fun a b -> compare (Substitution.canonical a) (Substitution.canonical b))
+    (fun a b ->
+      Substitution.compare_canonical (Substitution.canonical a)
+        (Substitution.canonical b))
     !results
 
 let all_satisfying_1_3 ?limit p relation =

@@ -200,8 +200,11 @@ let keyed_metrics (k : keyed) =
    worker and each worker sees a fixed, order-preserved subsequence of
    the input. Per-pool execution is then byte-identical to the
    sequential layout — the pools are fully independent, and every pool
-   still consumes exactly its key's events, in order. *)
-let shard_index ~shards kv = Hashtbl.hash kv mod shards
+   still consumes exactly its key's events, in order. This is the one
+   audited routing site where representation hashing is the point
+   ([Value.t] keys are canonical by construction), hence the allow. *)
+let shard_index ~shards kv =
+  (Hashtbl.hash kv [@ses.allow "hashtbl-hash"]) mod shards
 
 let create ?(options = Engine.default_options) ?key automaton =
   let key =

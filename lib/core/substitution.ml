@@ -5,8 +5,16 @@ type binding = int * Event.t
 
 type t = binding list
 
+(* Pairs of ints ordered lexicographically — the comparator for both
+   canonical (variable, seq) entries and (timestamp, seq) keys. *)
+let compare_int_pair (a, b) (a', b') =
+  let c = Int.compare a a' in
+  if c <> 0 then c else Int.compare b b'
+
+let compare_canonical = List.compare compare_int_pair
+
 let canonical subst =
-  List.sort_uniq compare
+  List.sort_uniq compare_int_pair
     (List.map (fun (v, e) -> (v, Event.seq e)) subst)
 
 let equal a b = canonical a = canonical b
@@ -18,7 +26,7 @@ let rec subset_canon a b =
   | [], _ -> true
   | _ :: _, [] -> false
   | x :: a', y :: b' ->
-      let c = compare (x : int * int) y in
+      let c = compare_int_pair x y in
       if c = 0 then subset_canon a' b'
       else if c > 0 then subset_canon a b'
       else false
@@ -173,7 +181,7 @@ let bindings_by_var candidates =
   Hashtbl.iter
     (fun v l ->
       let arr = Array.of_list l in
-      Array.sort compare arr;
+      Array.sort compare_int_pair arr;
       Hashtbl.replace sorted v arr)
     table;
   sorted
@@ -327,7 +335,10 @@ let finalize ?(policy = Operational) p substs =
   in
   List.map
     (fun a -> a.subst)
-    (List.sort (fun a b -> compare (a.min_t, a.canon) (b.min_t, b.canon))
+    (List.sort
+       (fun a b ->
+         let c = Option.compare Time.compare a.min_t b.min_t in
+         if c <> 0 then c else compare_canonical a.canon b.canon)
        survivors)
 
 let pp p ppf subst =

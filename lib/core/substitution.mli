@@ -25,6 +25,11 @@ val canonical : t -> (int * int) list
     it alongside the substitution for the whole pass) rather than once per
     comparison; callers holding many substitutions should do the same. *)
 
+val compare_canonical : (int * int) list -> (int * int) list -> int
+(** Lexicographic order over canonical forms (pairs compared by variable
+    id, then sequence number) — the typed comparator every sort of
+    {!canonical} results must use instead of polymorphic [compare]. *)
+
 val equal : t -> t -> bool
 
 val subset : t -> t -> bool

@@ -357,6 +357,7 @@ let of_json text =
   let pos = ref 0 in
   let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
   let peek () = if !pos < n then Some text.[!pos] else None in
+  let peek_is c = !pos < n && Char.equal text.[!pos] c in
   let advance () = incr pos in
   let skip_ws () =
     while
@@ -398,7 +399,7 @@ let of_json text =
   let parse_int () =
     skip_ws ();
     let start = !pos in
-    if peek () = Some '-' then advance ();
+    if peek_is '-' then advance ();
     while
       !pos < n && match text.[!pos] with '0' .. '9' -> true | _ -> false
     do
@@ -415,7 +416,7 @@ let of_json text =
     | Some '{' ->
         advance ();
         skip_ws ();
-        if peek () = Some '}' then begin
+        if peek_is '}' then begin
           advance ();
           Obj []
         end
@@ -440,7 +441,7 @@ let of_json text =
     | Some '[' ->
         advance ();
         skip_ws ();
-        if peek () = Some ']' then begin
+        if peek_is ']' then begin
           advance ();
           Arr []
         end

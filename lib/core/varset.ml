@@ -28,7 +28,7 @@ let equal = Int.equal
 
 let compare = Int.compare
 
-let hash s = Hashtbl.hash s
+let hash = Int.hash
 
 let of_list vs = List.fold_left (fun s v -> add v s) empty vs
 

@@ -397,7 +397,7 @@ let sweep_selectivity cfg =
     ~headers:[ "labels"; "match fraction"; "peak |O|"; "raw matches"; "time [s]" ]
     rows
 
-let run_all ?csv_dir cfg =
+let run_all ?csv_dir ~ppf cfg =
   let save name table =
     match csv_dir with
     | None -> ()
@@ -407,7 +407,7 @@ let run_all ?csv_dir cfg =
         | Error msg -> Printf.eprintf "warning: %s\n" msg)
   in
   let show name table =
-    Format.printf "%a@.@." Report.pp table;
+    Format.fprintf ppf "%a@.@." Report.pp table;
     save name table
   in
   show "datasets" (datasets_table cfg);

@@ -64,6 +64,6 @@ val sweep_selectivity : config -> Report.t
 (** Beyond the paper: work as a function of the fraction of events that
     can bind a variable (label alphabet of a synthetic relation). *)
 
-val run_all : ?csv_dir:string -> config -> unit
-(** Prints every table to stdout; with [csv_dir], also saves one CSV per
+val run_all : ?csv_dir:string -> ppf:Format.formatter -> config -> unit
+(** Prints every table to [ppf]; with [csv_dir], also saves one CSV per
     table. *)

@@ -19,6 +19,11 @@ let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else No
 let peek2 st =
   if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
 
+let peek_is st c = st.pos < String.length st.src && Char.equal st.src.[st.pos] c
+
+let peek2_is st c =
+  st.pos + 1 < String.length st.src && Char.equal st.src.[st.pos + 1] c
+
 let advance st =
   (match peek st with
   | Some '\n' ->
@@ -85,7 +90,7 @@ let lex_string st =
   let rec go () =
     match peek st with
     | None -> fail st "unterminated string literal"
-    | Some '\'' when peek2 st = Some '\'' ->
+    | Some '\'' when peek2_is st '\'' ->
         Buffer.add_char buf '\'';
         advance st;
         advance st;
@@ -119,7 +124,7 @@ let tokenize src =
       | Some (' ' | '\t' | '\r' | '\n') ->
           advance st;
           loop ()
-      | Some '-' when peek2 st = Some '-' ->
+      | Some '-' when peek2_is st '-' ->
           while (match peek st with Some c -> c <> '\n' | None -> false) do
             advance st
           done;
@@ -134,7 +139,7 @@ let tokenize src =
           in
           emit tok line col;
           loop ()
-      | Some '-' when peek2 st = Some '>' ->
+      | Some '-' when peek2_is st '>' ->
           advance st;
           advance st;
           emit Token.ARROW line col;
@@ -148,10 +153,10 @@ let tokenize src =
       | Some '}' -> advance st; emit Token.RBRACE line col; loop ()
       | Some '=' ->
           advance st;
-          if peek st = Some '=' then advance st;
+          if peek_is st '=' then advance st;
           emit (Token.OP Ses_event.Predicate.Eq) line col;
           loop ()
-      | Some '!' when peek2 st = Some '=' ->
+      | Some '!' when peek2_is st '=' ->
           advance st;
           advance st;
           emit (Token.OP Ses_event.Predicate.Neq) line col;

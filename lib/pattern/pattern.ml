@@ -283,7 +283,10 @@ let set_vars p i = p.sets.(i)
 let set_of_var p v = p.set_of_var.(v)
 
 let negations p =
-  List.sort compare
+  List.sort
+    (fun (b, v) (b', v') ->
+      let c = Int.compare b b' in
+      if c <> 0 then c else Int.compare v v')
     (List.init (Array.length p.neg_vars) (fun j ->
          (p.neg_boundaries.(j), Array.length p.vars + j)))
 

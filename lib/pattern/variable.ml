@@ -19,7 +19,10 @@ let repeat ?max ~min name =
   | Some _ | None -> ());
   { name; quantifier = { min_count = min; max_count = max } }
 
-let is_group v = v.quantifier.max_count <> Some 1 || v.quantifier.min_count > 1
+let is_group v =
+  match v.quantifier.max_count with
+  | Some 1 -> v.quantifier.min_count > 1
+  | Some _ | None -> true
 
 let min_count v = v.quantifier.min_count
 

@@ -103,7 +103,12 @@ let send conn reply =
 let tenant_conns t name =
   Hashtbl.fold
     (fun _ c acc ->
-      if Session.tenant c.c_session = Some name && not c.c_closing then
+      let same_tenant =
+        match Session.tenant c.c_session with
+        | Some t -> String.equal t name
+        | None -> false
+      in
+      if same_tenant && not c.c_closing then
         c :: acc
       else acc)
     t.conns []

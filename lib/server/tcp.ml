@@ -22,9 +22,11 @@ type config = {
   host : string;
   port : int;  (* 0 = ephemeral *)
   port_file : string option;  (* write the bound port here *)
+  log : string -> unit;  (* lifecycle lines; the CLI wires stdout *)
 }
 
-let default_config = { host = "127.0.0.1"; port = 0; port_file = None }
+let default_config =
+  { host = "127.0.0.1"; port = 0; port_file = None; log = ignore }
 
 let http_response ~status ~body =
   Printf.sprintf
@@ -62,7 +64,7 @@ let serve ?(config = default_config) rt_config =
       output_string oc (string_of_int port);
       output_char oc '\n';
       close_out oc);
-  Printf.printf "ses serve: listening on %s:%d\n%!" config.host port;
+  config.log (Printf.sprintf "ses serve: listening on %s:%d\n" config.host port);
   let peers : (Unix.file_descr, peer) Hashtbl.t = Hashtbl.create 16 in
   let buf = Bytes.create 65536 in
   let close_peer peer =
@@ -162,7 +164,9 @@ let serve ?(config = default_config) rt_config =
     if !stop_requested then begin
       Runtime.shutdown rt;
       Hashtbl.iter (fun _ p -> pull_output p; write_peer p) peers;
-      Hashtbl.iter (fun _ p -> try Unix.close p.fd with _ -> ()) peers;
+      Hashtbl.iter
+        (fun _ p -> try Unix.close p.fd with Unix.Unix_error _ -> ())
+        peers;
       Hashtbl.reset peers;
       finished := true
     end
@@ -238,5 +242,4 @@ let serve ?(config = default_config) rt_config =
     end
   done;
   (try Unix.close listener with Unix.Unix_error _ -> ());
-  print_string "ses serve: shut down\n";
-  flush stdout
+  config.log "ses serve: shut down\n"

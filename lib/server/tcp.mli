@@ -15,11 +15,15 @@ type config = {
   host : string;
   port : int;  (** 0 picks an ephemeral port *)
   port_file : string option;  (** write the bound port here, for scripts *)
+  log : string -> unit;
+      (** Sink for lifecycle lines ("listening on ...", "shut down").
+          The library never writes to stdout itself; the CLI passes a
+          print-and-flush sink. *)
 }
 
 val default_config : config
-(** 127.0.0.1, ephemeral port, no port file. *)
+(** 127.0.0.1, ephemeral port, no port file, silent log. *)
 
 val serve : ?config:config -> Runtime.config -> unit
-(** Binds, prints ["ses serve: listening on <host>:<port>"], and runs
-    the loop until a stop signal arrives. *)
+(** Binds, reports ["ses serve: listening on <host>:<port>"] through
+    [config.log], and runs the loop until a stop signal arrives. *)

@@ -64,7 +64,8 @@ let refresh_stats ?cap t name =
     Result.bind (Csv_stream.stats ?cap (file t name)) (fun (_, stats) ->
         Result.map (fun () -> stats) (write_stats_file (stats_file t name) stats))
 
-let mtime path = try Some (Unix.stat path).Unix.st_mtime with _ -> None
+let mtime path =
+  try Some (Unix.stat path).Unix.st_mtime with Unix.Unix_error _ -> None
 
 let stats t name =
   if not (valid_name name) then

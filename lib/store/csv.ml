@@ -43,7 +43,7 @@ let read_record ~next ~peek =
   and quoted () =
     match next () with
     | None -> Error "csv: unterminated quoted field"
-    | Some '"' when peek () = Some '"' ->
+    | Some '"' when (match peek () with Some '"' -> true | Some _ | None -> false) ->
         ignore (next ());
         Buffer.add_char buf '"';
         quoted ()

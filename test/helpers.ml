@@ -32,18 +32,23 @@ let pattern ?(where = []) ~within sets =
 
 (* Canonical rendering of a substitution for assertions: variable names
    paired with 1-based event numbers, sorted. *)
+let compare_name_seq (n, s) (n', s') =
+  let c = String.compare n n' in
+  if c <> 0 then c else Int.compare s s'
+
 let subst_repr p s =
-  List.sort compare
+  List.sort compare_name_seq
     (List.map
        (fun (var, seq) -> (Pattern.var_name p var, seq + 1))
        (Ses_core.Substitution.canonical s))
 
-let substs_repr p ss = List.sort compare (List.map (subst_repr p) ss)
+let substs_repr p ss =
+  List.sort (List.compare compare_name_seq) (List.map (subst_repr p) ss)
 
 let check_substs p expected actual =
   Alcotest.(check (list (list (pair string int))))
     "substitutions"
-    (List.sort compare expected)
+    (List.sort (List.compare compare_name_seq) expected)
     (substs_repr p actual)
 
 let run ?options p relation =

@@ -1,0 +1,1 @@
+val route : 'a -> int

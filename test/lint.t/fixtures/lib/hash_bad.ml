@@ -1,0 +1,1 @@
+let route k = Hashtbl.hash k mod 4

@@ -1,0 +1,1 @@
+let route k = Int.hash k mod 4

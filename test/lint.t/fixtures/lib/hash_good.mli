@@ -1,0 +1,1 @@
+val route : int -> int

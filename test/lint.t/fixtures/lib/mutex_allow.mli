@@ -1,0 +1,3 @@
+type t = { m : Mutex.t }
+
+val grab : t -> unit

@@ -1,0 +1,5 @@
+type t = { m : Mutex.t; mutable count : int }
+
+let bump t =
+  Mutex.lock t.m;
+  t.count <- t.count + 1

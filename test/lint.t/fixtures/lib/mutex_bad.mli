@@ -1,0 +1,3 @@
+type t = { m : Mutex.t; mutable count : int }
+
+val bump : t -> unit

@@ -1,0 +1,10 @@
+type t = { m : Mutex.t; mutable count : int }
+
+let bump t =
+  Mutex.lock t.m;
+  t.count <- t.count + 1;
+  Mutex.unlock t.m
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f

@@ -1,0 +1,4 @@
+type t = { m : Mutex.t; mutable count : int }
+
+val bump : t -> unit
+val with_lock : t -> (unit -> 'a) -> 'a

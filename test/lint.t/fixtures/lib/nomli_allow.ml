@@ -1,0 +1,4 @@
+(* Interface deliberately open: the module is a test scaffold. *)
+[@@@ses.allow "missing-mli"]
+
+let answer = 42

@@ -1,0 +1,2 @@
+(* Pointer identity is the contract under test here. *)
+let same a b = (a == b) [@ses.allow "phys-equal"]

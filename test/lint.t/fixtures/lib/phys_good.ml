@@ -1,0 +1,1 @@
+let same a b = String.equal a b

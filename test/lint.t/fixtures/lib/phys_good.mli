@@ -1,0 +1,1 @@
+val same : string -> string -> bool

@@ -1,0 +1,1 @@
+val sorted : 'a list -> 'a list

@@ -1,0 +1,3 @@
+let sorted xs = List.sort compare xs
+
+let is_pair x = x = (1, 2)

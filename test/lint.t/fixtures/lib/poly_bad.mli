@@ -1,0 +1,2 @@
+val sorted : 'a list -> 'a list
+val is_pair : int * int -> bool

@@ -1,0 +1,5 @@
+let compare a b = Int.compare a b
+
+let sorted xs = List.sort compare xs
+
+let is_none x = match x with None -> true | Some _ -> false

@@ -1,0 +1,3 @@
+val compare : int -> int -> int
+val sorted : int list -> int list
+val is_none : 'a option -> bool

@@ -1,0 +1,1 @@
+let greet ppf = Format.fprintf ppf "hi@."

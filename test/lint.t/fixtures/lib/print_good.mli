@@ -1,0 +1,1 @@
+val greet : Format.formatter -> unit

@@ -1,0 +1,1 @@
+let close fd = try Unix.close fd with _ -> ()

@@ -1,0 +1,1 @@
+val close : Unix.file_descr -> unit

@@ -1,0 +1,4 @@
+[@@@ses.allow "poly-compare"]
+[@@@ses.allow "no-such-rule"]
+
+let id x = x

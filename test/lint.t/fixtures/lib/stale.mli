@@ -1,0 +1,1 @@
+val id : 'a -> 'a

@@ -1,0 +1,1 @@
+let mtime path = try Some (Unix.stat path).Unix.st_mtime with _ -> None

@@ -1,0 +1,1 @@
+val mtime : string -> float option

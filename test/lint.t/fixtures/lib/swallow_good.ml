@@ -1,0 +1,3 @@
+let lookup t k = try Some (Hashtbl.find t k) with Not_found -> None
+
+let log_failure log f = try f () with e -> log (Printexc.to_string e)

@@ -1,0 +1,2 @@
+val lookup : ('a, 'b) Hashtbl.t -> 'a -> 'b option
+val log_failure : (string -> unit) -> (unit -> unit) -> unit

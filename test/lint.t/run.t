@@ -1,0 +1,57 @@
+The ses-lint fixture corpus: one bad, one good, and one suppressed
+snippet per rule under fixtures/, laid out as a miniature repo so the
+path-dependent policies (lib/ vs bin/, lib/server/ severity) are
+exercised exactly as they are on the real tree.
+
+A full run over the corpus reports every bad fixture with its exact
+code and span, and exits nonzero:
+
+  $ ../../tools/lint/main.exe --root fixtures lib bin
+  lib/broken.ml: line 1, column 1: error[parse-error]: ppxlib parser rejected the file: Syntaxerr.Error(_)
+  lib/broken.mli: line 1, column 1: error[parse-error]: ppxlib parser rejected the file: Syntaxerr.Error(_)
+  lib/hash_bad.ml: line 1, columns 15-26: error[hashtbl-hash]: [Hashtbl.hash] hashes the runtime representation: route through a per-type hash, or [@ses.allow "hashtbl-hash"] an audited partition-routing site
+  lib/mutex_bad.ml: line 4, columns 3-16: error[mutex-discipline]: Mutex.lock with no matching Mutex.unlock in this definition: release on every path, e.g. via Fun.protect ~finally
+  lib/nomli_bad.ml: line 1, column 1: error[missing-mli]: module exports everything: add a sibling .mli (or [@@@ses.allow "missing-mli"] with a justifying comment)
+  lib/phys_bad.ml: line 1, columns 18-19: error[phys-equal]: physical equality (==) outside the identity-caching modules: compare with a per-type equal, or document the pointer contract and extend the allowlist in tools/lint/rules.ml
+  lib/poly_bad.ml: line 1, columns 27-33: error[poly-compare]: polymorphic [compare]: use a per-type compare (Int.compare, String.compare, Value.compare, ...) or a local typed comparator
+  lib/poly_bad.ml: line 3, columns 17-26: error[poly-compare]: structural (=) on a constructor/tuple/record operand depends on declaration layout: match on the shape or use a per-type equal
+  lib/print_bad.ml: line 1, columns 16-28: error[print-stdout]: library code must not write to stdout: return the text, take a sink, or log through telemetry
+  lib/server/swallow_bad.ml: line 1, column 39: error[swallowed-exception]: catch-all handler discards the exception: match the exceptions this expression can actually raise, or propagate/record the failure
+  lib/stale.ml: line 2, columns 1-29: error[stale-suppression]: [@ses.allow "no-such-rule"] names no known rule
+  lib/stale.ml: line 1, columns 1-29: error[stale-suppression]: stale suppression: [@ses.allow "poly-compare"] no longer suppresses anything — remove it
+  lib/store/swallow_warn.ml: line 1, column 63: warning[swallowed-exception]: catch-all handler discards the exception: match the exceptions this expression can actually raise, or propagate/record the failure
+  ses-lint: 12 errors, 1 warning (45 files)
+  [1]
+
+The good and suppressed fixtures — including stdout printing in bin/,
+which the print-stdout rule scopes to lib/ only — are all clean:
+
+  $ ../../tools/lint/main.exe --root fixtures \
+  >   lib/poly_good.ml lib/poly_allow.ml \
+  >   lib/phys_good.ml lib/phys_allow.ml \
+  >   lib/hash_good.ml lib/hash_allow.ml \
+  >   lib/swallow_good.ml lib/server/swallow_allow.ml \
+  >   lib/mutex_good.ml lib/mutex_allow.ml \
+  >   lib/print_good.ml lib/print_allow.ml \
+  >   lib/nomli_allow.ml bin/print_ok.ml
+  ses-lint: 0 errors, 0 warnings (14 files)
+
+A catch-all handler outside the server/pool paths is a warning, not an
+error, so it does not fail the run:
+
+  $ ../../tools/lint/main.exe --root fixtures lib/store/swallow_warn.ml
+  lib/store/swallow_warn.ml: line 1, column 63: warning[swallowed-exception]: catch-all handler discards the exception: match the exceptions this expression can actually raise, or propagate/record the failure
+  ses-lint: 0 errors, 1 warning (1 files)
+
+The same findings render as machine-readable JSON (the query
+analyzer's diagnostic schema, grouped per file):
+
+  $ ../../tools/lint/main.exe --json --root fixtures lib/poly_bad.ml lib/poly_bad.mli
+  {"files":2,"errors":2,"warnings":0,"findings":[{"file":"lib/poly_bad.ml","diagnostics":[{"severity":"error","code":"poly-compare","message":"polymorphic [compare]: use a per-type compare (Int.compare, String.compare, Value.compare, ...) or a local typed comparator","span":{"start_line":1,"start_col":27,"end_line":1,"end_col":34}},{"severity":"error","code":"poly-compare","message":"structural (=) on a constructor/tuple/record operand depends on declaration layout: match on the shape or use a per-type equal","span":{"start_line":3,"start_col":17,"end_line":3,"end_col":27}}]}]}
+  [1]
+
+Quiet mode prints nothing and only sets the exit status:
+
+  $ ../../tools/lint/main.exe -q --root fixtures lib/poly_bad.ml
+  [1]
+  $ ../../tools/lint/main.exe -q --root fixtures lib/poly_good.ml

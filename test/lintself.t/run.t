@@ -1,0 +1,6 @@
+Self-check: the shipped sources lint clean. The cram sandbox
+materializes lib/, bin/ and bench/ next to the driver, so this is the
+same repo-wide run CI performs (CI adds test/ and tools/), pinned here
+to fail the suite the moment a lint regression lands.
+
+  $ ../../tools/lint/main.exe -q --root ../.. lib bin bench

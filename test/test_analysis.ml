@@ -241,7 +241,7 @@ let test_diagnostics_sorted () =
       r.Analyzer.diagnostics
   in
   Alcotest.(check (list int)) "errors first, infos last"
-    (List.sort compare ranks) ranks
+    (List.sort Int.compare ranks) ranks
 
 let test_analyze_query_errors () =
   match Analyzer.analyze_query schema "PATTERN (a" with

@@ -21,7 +21,8 @@ let () =
 
 let canon substs = List.map Substitution.canonical substs
 
-let canon_sorted substs = List.sort compare (canon substs)
+let canon_sorted substs =
+  List.sort Substitution.compare_canonical (canon substs)
 
 (* `Naive and `Brute_force are Definition 2 enumeration oracles with
    deliberately different skip semantics — test_equivalence.ml only ever

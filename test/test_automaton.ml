@@ -61,7 +61,7 @@ let test_figure5_shape () =
   Alcotest.(check int) "6 paths" 6 (Automaton.n_paths automaton)
 
 let cond_strings trs =
-  List.sort compare
+  List.sort String.compare
     (List.concat_map
        (fun (tr : Automaton.transition) ->
          List.map

@@ -16,9 +16,12 @@ let test_permutations () =
   Alcotest.(check int) "3 elements" 6 (List.length (Permutation.permutations [ 1; 2; 3 ]));
   Alcotest.(check (list (list int))) "empty" [ [] ] (Permutation.permutations []);
   let perms = Permutation.permutations [ 1; 2; 3 ] in
-  Alcotest.(check int) "distinct" 6 (List.length (List.sort_uniq compare perms));
+  Alcotest.(check int) "distinct" 6
+    (List.length (List.sort_uniq (List.compare Int.compare) perms));
   Alcotest.(check bool) "each is a permutation" true
-    (List.for_all (fun p -> List.sort compare p = [ 1; 2; 3 ]) perms)
+    (List.for_all
+       (fun p -> List.equal Int.equal (List.sort Int.compare p) [ 1; 2; 3 ])
+       perms)
 
 let test_cartesian () =
   Alcotest.(check (list (list int))) "two by one"
@@ -40,10 +43,10 @@ let test_orderings_figure10 () =
   Alcotest.(check int) "six orderings" 6 (List.length os);
   Alcotest.(check int) "n_automata" 6 (Brute_force.n_automata p);
   let name ids = List.map (Pattern.var_name p) ids in
-  let rendered = List.sort compare (List.map name os) in
+  let rendered = List.sort (List.compare String.compare) (List.map name os) in
   Alcotest.(check (list (list string)))
     "all sequences of Figure 10(b)"
-    (List.sort compare
+    (List.sort (List.compare String.compare)
        [
          [ "c"; "p"; "d"; "b" ];
          [ "c"; "d"; "p"; "b" ];

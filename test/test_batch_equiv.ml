@@ -19,7 +19,8 @@ let () = Ses_baseline.Brute_force.register ()
 let batch_grid = [ 1; 2; 7; 64; 4096 ]
 
 let canon substs = List.map Substitution.canonical substs
-let canon_sorted substs = List.sort compare (canon substs)
+let canon_sorted substs =
+  List.sort Substitution.compare_canonical (canon substs)
 
 (* Same two layout-variant counters as the parallel-equivalence suite:
    the batched loop pops τ-expired prefixes once per batch, so both the
@@ -175,7 +176,7 @@ let test_negation_and_expiry_at_boundaries () =
       let name = Executor.strategy_name strategy in
       let reference = observe ~batch:None strategy neg_pattern neg_relation in
       let repr canonical =
-        List.sort compare
+        List.sort Helpers.compare_name_seq
           (List.map
              (fun (var, seq) -> (Pattern.var_name neg_pattern var, seq + 1))
              canonical)

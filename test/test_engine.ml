@@ -228,7 +228,9 @@ let test_store_equivalence () =
       query_q1 figure_1
   in
   let sorted o =
-    List.sort compare (substs_repr query_q1 o)
+    List.sort
+      (List.compare Helpers.compare_name_seq)
+      (substs_repr query_q1 o)
   in
   Alcotest.(check (list (list (pair string int))))
     "same raw" (sorted flat.Engine.raw) (sorted idx.Engine.raw);
@@ -248,7 +250,7 @@ let test_population_by_state_ordering () =
   let h = Engine.population_by_state st in
   let counts = List.map snd h in
   Alcotest.(check (list int)) "descending counts"
-    (List.sort (fun a b -> compare b a) counts)
+    (List.sort (fun a b -> Int.compare b a) counts)
     counts;
   let rec ties_ordered = function
     | (qa, a) :: ((qb, b) :: _ as rest) ->

@@ -16,7 +16,8 @@ let with_workload seed f =
   f pat r
 
 let canon_sorted substs =
-  List.sort compare (List.map Substitution.canonical substs)
+  List.sort Substitution.compare_canonical
+    (List.map Substitution.canonical substs)
 
 let run ~store ~precheck ~policy automaton r =
   let options =
@@ -110,9 +111,14 @@ let reference_finalize policy substs =
   in
   List.sort
     (fun a b ->
-      compare
-        (Substitution.min_ts a, Substitution.canonical a)
-        (Substitution.min_ts b, Substitution.canonical b))
+      let c =
+        Option.compare Ses_event.Time.compare (Substitution.min_ts a)
+          (Substitution.min_ts b)
+      in
+      if c <> 0 then c
+      else
+        Substitution.compare_canonical (Substitution.canonical a)
+          (Substitution.canonical b))
     (List.filter keep candidates)
 
 let finalize_matches_reference =

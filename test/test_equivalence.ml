@@ -65,7 +65,8 @@ let matches_distinct =
             List.map Substitution.canonical
               (Engine.run_relation (Automaton.of_pattern pat) r).Engine.matches
           in
-          List.length cs = List.length (List.sort_uniq compare cs)))
+          List.length cs
+          = List.length (List.sort_uniq Substitution.compare_canonical cs)))
 
 (* For singleton-only patterns the brute force explores every ordering, so
    its raw output contains everything the SES automaton emits. *)

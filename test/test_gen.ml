@@ -33,7 +33,7 @@ let test_prng_shuffle_pick () =
   let rng = Prng.create 11L in
   let l = [ 1; 2; 3; 4; 5; 6 ] in
   let s = Prng.shuffle rng l in
-  Alcotest.(check (list int)) "permutation" l (List.sort compare s);
+  Alcotest.(check (list int)) "permutation" l (List.sort Int.compare s);
   Alcotest.(check bool) "pick member" true (List.mem (Prng.pick rng l) l);
   Alcotest.check_raises "empty pick" (Invalid_argument "Prng.pick: empty list")
     (fun () -> ignore (Prng.pick rng []))

@@ -18,7 +18,8 @@ let batch_grid = [ 1; 7; 256 ]
 
 let canon substs = List.map Substitution.canonical substs
 
-let canon_sorted substs = List.sort compare (canon substs)
+let canon_sorted substs =
+  List.sort Substitution.compare_canonical (canon substs)
 
 type observed = {
   o_matches : (int * int) list list;

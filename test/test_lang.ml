@@ -112,7 +112,10 @@ let test_parse_q1 () =
         (List.map (fun (v : Ast.var_decl) -> v.Ast.name) set1);
       Alcotest.(check (list bool)) "group flags" [ false; true; false ]
         (List.map
-           (fun (v : Ast.var_decl) -> v.Ast.quantifier.Variable.max_count <> Some 1)
+           (fun (v : Ast.var_decl) ->
+             match v.Ast.quantifier.Variable.max_count with
+             | Some 1 -> false
+             | Some _ | None -> true)
            set1)
 
 let test_parse_minimal () =

@@ -14,7 +14,8 @@ open Ses_core
 open Ses_gen
 
 let canon substs = List.map Substitution.canonical substs
-let canon_sorted substs = List.sort compare (canon substs)
+let canon_sorted substs =
+  List.sort Substitution.compare_canonical (canon substs)
 
 type observed = {
   o_matches : (int * int) list list;

@@ -17,7 +17,8 @@ open Ses_core
 open Ses_gen
 
 let canon substs = List.map Substitution.canonical substs
-let canon_sorted substs = List.sort compare (canon substs)
+let canon_sorted substs =
+  List.sort Substitution.compare_canonical (canon substs)
 
 (* Same two layout-variant counters as the batch-equivalence suite: the
    batched engine loop pops τ-expired prefixes once per batch, so the

@@ -16,7 +16,7 @@ let patient2 = [ ("b", 13); ("c", 8); ("d", 7); ("p+", 6); ("p+", 10); ("p+", 11
 
 let test_matches () =
   check_substs query_q1
-    [ List.sort compare patient1; List.sort compare patient2 ]
+    [ List.sort compare_name_seq patient1; List.sort compare_name_seq patient2 ]
     outcome.Engine.matches
 
 let test_blood_counts_ignored () =
@@ -45,7 +45,7 @@ let test_maximality () =
      substitution that satisfies conditions 1-3 but is not maximal. It must
      not be reported. *)
   let without_e11 =
-    List.sort compare [ ("b", 13); ("c", 8); ("d", 7); ("p+", 6); ("p+", 10) ]
+    List.sort compare_name_seq [ ("b", 13); ("c", 8); ("d", 7); ("p+", 6); ("p+", 10) ]
   in
   Alcotest.(check bool) "non-maximal absent" false
     (List.mem without_e11 (substs_repr query_q1 outcome.Engine.matches))
@@ -67,13 +67,13 @@ let test_spans () =
   (* Figure 2: patient 2's match spans 191 hours ≤ 264. *)
   let p2 =
     List.find
-      (fun s -> subst_repr query_q1 s = List.sort compare patient2)
+      (fun s -> subst_repr query_q1 s = List.sort compare_name_seq patient2)
       outcome.Engine.matches
   in
   Alcotest.(check int) "191 hours" 191 (Substitution.span p2);
   let p1 =
     List.find
-      (fun s -> subst_repr query_q1 s = List.sort compare patient1)
+      (fun s -> subst_repr query_q1 s = List.sort compare_name_seq patient1)
       outcome.Engine.matches
   in
   Alcotest.(check int) "216 hours" 216 (Substitution.span p1)

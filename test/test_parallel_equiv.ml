@@ -29,7 +29,8 @@ let with_workload seed f =
   f pat r
 
 let canon substs = List.map Substitution.canonical substs
-let canon_sorted substs = List.sort compare (canon substs)
+let canon_sorted substs =
+  List.sort Substitution.compare_canonical (canon substs)
 
 (* The layout-invariant counters. [max_simultaneous_instances] is a
    shard-local max (a lower bound on the global peak), and

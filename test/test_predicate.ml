@@ -40,13 +40,14 @@ let test_negate_flip () =
         (Predicate.to_string again))
     Predicate.all_ops
 
+let parses s op =
+  match Predicate.of_string s with Some got -> got = op | None -> false
+
 let test_of_string () =
-  Alcotest.(check bool) "eq" true (Predicate.of_string "=" = Some Predicate.Eq);
-  Alcotest.(check bool) "neq" true
-    (Predicate.of_string "<>" = Some Predicate.Neq);
-  Alcotest.(check bool) "neq alt" true
-    (Predicate.of_string "!=" = Some Predicate.Neq);
-  Alcotest.(check bool) "le" true (Predicate.of_string "<=" = Some Predicate.Le);
+  Alcotest.(check bool) "eq" true (parses "=" Predicate.Eq);
+  Alcotest.(check bool) "neq" true (parses "<>" Predicate.Neq);
+  Alcotest.(check bool) "neq alt" true (parses "!=" Predicate.Neq);
+  Alcotest.(check bool) "le" true (parses "<=" Predicate.Le);
   Alcotest.(check bool) "unknown" true (Predicate.of_string "~" = None)
 
 let sat = Predicate.conjunction_satisfiable

@@ -76,12 +76,18 @@ let pp_reply r = Printf.sprintf "%S" (Protocol.render_reply r)
 let command_roundtrip =
   QCheck.Test.make ~count:500 ~name:"parse (render command) = Ok command"
     (QCheck.make ~print:pp_command gen_command)
-    (fun c -> Protocol.parse_command (Protocol.render_command c) = Ok c)
+    (fun c ->
+      match Protocol.parse_command (Protocol.render_command c) with
+      | Ok c' -> c' = c
+      | Error _ -> false)
 
 let reply_roundtrip =
   QCheck.Test.make ~count:500 ~name:"parse (render reply) = Ok reply"
     (QCheck.make ~print:pp_reply gen_reply)
-    (fun r -> Protocol.parse_reply (Protocol.render_reply r) = Ok r)
+    (fun r ->
+      match Protocol.parse_reply (Protocol.render_reply r) with
+      | Ok r' -> r' = r
+      | Error _ -> false)
 
 (* ---- totality fuzz: arbitrary bytes never raise ---- *)
 

@@ -384,7 +384,11 @@ let runtime_matches_offline =
                   else None)
                 lines
             in
-            if List.sort compare got = List.sort compare expected then true
+            if
+              List.equal String.equal
+                (List.sort String.compare got)
+                (List.sort String.compare expected)
+            then true
             else
               QCheck.Test.fail_reportf
                 "%s window [%d,%d): live %s vs offline %s" name

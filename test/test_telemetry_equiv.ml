@@ -26,7 +26,8 @@ let with_workload seed f =
   f pat r
 
 let canon substs = List.map Substitution.canonical substs
-let canon_sorted substs = List.sort compare (canon substs)
+let canon_sorted substs =
+  List.sort Substitution.compare_canonical (canon substs)
 
 let options ~domains telemetry =
   { Engine.default_options with Engine.domains; telemetry }
@@ -185,7 +186,13 @@ let sharded_profile_counts_deterministic =
             let tl = Telemetry.create () in
             ignore (run ~strategy:`Partitioned ~domains:4 (Some tl) automaton r);
             let p = Telemetry.snapshot tl in
-            let sorted l = List.sort compare l in
+            let sorted l =
+              List.sort
+                (fun (a, x) (b, y) ->
+                  let c = String.compare a b in
+                  if c <> 0 then c else Int.compare x y)
+                l
+            in
             ( sorted
                 (List.map
                    (fun (n, s) -> (n, s.Telemetry.span_count))

@@ -10,7 +10,8 @@ let p1_match =
   List.find
     (fun s ->
       subst_repr query_q1 s
-      = List.sort compare [ ("c", 1); ("d", 3); ("p+", 4); ("p+", 9); ("b", 12) ])
+      = List.sort compare_name_seq
+          [ ("c", 1); ("d", 3); ("p+", 4); ("p+", 9); ("b", 12) ])
     outcome.Engine.matches
 
 let p1_steps = Trace.for_buffer p1_match steps

@@ -79,7 +79,8 @@ let compare_total_order =
         (oneof [ map (fun i -> Value.Int i) small_int;
                  map (fun f -> Value.Float f) (float_bound_exclusive 100.);
                  map (fun s -> Value.Str s) small_string ]))
-    (fun (a, b) -> compare (Value.compare a b) 0 = compare 0 (Value.compare b a))
+    (fun (a, b) ->
+      Int.compare (Value.compare a b) 0 = Int.compare 0 (Value.compare b a))
 
 let suite =
   [

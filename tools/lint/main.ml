@@ -1,0 +1,154 @@
+(* ses-lint: the repo's self-hosted static analyzer.
+
+   Usage: main.exe [--json] [--quiet] [--root DIR] [PATH ...]
+
+   Walks every .ml/.mli under the given root-relative paths (default:
+   lib bin bench test tools), runs the {!Rules} engine on each, and
+   prints the findings as text — or, with [--json], as a JSON array of
+   per-file groups built from [Ses_analysis.Diagnostic.list_to_json],
+   the same renderer [ses analyze --json] uses. Exits 1 when any
+   error-severity diagnostic survives suppression, 0 otherwise.
+
+   Directory walking skips [_build], hidden directories, and cram
+   fixture corpora ([*.t] directories): the lint fixtures under
+   test/lint.t are deliberately broken and are exercised by the cram
+   test itself, not by repo-wide runs. *)
+
+module Diagnostic = Ses_analysis.Diagnostic
+
+let default_paths = [ "lib"; "bin"; "bench"; "test"; "tools" ]
+
+let usage () =
+  prerr_endline
+    "usage: ses-lint [--json] [--quiet] [--root DIR] [PATH ...]\n\
+     \  --json   emit machine-readable findings on stdout\n\
+     \  --quiet  print nothing, only set the exit status\n\
+     \  --root   resolve PATHs against DIR and report them relative to it\n\
+     PATHs default to: lib bin bench test tools";
+  exit 2
+
+type mode = Text | Json | Quiet
+
+(* ------------------------------------------------------------------ *)
+(* File discovery                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let has_suffix ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.equal (String.sub s (l - ls) ls) suffix
+
+let skip_dir name =
+  String.equal name "_build"
+  || (String.length name > 0 && Char.equal name.[0] '.')
+  || has_suffix ~suffix:".t" name
+
+(* Returns root-relative paths of the .ml/.mli files under [rel],
+   sorted for deterministic reports. *)
+let discover ~root rel =
+  let acc = ref [] in
+  let rec walk rel =
+    let full = Filename.concat root rel in
+    if Sys.is_directory full then
+      Array.iter
+        (fun name ->
+          let child = Filename.concat full name in
+          if Sys.is_directory child then begin
+            if not (skip_dir name) then walk (Filename.concat rel name)
+          end
+          else if has_suffix ~suffix:".ml" name || has_suffix ~suffix:".mli" name
+          then acc := Filename.concat rel name :: !acc)
+        (Sys.readdir full)
+    else acc := rel :: !acc
+  in
+  if not (Sys.file_exists (Filename.concat root rel)) then begin
+    Printf.eprintf "ses-lint: no such path: %s\n" rel;
+    exit 2
+  end;
+  walk rel;
+  List.sort String.compare !acc
+
+(* ------------------------------------------------------------------ *)
+(* Entry                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let mode = ref Text in
+  let root = ref "." in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: rest ->
+        mode := Json;
+        parse_args rest
+    | "--quiet" :: rest | "-q" :: rest ->
+        mode := Quiet;
+        parse_args rest
+    | "--root" :: dir :: rest ->
+        root := dir;
+        parse_args rest
+    | ("--help" | "-h" | "--root") :: _ -> usage ()
+    | arg :: _ when String.length arg > 1 && Char.equal arg.[0] '-' -> usage ()
+    | path :: rest ->
+        paths := path :: !paths;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let paths =
+    match List.rev !paths with [] -> default_paths | l -> l
+  in
+  let files = List.concat_map (discover ~root:!root) paths in
+  let reports =
+    List.filter_map
+      (fun rel ->
+        let full = Filename.concat !root rel in
+        let source = Rules.read_file full in
+        let findings =
+          if has_suffix ~suffix:".mli" rel then
+            Rules.lint_interface ~path:rel source
+          else
+            let has_mli =
+              if Rules.in_lib rel then
+                Some
+                  (Sys.file_exists
+                     (Filename.concat !root
+                        (Filename.remove_extension rel ^ ".mli")))
+              else None
+            in
+            Rules.lint_implementation ~path:rel ~has_mli source
+        in
+        match findings with [] -> None | _ -> Some (rel, findings))
+      files
+  in
+  let diags_of fs = List.map (fun (f : Rules.finding) -> f.diag) fs in
+  let count sev =
+    List.fold_left
+      (fun n (_, fs) -> n + Diagnostic.count sev (diags_of fs))
+      0 reports
+  in
+  let errors = count Diagnostic.Error and warnings = count Diagnostic.Warning in
+  (match !mode with
+  | Quiet -> ()
+  | Json ->
+      let group (rel, fs) =
+        Printf.sprintf "{\"file\":%s,\"diagnostics\":%s}"
+          (Diagnostic.json_string rel)
+          (Diagnostic.list_to_json (diags_of fs))
+      in
+      Printf.printf
+        "{\"files\":%d,\"errors\":%d,\"warnings\":%d,\"findings\":[%s]}\n"
+        (List.length files) errors warnings
+        (String.concat "," (List.map group reports))
+  | Text ->
+      List.iter
+        (fun (rel, fs) ->
+          List.iter
+            (fun (f : Rules.finding) ->
+              Printf.printf "%s: %s\n" rel (Diagnostic.to_string f.diag))
+            fs)
+        reports;
+      Printf.printf "ses-lint: %d error%s, %d warning%s (%d files)\n" errors
+        (if errors = 1 then "" else "s")
+        warnings
+        (if warnings = 1 then "" else "s")
+        (List.length files));
+  exit (if errors > 0 then 1 else 0)
